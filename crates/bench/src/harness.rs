@@ -1,0 +1,105 @@
+//! Shared experiment plumbing for the figure binaries.
+
+use std::collections::HashMap;
+
+use hcloud::runner::run_scenario;
+use hcloud::{RunConfig, RunResult, StrategyKind};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
+
+/// The master seed, overridable via `HCLOUD_SEED`.
+pub fn master_seed() -> u64 {
+    std::env::var("HCLOUD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Whether fast (smoke-test) mode is on: `HCLOUD_FAST=1`.
+pub fn fast_mode() -> bool {
+    std::env::var("HCLOUD_FAST").is_ok_and(|v| v == "1")
+}
+
+/// The scenario configuration the binaries use: paper scale normally, a
+/// scaled-down variant under `HCLOUD_FAST=1`.
+pub fn scenario_config(kind: ScenarioKind) -> ScenarioConfig {
+    if fast_mode() {
+        ScenarioConfig::scaled(kind, 0.15, 25)
+    } else {
+        ScenarioConfig::paper(kind)
+    }
+}
+
+/// Generates the paper scenario for `kind` under the ambient seed/mode.
+pub fn paper_scenario(kind: ScenarioKind) -> Scenario {
+    Scenario::generate(scenario_config(kind), &RngFactory::new(master_seed()))
+}
+
+/// An experiment harness caching scenarios and runs, so sweeps that
+/// re-bill or re-aggregate the same simulation don't re-run it.
+pub struct Harness {
+    factory: RngFactory,
+    scenarios: HashMap<ScenarioKind, Scenario>,
+    runs: HashMap<(ScenarioKind, StrategyKind, bool), RunResult>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness under the ambient seed.
+    pub fn new() -> Harness {
+        Harness {
+            factory: RngFactory::new(master_seed()),
+            scenarios: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// The RNG factory used for runs.
+    pub fn factory(&self) -> &RngFactory {
+        &self.factory
+    }
+
+    /// The (cached) scenario for `kind`.
+    pub fn scenario(&mut self, kind: ScenarioKind) -> &Scenario {
+        let factory = self.factory;
+        self.scenarios
+            .entry(kind)
+            .or_insert_with(|| Scenario::generate(scenario_config(kind), &factory))
+    }
+
+    /// Runs (or returns the cached run of) `strategy` on `kind` with the
+    /// default configuration.
+    pub fn run(
+        &mut self,
+        kind: ScenarioKind,
+        strategy: StrategyKind,
+        profiling: bool,
+    ) -> &RunResult {
+        let factory = self.factory;
+        if !self.runs.contains_key(&(kind, strategy, profiling)) {
+            let scenario = self.scenario(kind).clone();
+            let mut config = RunConfig::new(strategy);
+            config.profiling = profiling;
+            let result = run_scenario(&scenario, &config, &factory);
+            self.runs.insert((kind, strategy, profiling), result);
+        }
+        &self.runs[&(kind, strategy, profiling)]
+    }
+
+    /// Runs `config` on `kind` without caching (for custom-config sweeps).
+    pub fn run_config(&mut self, kind: ScenarioKind, config: &RunConfig) -> RunResult {
+        let factory = self.factory;
+        let scenario = self.scenario(kind).clone();
+        run_scenario(&scenario, config, &factory)
+    }
+
+    /// Runs `config` on an explicitly provided scenario.
+    pub fn run_on(&self, scenario: &Scenario, config: &RunConfig) -> RunResult {
+        run_scenario(scenario, config, &self.factory)
+    }
+}

@@ -1,0 +1,32 @@
+//! # hcloud-bench — the benchmark harness
+//!
+//! One binary per table and figure of the HCloud paper (see `src/bin/`),
+//! plus Criterion micro-benchmarks for the Section 5.2 overheads
+//! (`benches/overheads.rs`). This library holds the shared plumbing:
+//!
+//! * [`harness`] — scenario/strategy run helpers with in-process caching
+//!   so sweeps that only re-bill the same run (Figures 12, 13, 17) run
+//!   each simulation once;
+//! * [`report`] — aligned text tables, ASCII sparklines/heatmaps, and
+//!   JSON series export, so every binary prints the same rows/series the
+//!   paper plots and optionally dumps machine-readable data under
+//!   `results/`.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for b in crates/bench/src/bin/*.rs; do
+//!     b=$(basename "$b" .rs)
+//!     cargo run --release -p hcloud-bench --bin "$b"
+//! done
+//! ```
+//!
+//! Every binary honours `HCLOUD_FAST=1` to shrink scenarios for smoke
+//! runs, and `HCLOUD_SEED=<n>` to change the master seed.
+
+pub mod harness;
+pub mod plot;
+pub mod report;
+
+pub use harness::{paper_scenario, Harness};
+pub use report::{heatmap_row, sparkline, write_json, Table};

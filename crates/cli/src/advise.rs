@@ -1,0 +1,203 @@
+//! The `advise` command: which provisioning strategy should *this*
+//! workload use?
+//!
+//! This is HCloud's raison d'être turned into a one-shot answer: run all
+//! five strategies on the user's workload, bill each over the planned
+//! deployment length with real reservation terms (Figure 13 accounting),
+//! discard strategies that miss the performance floor, and recommend the
+//! cheapest survivor — with the reasoning shown, not just the verdict.
+
+use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::{SimDuration, SimTime};
+use hcloud_workloads::Scenario;
+
+/// Inputs to a recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdviseOptions {
+    /// Planned deployment length in weeks (the workload pattern repeats).
+    pub weeks: u64,
+    /// Minimum acceptable mean normalized performance in `(0, 1]`.
+    pub perf_floor: f64,
+}
+
+impl Default for AdviseOptions {
+    fn default() -> Self {
+        AdviseOptions {
+            weeks: 26,
+            perf_floor: 0.85,
+        }
+    }
+}
+
+/// One strategy's evaluated candidacy.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The strategy.
+    pub strategy: StrategyKind,
+    /// Mean normalized performance on the workload.
+    pub perf: f64,
+    /// Mean memcached p99 (µs), if the workload has latency-critical jobs.
+    pub lc_p99_us: Option<f64>,
+    /// Total deployment cost in dollars.
+    pub deployment_cost: f64,
+    /// Whether the performance floor was met.
+    pub meets_floor: bool,
+}
+
+/// The full recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// All candidates, evaluated.
+    pub candidates: Vec<Candidate>,
+    /// Index into `candidates` of the pick, if any strategy met the floor.
+    pub pick: Option<usize>,
+}
+
+/// Evaluates every strategy on `scenario` and recommends one.
+pub fn advise(scenario: &Scenario, options: &AdviseOptions, seed: u64) -> Recommendation {
+    let rates = Rates::default();
+    let pricing = ReservedOnDemandPricing::default();
+    let duration = SimDuration::from_hours(options.weeks * 7 * 24);
+    let factory = RngFactory::new(seed);
+    let candidates: Vec<Candidate> = StrategyKind::ALL
+        .iter()
+        .map(|&strategy| {
+            let r: RunResult = run_scenario(scenario, &RunConfig::new(strategy), &factory);
+            let run_len = r.makespan.saturating_since(SimTime::ZERO);
+            let cost = commitment_cost(&r.usage_records, &rates, &pricing, run_len, duration);
+            let perf = r.mean_normalized_perf();
+            Candidate {
+                strategy,
+                perf,
+                lc_p99_us: r.lc_latency_boxplot().map(|b| b.mean),
+                deployment_cost: cost.total(),
+                meets_floor: perf >= options.perf_floor,
+            }
+        })
+        .collect();
+    let pick = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.meets_floor)
+        .min_by(|a, b| {
+            a.1.deployment_cost
+                .partial_cmp(&b.1.deployment_cost)
+                .expect("finite costs")
+        })
+        .map(|(i, _)| i);
+    Recommendation { candidates, pick }
+}
+
+/// Prints the recommendation with its reasoning.
+pub fn print(recommendation: &Recommendation, options: &AdviseOptions) {
+    println!(
+        "{:<6} {:>8} {:>14} {:>16} {:>8}",
+        "strat", "perf %", "lc p99 (µs)", "deploy cost k$", "floor"
+    );
+    for c in &recommendation.candidates {
+        println!(
+            "{:<6} {:>8.1} {:>14} {:>16.1} {:>8}",
+            c.strategy.short_name(),
+            c.perf * 100.0,
+            c.lc_p99_us.map_or("-".into(), |v| format!("{v:.0}")),
+            c.deployment_cost / 1000.0,
+            if c.meets_floor { "ok" } else { "MISS" }
+        );
+    }
+    println!();
+    match recommendation.pick {
+        Some(i) => {
+            let c = &recommendation.candidates[i];
+            println!(
+                "recommendation: {} — cheapest strategy ({:.1}k$ over {} weeks) that\n\
+                 keeps mean performance at {:.1}% (floor: {:.0}%)",
+                c.strategy.short_name(),
+                c.deployment_cost / 1000.0,
+                options.weeks,
+                c.perf * 100.0,
+                options.perf_floor * 100.0
+            );
+        }
+        None => {
+            println!(
+                "no strategy meets the {:.0}% performance floor on this workload;\n\
+                 the closest is {}. Consider relaxing the floor or reserving more.",
+                options.perf_floor * 100.0,
+                recommendation
+                    .candidates
+                    .iter()
+                    .max_by(|a, b| a.perf.partial_cmp(&b.perf).expect("finite perf"))
+                    .map(|c| c.strategy.short_name())
+                    .unwrap_or("-")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_workloads::{ScenarioConfig, ScenarioKind};
+
+    fn scenario() -> Scenario {
+        Scenario::generate(
+            ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.1, 15),
+            &RngFactory::new(3),
+        )
+    }
+
+    #[test]
+    fn advise_evaluates_all_strategies() {
+        let rec = advise(&scenario(), &AdviseOptions::default(), 3);
+        assert_eq!(rec.candidates.len(), 5);
+        assert!(rec.pick.is_some(), "some strategy should meet an 85% floor");
+        for c in &rec.candidates {
+            assert!(c.deployment_cost > 0.0);
+            assert!((0.0..=1.0).contains(&c.perf));
+        }
+    }
+
+    #[test]
+    fn pick_is_cheapest_among_floor_meeting() {
+        let rec = advise(&scenario(), &AdviseOptions::default(), 3);
+        let pick = &rec.candidates[rec.pick.expect("pick exists")];
+        for c in rec.candidates.iter().filter(|c| c.meets_floor) {
+            assert!(pick.deployment_cost <= c.deployment_cost + 1e-9);
+        }
+        assert!(pick.meets_floor);
+    }
+
+    #[test]
+    fn impossible_floor_yields_no_pick() {
+        let rec = advise(
+            &scenario(),
+            &AdviseOptions {
+                weeks: 26,
+                perf_floor: 1.01,
+            },
+            3,
+        );
+        assert!(rec.pick.is_none());
+    }
+
+    #[test]
+    fn longer_deployments_favor_reservation_heavy_strategies() {
+        let short = advise(
+            &scenario(),
+            &AdviseOptions {
+                weeks: 1,
+                perf_floor: 0.5,
+            },
+            3,
+        );
+        let pick_short = short.candidates[short.pick.expect("pick")].strategy;
+        // For a one-week deployment, paying a year of reservations upfront
+        // can never win.
+        assert!(
+            !matches!(pick_short, StrategyKind::StaticReserved),
+            "SR picked for a 1-week deployment"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Hand-rolled argument parsing (no CLI-framework dependency).
+
+use hcloud::{MappingPolicy, StrategyKind};
+use hcloud_workloads::ScenarioKind;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: hcloud-cli <command> [options]
+
+commands:
+  compare   run every strategy on one scenario and tabulate
+  run       run one strategy, print the full summary
+  sweep     sweep one knob across its range for one strategy
+  export    generate a scenario and write it to JSON
+  advise    recommend the cheapest strategy meeting a performance floor
+
+common options:
+  --scenario static|low|high   scenario kind          [high]
+  --scale <f64>                load scale             [0.25]
+  --minutes <u64>              arrival window         [40]
+  --seed <u64>                 master seed            [42]
+
+run options:
+  --strategy SR|OdF|OdM|HF|HM  strategy               [HM]
+  --no-profiling               disable Quasar info
+  --policy P1..P8              mapping policy         [P8]
+  --spot <bid>                 enable spot at this bid multiplier
+  --pricing aws|gce|azure      pricing model          [aws]
+  --scenario-file <path>       load jobs from an exported JSON scenario
+  --json <path>                also write the summary as JSON
+  --explain                    print the placement-decision breakdown
+
+sweep options:
+  --knob spinup|external|retention|sensitive
+  --strategy ...               strategy to sweep      [HM]
+
+export options:
+  --out <path>                 output file            [scenario.json]
+
+advise options:
+  --weeks <u64>                planned deployment     [26]
+  --perf-floor <f64>           min mean performance   [0.85]";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `compare`: all strategies on one scenario.
+    Compare(Common),
+    /// `run`: a single configured run.
+    Run(Common, RunOptions),
+    /// `sweep`: one knob, one strategy.
+    Sweep(Common, SweepOptions),
+    /// `export`: write the generated scenario to JSON.
+    Export(Common, String),
+    /// `advise`: recommend a strategy for a deployment plan.
+    Advise(Common, crate::advise::AdviseOptions),
+}
+
+/// Options shared by every command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Common {
+    /// Scenario kind.
+    pub kind: ScenarioKind,
+    /// Load scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Arrival window in minutes.
+    pub minutes: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Common {
+    fn default() -> Self {
+        Common {
+            kind: ScenarioKind::HighVariability,
+            scale: 0.25,
+            minutes: 40,
+            seed: 42,
+        }
+    }
+}
+
+/// Options for `run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Whether Quasar information is available.
+    pub profiling: bool,
+    /// Mapping policy.
+    pub policy: MappingPolicy,
+    /// Spot bid multiplier, if spot is enabled.
+    pub spot_bid: Option<f64>,
+    /// Pricing model name (aws|gce|azure).
+    pub pricing: String,
+    /// Path to an exported scenario to load instead of generating.
+    pub scenario_file: Option<String>,
+    /// Optional JSON output path for the summary.
+    pub json_out: Option<String>,
+    /// Print the placement-decision breakdown.
+    pub explain: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            strategy: StrategyKind::HybridMixed,
+            profiling: true,
+            policy: MappingPolicy::Dynamic,
+            spot_bid: None,
+            pricing: "aws".into(),
+            scenario_file: None,
+            json_out: None,
+            explain: false,
+        }
+    }
+}
+
+/// Options for `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Which knob to sweep.
+    pub knob: String,
+    /// Strategy to sweep it on.
+    pub strategy: StrategyKind,
+}
+
+/// Parses a strategy short name.
+pub fn parse_strategy(s: &str) -> Result<StrategyKind, String> {
+    StrategyKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.short_name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown strategy '{s}' (use SR|OdF|OdM|HF|HM)"))
+}
+
+/// Parses a scenario kind.
+pub fn parse_scenario(s: &str) -> Result<ScenarioKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "static" => Ok(ScenarioKind::Static),
+        "low" => Ok(ScenarioKind::LowVariability),
+        "high" => Ok(ScenarioKind::HighVariability),
+        _ => Err(format!("unknown scenario '{s}' (use static|low|high)")),
+    }
+}
+
+/// Parses a mapping-policy label (P1–P8).
+pub fn parse_policy(s: &str) -> Result<MappingPolicy, String> {
+    MappingPolicy::paper_set()
+        .into_iter()
+        .find(|(label, _)| label.eq_ignore_ascii_case(s))
+        .map(|(_, p)| p)
+        .ok_or_else(|| format!("unknown policy '{s}' (use P1..P8)"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("{flag}: cannot parse '{v}'"))
+}
+
+/// Parses the full argument vector.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let verb = it.next().ok_or("missing command")?.as_str();
+    let rest: Vec<&String> = it.collect();
+
+    let mut common = Common::default();
+    let mut run = RunOptions::default();
+    let mut sweep_knob: Option<String> = None;
+    let mut export_out = "scenario.json".to_string();
+    let mut advise = crate::advise::AdviseOptions::default();
+
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest.get(i + 1).copied();
+        let mut consumed = 2;
+        match flag {
+            "--scenario" => common.kind = parse_scenario(value.ok_or("--scenario needs a value")?)?,
+            "--scale" => common.scale = parse_num("--scale", value)?,
+            "--minutes" => common.minutes = parse_num("--minutes", value)?,
+            "--seed" => common.seed = parse_num("--seed", value)?,
+            "--strategy" => {
+                run.strategy = parse_strategy(value.ok_or("--strategy needs a value")?)?
+            }
+            "--policy" => run.policy = parse_policy(value.ok_or("--policy needs a value")?)?,
+            "--spot" => run.spot_bid = Some(parse_num("--spot", value)?),
+            "--pricing" => {
+                let v = value.ok_or("--pricing needs a value")?;
+                if !["aws", "gce", "azure"].contains(&v.as_str()) {
+                    return Err(format!("unknown pricing model '{v}'"));
+                }
+                run.pricing = v.clone();
+            }
+            "--scenario-file" => {
+                run.scenario_file = Some(value.ok_or("--scenario-file needs a value")?.clone())
+            }
+            "--json" => run.json_out = Some(value.ok_or("--json needs a value")?.clone()),
+            "--knob" => sweep_knob = Some(value.ok_or("--knob needs a value")?.clone()),
+            "--weeks" => advise.weeks = parse_num("--weeks", value)?,
+            "--perf-floor" => advise.perf_floor = parse_num("--perf-floor", value)?,
+            "--out" => export_out = value.ok_or("--out needs a value")?.clone(),
+            "--no-profiling" => {
+                run.profiling = false;
+                consumed = 1;
+            }
+            "--explain" => {
+                run.explain = true;
+                consumed = 1;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += consumed;
+    }
+
+    match verb {
+        "compare" => Ok(Command::Compare(common)),
+        "run" => Ok(Command::Run(common, run)),
+        "sweep" => {
+            let knob = sweep_knob.ok_or("sweep needs --knob")?;
+            if !["spinup", "external", "retention", "sensitive"].contains(&knob.as_str()) {
+                return Err(format!("unknown knob '{knob}'"));
+            }
+            Ok(Command::Sweep(
+                common,
+                SweepOptions {
+                    knob,
+                    strategy: run.strategy,
+                },
+            ))
+        }
+        "export" => Ok(Command::Export(common, export_out)),
+        "advise" => {
+            if !(0.0..=1.0).contains(&advise.perf_floor) {
+                return Err("--perf-floor must be in [0, 1]".into());
+            }
+            Ok(Command::Advise(common, advise))
+        }
+        "help" | "--help" | "-h" => Err("help requested".into()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_compare_with_defaults() {
+        let c = parse(&v(&["compare"])).unwrap();
+        assert_eq!(c, Command::Compare(Common::default()));
+    }
+
+    #[test]
+    fn parses_full_run() {
+        let c = parse(&v(&[
+            "run",
+            "--scenario",
+            "low",
+            "--strategy",
+            "hf",
+            "--no-profiling",
+            "--policy",
+            "P3",
+            "--spot",
+            "0.5",
+            "--pricing",
+            "gce",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let Command::Run(common, run) = c else {
+            panic!("expected run");
+        };
+        assert_eq!(common.kind, ScenarioKind::LowVariability);
+        assert_eq!(common.seed, 7);
+        assert_eq!(run.strategy, StrategyKind::HybridFull);
+        assert!(!run.profiling);
+        assert_eq!(run.policy, MappingPolicy::QualityThreshold(0.5));
+        assert_eq!(run.spot_bid, Some(0.5));
+        assert_eq!(run.pricing, "gce");
+    }
+
+    #[test]
+    fn parses_sweep_and_export() {
+        let c = parse(&v(&["sweep", "--knob", "retention", "--strategy", "OdM"])).unwrap();
+        let Command::Sweep(_, s) = c else {
+            panic!("expected sweep");
+        };
+        assert_eq!(s.knob, "retention");
+        assert_eq!(s.strategy, StrategyKind::OnDemandMixed);
+
+        let c = parse(&v(&["export", "--out", "x.json", "--scenario", "static"])).unwrap();
+        let Command::Export(common, out) = c else {
+            panic!("expected export");
+        };
+        assert_eq!(out, "x.json");
+        assert_eq!(common.kind, ScenarioKind::Static);
+    }
+
+    #[test]
+    fn parses_advise() {
+        let c = parse(&v(&["advise", "--weeks", "30", "--perf-floor", "0.9"])).unwrap();
+        let Command::Advise(_, a) = c else {
+            panic!("expected advise");
+        };
+        assert_eq!(a.weeks, 30);
+        assert_eq!(a.perf_floor, 0.9);
+        assert!(parse(&v(&["advise", "--perf-floor", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["run", "--strategy", "XX"])).is_err());
+        assert!(parse(&v(&["run", "--pricing", "ibm"])).is_err());
+        assert!(parse(&v(&["sweep"])).is_err());
+        assert!(parse(&v(&["sweep", "--knob", "color"])).is_err());
+        assert!(parse(&v(&["run", "--scale"])).is_err());
+    }
+}

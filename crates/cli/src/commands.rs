@@ -1,0 +1,307 @@
+//! Command implementations.
+
+use std::fs;
+
+use hcloud::config::SpotPolicy;
+use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
+use hcloud_pricing::{PricingModel, Rates};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::{JobSpec, Scenario, ScenarioConfig};
+
+use crate::args::{Command, Common, RunOptions, SweepOptions};
+
+/// The on-disk scenario format for `export` / `--scenario-file`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ScenarioFile {
+    config: ScenarioConfig,
+    jobs: Vec<JobSpec>,
+}
+
+fn build_scenario(common: &Common) -> Scenario {
+    let config = ScenarioConfig {
+        duration: hcloud_sim::SimDuration::from_mins(common.minutes),
+        load_scale: common.scale,
+        ..ScenarioConfig::paper(common.kind)
+    };
+    Scenario::generate(config, &RngFactory::new(common.seed))
+}
+
+fn pricing_model(name: &str) -> PricingModel {
+    match name {
+        "gce" => PricingModel::gce(),
+        "azure" => PricingModel::azure(),
+        _ => PricingModel::aws(),
+    }
+}
+
+fn summarize(label: &str, r: &RunResult, model: &PricingModel) {
+    let rates = Rates::default();
+    let cost = r.cost(&rates, model);
+    println!("{label}:");
+    println!(
+        "  jobs {} | makespan {:.1} min | mean perf {:.1}% | mean degradation {:.2}x",
+        r.outcomes.len(),
+        r.makespan.as_mins_f64(),
+        r.mean_normalized_perf() * 100.0,
+        r.mean_degradation()
+    );
+    if let Some(b) = r.batch_performance_boxplot() {
+        println!(
+            "  batch completion: mean {:.1} min (p5 {:.1} / p95 {:.1})",
+            b.mean, b.p5, b.p95
+        );
+    }
+    if let Some(b) = r.lc_latency_boxplot() {
+        println!(
+            "  memcached p99:    mean {:.0} µs (p5 {:.0} / p95 {:.0})",
+            b.mean, b.p5, b.p95
+        );
+    }
+    if let Some(u) = r.mean_reserved_utilization() {
+        println!(
+            "  reserved: {} cores at {:.0}% mean utilization",
+            r.reserved_cores,
+            u * 100.0
+        );
+    }
+    println!(
+        "  on-demand: {} acquired ({} released immediately), {} queued jobs",
+        r.counters.od_acquired, r.counters.od_released_immediately, r.counters.queued_jobs
+    );
+    if r.counters.spot_acquired > 0 {
+        println!(
+            "  spot: {} acquired, {} terminations",
+            r.counters.spot_acquired, r.counters.spot_terminations
+        );
+    }
+    println!(
+        "  cost: {:.2}$ (reserved {:.2}$ + on-demand {:.2}$)",
+        cost.total(),
+        cost.reserved,
+        cost.on_demand
+    );
+}
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Compare(common) => compare(&common),
+        Command::Run(common, options) => run_one(&common, &options),
+        Command::Sweep(common, options) => sweep(&common, &options),
+        Command::Export(common, out) => export(&common, &out),
+        Command::Advise(common, options) => {
+            let scenario = build_scenario(&common);
+            println!(
+                "advising for {} ({} jobs), {}-week deployment, {:.0}% floor\n",
+                common.kind.name(),
+                scenario.jobs().len(),
+                options.weeks,
+                options.perf_floor * 100.0
+            );
+            let rec = crate::advise::advise(&scenario, &options, common.seed);
+            crate::advise::print(&rec, &options);
+            Ok(())
+        }
+    }
+}
+
+fn compare(common: &Common) -> Result<(), String> {
+    let scenario = build_scenario(common);
+    let factory = RngFactory::new(common.seed);
+    let rates = Rates::default();
+    let model = PricingModel::aws();
+    println!(
+        "{} scenario, {} jobs, seed {}\n",
+        common.kind.name(),
+        scenario.jobs().len(),
+        common.seed
+    );
+    println!(
+        "{:<6} {:>8} {:>12} {:>14} {:>10} {:>10}",
+        "strat", "perf %", "degradation", "lc p99 (µs)", "od acq", "cost $"
+    );
+    for strategy in StrategyKind::ALL {
+        let r = run_scenario(&scenario, &RunConfig::new(strategy), &factory);
+        let lc = r.lc_latency_boxplot().map(|b| b.mean).unwrap_or(f64::NAN);
+        println!(
+            "{:<6} {:>8.1} {:>11.2}x {:>14.0} {:>10} {:>10.2}",
+            strategy.short_name(),
+            r.mean_normalized_perf() * 100.0,
+            r.mean_degradation(),
+            lc,
+            r.counters.od_acquired,
+            r.cost(&rates, &model).total()
+        );
+    }
+    Ok(())
+}
+
+fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
+    let scenario = match &options.scenario_file {
+        Some(path) => {
+            let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let file: ScenarioFile =
+                serde_json::from_str(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+            Scenario::from_jobs(file.config, file.jobs)
+        }
+        None => build_scenario(common),
+    };
+    let mut config = RunConfig::new(options.strategy).with_policy(options.policy);
+    config.profiling = options.profiling;
+    config.record_decisions = options.explain;
+    if let Some(bid) = options.spot_bid {
+        config.spot = Some(SpotPolicy {
+            bid_multiplier: bid,
+            ..SpotPolicy::default()
+        });
+    }
+    let model = pricing_model(&options.pricing);
+    let r = run_scenario(&scenario, &config, &RngFactory::new(common.seed));
+    summarize(
+        &format!("{} on {}", options.strategy, scenario.kind().name()),
+        &r,
+        &model,
+    );
+    if options.explain {
+        use std::collections::BTreeMap;
+        let mut by_reason: BTreeMap<String, usize> = BTreeMap::new();
+        for d in &r.decisions {
+            *by_reason.entry(d.reason.to_string()).or_default() += 1;
+        }
+        println!("  placement decisions:");
+        for (reason, n) in &by_reason {
+            println!("    {reason:<24} {n}");
+        }
+        println!("  first ten decisions:");
+        for d in r.decisions.iter().take(10) {
+            println!(
+                "    {} @ {:.1}s  QT={:.2}  util={:.0}%  -> {}",
+                d.job,
+                d.at.as_secs_f64(),
+                d.estimated_quality,
+                d.reserved_utilization * 100.0,
+                d.reason
+            );
+        }
+    }
+    if let Some(path) = &options.json_out {
+        let rates = Rates::default();
+        let cost = r.cost(&rates, &model);
+        let body = serde_json::json!({
+            "strategy": options.strategy.short_name(),
+            "scenario": scenario.kind().name(),
+            "seed": common.seed,
+            "jobs": r.outcomes.len(),
+            "makespan_min": r.makespan.as_mins_f64(),
+            "mean_normalized_perf": r.mean_normalized_perf(),
+            "mean_degradation": r.mean_degradation(),
+            "reserved_cores": r.reserved_cores,
+            "reserved_utilization": r.mean_reserved_utilization(),
+            "od_acquired": r.counters.od_acquired,
+            "spot_acquired": r.counters.spot_acquired,
+            "spot_terminations": r.counters.spot_terminations,
+            "cost_reserved": cost.reserved,
+            "cost_on_demand": cost.on_demand,
+        });
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&body).expect("serializable"),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("(wrote {path})");
+    }
+    Ok(())
+}
+
+fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
+    let factory = RngFactory::new(common.seed);
+    println!(
+        "sweeping {} for {} on {}\n",
+        options.knob,
+        options.strategy,
+        common.kind.name()
+    );
+    println!(
+        "{:>12} {:>8} {:>12} {:>10}",
+        "value", "perf %", "degradation", "cost $"
+    );
+    let rates = Rates::default();
+    let model = PricingModel::aws();
+    let points: Vec<(String, RunConfig, Option<f64>)> = match options.knob.as_str() {
+        "spinup" => [0.0, 15.0, 30.0, 60.0, 120.0]
+            .iter()
+            .map(|&s| {
+                let mut c = RunConfig::new(options.strategy);
+                c.cloud.spin_up = SpinUpModel::with_mean_secs(s);
+                (format!("{s:.0}s"), c, None)
+            })
+            .collect(),
+        "external" => [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&l| {
+                let mut c = RunConfig::new(options.strategy);
+                c.cloud.external = ExternalLoadModel::with_mean(l);
+                (format!("{:.0}%", l * 100.0), c, None)
+            })
+            .collect(),
+        "retention" => [0.0, 1.0, 10.0, 100.0, 500.0]
+            .iter()
+            .map(|&m| {
+                let mut c = RunConfig::new(options.strategy);
+                c.retention_mult = m;
+                (format!("{m:.0}x"), c, None)
+            })
+            .collect(),
+        "sensitive" => [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&f| {
+                (
+                    format!("{:.0}%", f * 100.0),
+                    RunConfig::new(options.strategy),
+                    Some(f),
+                )
+            })
+            .collect(),
+        other => return Err(format!("unknown knob '{other}'")),
+    };
+    for (label, config, sensitive) in points {
+        let scenario = match sensitive {
+            Some(f) => {
+                let mut sc = ScenarioConfig {
+                    duration: hcloud_sim::SimDuration::from_mins(common.minutes),
+                    load_scale: common.scale,
+                    ..ScenarioConfig::paper(common.kind)
+                };
+                sc.sensitive_fraction = Some(f);
+                Scenario::generate(sc, &factory)
+            }
+            None => build_scenario(common),
+        };
+        let r = run_scenario(&scenario, &config, &factory);
+        println!(
+            "{:>12} {:>8.1} {:>11.2}x {:>10.2}",
+            label,
+            r.mean_normalized_perf() * 100.0,
+            r.mean_degradation(),
+            r.cost(&rates, &model).total()
+        );
+    }
+    Ok(())
+}
+
+fn export(common: &Common, out: &str) -> Result<(), String> {
+    let scenario = build_scenario(common);
+    let file = ScenarioFile {
+        config: scenario.config().clone(),
+        jobs: scenario.jobs().to_vec(),
+    };
+    let body = serde_json::to_string(&file).expect("serializable scenario");
+    fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} jobs ({} bytes) to {out}",
+        file.jobs.len(),
+        body.len()
+    );
+    Ok(())
+}

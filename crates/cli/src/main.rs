@@ -1,0 +1,40 @@
+//! `hcloud-cli` — run HCloud provisioning experiments from the shell.
+//!
+//! ```text
+//! hcloud-cli compare  --scenario high [--scale 0.25] [--minutes 40] [--seed 42]
+//! hcloud-cli run      --scenario high --strategy HM [--no-profiling]
+//!                     [--policy P8] [--spot 0.6] [--pricing aws|gce|azure]
+//! hcloud-cli sweep    --knob spinup|external|retention|sensitive
+//!                     [--scenario high] [--strategy HM]
+//! hcloud-cli export   --scenario low --out scenario.json
+//! hcloud-cli run      --scenario-file scenario.json --strategy HF
+//! hcloud-cli advise   --scenario high --weeks 30 --perf-floor 0.9
+//! ```
+//!
+//! Everything is deterministic in `--seed` (default 42). The default
+//! `--scale 0.25 --minutes 40` keeps runs under a second; pass
+//! `--scale 1 --minutes 120` for paper-scale experiments.
+
+mod advise;
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match commands::run(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # hcloud-cloud — the cloud provider substrate
+//!
+//! The HCloud paper evaluates on Google Compute Engine, partitioning the
+//! largest (16-vCPU) servers into smaller instances with Linux containers
+//! and injecting controlled external interference (Section 2.2). This crate
+//! reproduces that environment as a deterministic model:
+//!
+//! * [`instance_type`] — the instance catalog (micro, st1–st16, and the
+//!   compute-/memory-optimized families OdM may request);
+//! * [`spinup`] — VM instantiation overheads: 12–19 s means with a 2-minute
+//!   95th percentile, higher for smaller instances (Section 3.2);
+//! * [`external`] — the external-load process: interference fluctuating
+//!   ±10% around a 25% mean, with spatial (per-server) and temporal
+//!   variability and occasional heavy spikes — the source of the
+//!   unpredictability in Figures 1–2;
+//! * [`provider`] — provider profiles (GCE, EC2) differing in average
+//!   performance, tail heaviness, and micro-instance failures;
+//! * [`cloud`] — the [`cloud::Cloud`] front-end: acquire/release instances,
+//!   query readiness, external pressure and delivered resource quality.
+//!
+//! Everything is a pure function of `(master seed, instance id, time)`, so
+//! experiments are reproducible and the external interference is
+//! *repeatable across provisioning strategies* — the property the paper
+//! engineered its container methodology to get.
+
+pub mod cloud;
+pub mod external;
+pub mod instance_type;
+pub mod provider;
+pub mod spinup;
+pub mod spot;
+
+pub use cloud::{Cloud, CloudConfig, Instance, InstanceId, UsageRecord};
+pub use external::ExternalLoadModel;
+pub use instance_type::{Family, InstanceType};
+pub use provider::ProviderProfile;
+pub use spinup::SpinUpModel;
+pub use spot::SpotMarket;

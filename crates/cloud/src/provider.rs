@@ -1,0 +1,115 @@
+//! Cloud provider profiles.
+//!
+//! Figures 1–2 contrast Amazon EC2 and Google Compute Engine: "EC2
+//! achieves higher average performance than GCE \[for Hadoop\], but
+//! exhibits worse tail performance", while for memcached "GCE now achieves
+//! better average and tail performance", and on EC2 "several \[micro\]
+//! jobs fail to complete due to the internal EC2 scheduler terminating the
+//! VM". [`ProviderProfile`] captures those differences as multipliers on
+//! the external-load process plus workload-class speed factors.
+
+use crate::external::ExternalLoadModel;
+
+/// Tunable characteristics of a cloud provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderProfile {
+    /// Human-readable name ("GCE", "EC2").
+    pub name: &'static str,
+    /// Speed multiplier for batch work (>1 ⇒ faster completion).
+    pub batch_speed: f64,
+    /// Speed multiplier for latency-critical service (>1 ⇒ lower latency).
+    pub latency_speed: f64,
+    /// Multiplier on the external model's spike probability (tail
+    /// heaviness).
+    pub spike_prob_mult: f64,
+    /// Multiplier on spatial variability.
+    pub spatial_mult: f64,
+    /// Probability a micro-instance job is killed by the provider's
+    /// internal scheduler before completing (EC2 micro behaviour).
+    pub micro_kill_prob: f64,
+}
+
+impl ProviderProfile {
+    /// Google Compute Engine: the paper's main evaluation platform.
+    /// Baseline speeds, moderate variability, no micro terminations.
+    pub fn gce() -> Self {
+        ProviderProfile {
+            name: "GCE",
+            batch_speed: 1.0,
+            latency_speed: 1.0,
+            spike_prob_mult: 1.0,
+            spatial_mult: 1.0,
+            micro_kill_prob: 0.0,
+        }
+    }
+
+    /// Amazon EC2: faster batch on average but heavier tails, worse
+    /// latency service, and micro instances that sometimes get terminated.
+    pub fn ec2() -> Self {
+        ProviderProfile {
+            name: "EC2",
+            batch_speed: 1.15,
+            latency_speed: 0.85,
+            spike_prob_mult: 2.5,
+            spatial_mult: 1.6,
+            micro_kill_prob: 0.12,
+        }
+    }
+
+    /// Applies this profile's variability multipliers to an external-load
+    /// model.
+    pub fn shape_external(&self, base: &ExternalLoadModel) -> ExternalLoadModel {
+        ExternalLoadModel {
+            spike_prob: (base.spike_prob * self.spike_prob_mult).min(1.0),
+            spatial_sigma: base.spatial_sigma * self.spatial_mult,
+            ..base.clone()
+        }
+    }
+}
+
+impl Default for ProviderProfile {
+    fn default() -> Self {
+        ProviderProfile::gce()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_has_heavier_tails_than_gce() {
+        let base = ExternalLoadModel::default();
+        let gce = ProviderProfile::gce().shape_external(&base);
+        let ec2 = ProviderProfile::ec2().shape_external(&base);
+        assert!(ec2.spike_prob > gce.spike_prob);
+        assert!(ec2.spatial_sigma > gce.spatial_sigma);
+    }
+
+    #[test]
+    fn speed_factors_match_figures_1_and_2() {
+        let gce = ProviderProfile::gce();
+        let ec2 = ProviderProfile::ec2();
+        // Fig 1: EC2 faster on batch. Fig 2: GCE better on memcached.
+        assert!(ec2.batch_speed > gce.batch_speed);
+        assert!(ec2.latency_speed < gce.latency_speed);
+        // Only EC2 kills micro instances.
+        assert_eq!(gce.micro_kill_prob, 0.0);
+        assert!(ec2.micro_kill_prob > 0.0);
+    }
+
+    #[test]
+    fn default_is_gce() {
+        assert_eq!(ProviderProfile::default(), ProviderProfile::gce());
+    }
+
+    #[test]
+    fn shape_external_clamps_spike_prob() {
+        let base = ExternalLoadModel {
+            spike_prob: 0.9,
+            ..ExternalLoadModel::default()
+        };
+        let shaped = ProviderProfile::ec2().shape_external(&base);
+        assert!(shaped.spike_prob <= 1.0);
+    }
+}

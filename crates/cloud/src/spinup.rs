@@ -1,0 +1,179 @@
+//! Instance spin-up (instantiation) overheads.
+//!
+//! Section 3.2: spin-up "is typically 12–19 seconds for GCE, although the
+//! 95th percentile of spin-up overheads is 2 minutes. Smaller instances
+//! tend to incur higher overheads." A single log-normal cannot put its p95
+//! at ~8× its mean, so the model is a two-component mixture: a fast path
+//! (log-normal around the per-size mean) and a rare slow path (log-normal
+//! around ~2 minutes), matching both the body and the tail.
+
+use hcloud_sim::dist::{LogNormal, Sample};
+use hcloud_sim::SimDuration;
+use rand::Rng;
+
+use crate::instance_type::InstanceType;
+
+/// The spin-up overhead model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpinUpModel {
+    /// Global multiplier on sampled overheads (the Figure 14a sweep knob).
+    /// `1.0` reproduces GCE defaults; `0.0` makes spin-up free.
+    scale: f64,
+    /// Probability of hitting the slow path.
+    slow_path_prob: f64,
+    slow_path: LogNormal,
+}
+
+impl Default for SpinUpModel {
+    fn default() -> Self {
+        SpinUpModel {
+            scale: 1.0,
+            slow_path_prob: 0.06,
+            // Slow path centered near the paper's 2-minute p95.
+            slow_path: LogNormal::with_mean(115.0, 0.25),
+        }
+    }
+}
+
+impl SpinUpModel {
+    /// A model whose *mean* overhead is rescaled so the fast-path mean of a
+    /// full-server instance equals `mean_secs` (used by the Figure 14a
+    /// sensitivity sweep, 0–120 s).
+    pub fn with_mean_secs(mean_secs: f64) -> Self {
+        assert!(mean_secs >= 0.0, "spin-up mean must be non-negative");
+        let default_full = SpinUpModel::default().fast_mean_secs(InstanceType::full_server());
+        SpinUpModel {
+            scale: mean_secs / default_full,
+            ..SpinUpModel::default()
+        }
+    }
+
+    /// A model with no spin-up overhead at all (reserved resources are
+    /// "readily available as jobs arrive", Section 3.1).
+    pub fn instant() -> Self {
+        SpinUpModel {
+            scale: 0.0,
+            ..SpinUpModel::default()
+        }
+    }
+
+    /// The global scale multiplier.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Fast-path mean spin-up in seconds for an instance type. Smaller
+    /// instances are slower: 12 s for a full server up to 19 s for micro.
+    pub fn fast_mean_secs(&self, itype: InstanceType) -> f64 {
+        let base = match itype.vcpus() {
+            16 => 12.0,
+            8 => 13.0,
+            4 => 15.0,
+            2 => 17.0,
+            _ => {
+                if itype.is_micro() {
+                    19.0
+                } else {
+                    18.0
+                }
+            }
+        };
+        base * self.scale
+    }
+
+    /// The *expected* spin-up duration for sizing decisions (e.g. the
+    /// hard-limit queueing comparison of Section 4.2 uses the expected
+    /// overhead of a 16-vCPU instance).
+    pub fn expected(&self, itype: InstanceType) -> SimDuration {
+        let fast = self.fast_mean_secs(itype);
+        let slow = self.slow_path.mean() * self.scale;
+        let mean = fast * (1.0 - self.slow_path_prob) + slow * self.slow_path_prob;
+        SimDuration::from_secs_f64(mean)
+    }
+
+    /// Samples one spin-up duration for an instance of `itype`.
+    pub fn sample<R: Rng + ?Sized>(&self, itype: InstanceType, rng: &mut R) -> SimDuration {
+        if self.scale == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let secs = if rng.gen::<f64>() < self.slow_path_prob {
+            self.slow_path.sample(rng) * self.scale
+        } else {
+            LogNormal::with_mean(self.fast_mean_secs(itype), 0.30).sample(rng)
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::rng::SimRng;
+    use hcloud_sim::stats::percentile;
+
+    fn samples(model: &SpinUpModel, itype: InstanceType, n: usize) -> Vec<f64> {
+        let mut rng = SimRng::from_seed_u64(42);
+        (0..n)
+            .map(|_| model.sample(itype, &mut rng).as_secs_f64())
+            .collect()
+    }
+
+    #[test]
+    fn default_matches_paper_bands() {
+        let m = SpinUpModel::default();
+        let xs = samples(&m, InstanceType::full_server(), 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let p95 = percentile(&xs, 95.0).unwrap();
+        // "typically 12-19 seconds ... 95th percentile is 2 minutes"
+        assert!((12.0..25.0).contains(&mean), "mean spin-up {mean}");
+        assert!((80.0..150.0).contains(&p95), "p95 spin-up {p95}");
+    }
+
+    #[test]
+    fn smaller_instances_spin_up_slower() {
+        let m = SpinUpModel::default();
+        assert!(
+            m.fast_mean_secs(InstanceType::MICRO) > m.fast_mean_secs(InstanceType::standard(16))
+        );
+        assert!(
+            m.fast_mean_secs(InstanceType::standard(1))
+                > m.fast_mean_secs(InstanceType::standard(8))
+        );
+    }
+
+    #[test]
+    fn instant_model_is_zero() {
+        let m = SpinUpModel::instant();
+        let mut rng = SimRng::from_seed_u64(7);
+        assert_eq!(
+            m.sample(InstanceType::standard(4), &mut rng),
+            SimDuration::ZERO
+        );
+        assert_eq!(m.expected(InstanceType::standard(4)).as_micros(), 0);
+    }
+
+    #[test]
+    fn with_mean_rescales() {
+        let m = SpinUpModel::with_mean_secs(60.0);
+        let xs = samples(&m, InstanceType::full_server(), 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Mixture mean is above the fast-path mean of 60.
+        assert!((60.0..110.0).contains(&mean), "rescaled mean {mean}");
+    }
+
+    #[test]
+    fn expected_lies_between_fast_and_slow() {
+        let m = SpinUpModel::default();
+        let e = m.expected(InstanceType::standard(16)).as_secs_f64();
+        assert!(e > m.fast_mean_secs(InstanceType::standard(16)));
+        assert!(e < 115.0);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let m = SpinUpModel::default();
+        assert!(samples(&m, InstanceType::MICRO, 1000)
+            .iter()
+            .all(|&s| s > 0.0));
+    }
+}

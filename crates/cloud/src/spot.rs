@@ -1,0 +1,218 @@
+//! Spot-instance market model (the paper's Section 5.5 extension).
+//!
+//! "Spot instances consist of unallocated resources that cloud providers
+//! make available through a bidding interface. Spot instances do not have
+//! availability guarantees, and may be terminated at any point if the
+//! market price exceeds the bidding price. Incorporating spot instances
+//! in provisioning for non-critical tasks or jobs with very relaxed
+//! performance requirements can further improve cost-efficiency. We will
+//! consider how spot instances interact with the current provisioning
+//! strategies in future work."
+//!
+//! [`SpotMarket`] models the market price as a per-family piecewise
+//! process: a discounted base level (mean ~30–40% of the on-demand rate)
+//! with lognormal wiggle and occasional demand spikes that shoot past the
+//! on-demand price — the shape Ben-Yehuda et al. (the paper's reference
+//! \[9\]) measured on EC2. Like the external-load process, the price is a
+//! **pure function** of `(rng factory, family, time)`, so termination
+//! times are deterministic and strategies can be compared fairly.
+
+use hcloud_sim::dist::{LogNormal, Sample, Uniform};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::instance_type::{Family, InstanceType};
+
+/// The spot-market price process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotMarket {
+    /// Mean price as a multiple of the on-demand rate (~0.35 on EC2).
+    pub discount_mean: f64,
+    /// Lognormal sigma of the per-interval wiggle.
+    pub volatility: f64,
+    /// Per-interval probability of a demand spike.
+    pub spike_prob: f64,
+    /// Spike price range, as multiples of the on-demand rate.
+    pub spike_range: (f64, f64),
+    /// Repricing interval.
+    pub interval: SimDuration,
+}
+
+impl Default for SpotMarket {
+    fn default() -> Self {
+        SpotMarket {
+            discount_mean: 0.35,
+            volatility: 0.20,
+            spike_prob: 0.02,
+            spike_range: (1.1, 3.0),
+            interval: SimDuration::from_mins(5),
+        }
+    }
+}
+
+impl SpotMarket {
+    /// The market price of `family` at `t`, as a multiple of the
+    /// on-demand rate. Deterministic in `(factory, family, t)`.
+    pub fn price_multiplier(&self, factory: &RngFactory, family: Family, t: SimTime) -> f64 {
+        let k = t.as_micros() / self.interval.as_micros().max(1);
+        let fam = match family {
+            Family::Standard => 0u64,
+            Family::ComputeOptimized => 1,
+            Family::MemoryOptimized => 2,
+        };
+        let idx = fam.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k);
+        let mut rng = factory.indexed_stream("spot.price", idx);
+        if rng.gen::<f64>() < self.spike_prob {
+            return Uniform::new(self.spike_range.0, self.spike_range.1).sample(&mut rng);
+        }
+        LogNormal::with_mean(self.discount_mean, self.volatility).sample(&mut rng)
+    }
+
+    /// The first instant at or after `from` (searching up to `horizon`)
+    /// at which the market price exceeds `bid_multiplier` — i.e. when an
+    /// instance bid at that level gets terminated. `None` if the bid
+    /// survives the whole horizon.
+    pub fn first_termination(
+        &self,
+        factory: &RngFactory,
+        itype: InstanceType,
+        bid_multiplier: f64,
+        from: SimTime,
+        horizon: SimDuration,
+    ) -> Option<SimTime> {
+        let end = from.saturating_add(horizon);
+        let mut k = from.as_micros() / self.interval.as_micros().max(1);
+        loop {
+            let t = SimTime::from_micros(k * self.interval.as_micros());
+            if t > end {
+                return None;
+            }
+            let probe = t.max(from);
+            if self.price_multiplier(factory, itype.family(), probe) > bid_multiplier {
+                return Some(probe);
+            }
+            k += 1;
+        }
+    }
+
+    /// The average price multiplier over `[from, to)`, for billing spot
+    /// usage.
+    pub fn average_multiplier(
+        &self,
+        factory: &RngFactory,
+        itype: InstanceType,
+        from: SimTime,
+        to: SimTime,
+    ) -> f64 {
+        if to <= from {
+            return self.discount_mean;
+        }
+        let step = self.interval;
+        let mut t = from;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        while t < to {
+            sum += self.price_multiplier(factory, itype.family(), t).min(3.0);
+            n += 1;
+            t += step;
+        }
+        if n == 0 {
+            self.discount_mean
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factory() -> RngFactory {
+        RngFactory::new(77)
+    }
+
+    #[test]
+    fn prices_are_deterministic_and_positive() {
+        let m = SpotMarket::default();
+        let t = SimTime::from_secs(1234);
+        let a = m.price_multiplier(&factory(), Family::Standard, t);
+        let b = m.price_multiplier(&factory(), Family::Standard, t);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn long_run_mean_is_discounted() {
+        let m = SpotMarket::default();
+        let f = factory();
+        let n = 5000u64;
+        let mean: f64 = (0..n)
+            .map(|k| m.price_multiplier(&f, Family::Standard, SimTime::from_secs(300 * k)))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (0.3..0.55).contains(&mean),
+            "spot should be deeply discounted on average, got {mean}"
+        );
+    }
+
+    #[test]
+    fn families_price_independently() {
+        let m = SpotMarket::default();
+        let f = factory();
+        let t = SimTime::from_secs(900);
+        let st = m.price_multiplier(&f, Family::Standard, t);
+        let mem = m.price_multiplier(&f, Family::MemoryOptimized, t);
+        // Different streams; equality would be a (vanishingly unlikely)
+        // coincidence.
+        assert_ne!(st, mem);
+    }
+
+    #[test]
+    fn low_bids_terminate_quickly_high_bids_survive() {
+        let m = SpotMarket::default();
+        let f = factory();
+        let itype = InstanceType::standard(4);
+        let horizon = SimDuration::from_hours(6);
+        let low = m.first_termination(&f, itype, 0.2, SimTime::ZERO, horizon);
+        let high = m.first_termination(&f, itype, 10.0, SimTime::ZERO, horizon);
+        assert!(low.is_some(), "a 0.2x bid must be outbid quickly");
+        assert_eq!(high, None, "a 10x bid survives any spike");
+    }
+
+    #[test]
+    fn termination_is_at_or_after_acquisition() {
+        let m = SpotMarket::default();
+        let f = factory();
+        let from = SimTime::from_secs(4321);
+        if let Some(t) = m.first_termination(
+            &f,
+            InstanceType::standard(2),
+            0.4,
+            from,
+            SimDuration::from_hours(4),
+        ) {
+            assert!(t >= from);
+        }
+    }
+
+    #[test]
+    fn average_multiplier_is_bounded() {
+        let m = SpotMarket::default();
+        let f = factory();
+        let avg = m.average_multiplier(
+            &f,
+            InstanceType::standard(4),
+            SimTime::ZERO,
+            SimTime::from_secs(3600 * 5),
+        );
+        assert!((0.2..1.0).contains(&avg), "avg multiplier {avg}");
+        // Degenerate interval falls back to the mean.
+        assert_eq!(
+            m.average_multiplier(&f, InstanceType::standard(4), SimTime::ZERO, SimTime::ZERO),
+            m.discount_mean
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the cloud substrate.
+
+use hcloud_cloud::{Cloud, CloudConfig, ExternalLoadModel, InstanceType, SpotMarket};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// External load stays within its documented bounds for any mean.
+    #[test]
+    fn external_level_bounds(mean in 0.0f64..=1.0, seed in any::<u64>(), server in any::<u64>(), t in 0u64..1_000_000) {
+        let m = ExternalLoadModel::with_mean(mean);
+        let f = RngFactory::new(seed);
+        let level = m.level(&f, server, SimTime::from_secs(t));
+        prop_assert!((0.0..=0.95).contains(&level), "level {level}");
+    }
+
+    /// Pressure scales with the external share and vanishes for full
+    /// servers.
+    #[test]
+    fn pressure_respects_share(seed in any::<u64>(), server in any::<u64>(), t in 0u64..100_000) {
+        let m = ExternalLoadModel::default();
+        let f = RngFactory::new(seed);
+        let t = SimTime::from_secs(t);
+        let zero = m.pressure(&f, server, t, 0.0);
+        prop_assert_eq!(zero.sum(), 0.0);
+        let half = m.pressure(&f, server, t, 0.5).sum();
+        let most = m.pressure(&f, server, t, 15.0 / 16.0).sum();
+        prop_assert!(most >= half - 1e-12);
+    }
+
+    /// Spin-up samples are non-negative and zero under the instant model.
+    #[test]
+    fn spin_up_samples_bounded(seed in any::<u64>(), vcpus_idx in 0usize..5) {
+        use hcloud_cloud::SpinUpModel;
+        use hcloud_cloud::instance_type::VALID_SIZES;
+        let itype = InstanceType::standard(VALID_SIZES[vcpus_idx]);
+        let mut rng = hcloud_sim::rng::SimRng::from_seed_u64(seed);
+        let d = SpinUpModel::default().sample(itype, &mut rng);
+        prop_assert!(d.as_secs_f64() >= 0.0);
+        prop_assert!(d.as_secs_f64() < 3600.0, "absurd spin-up {d}");
+        let zero = SpinUpModel::instant().sample(itype, &mut rng);
+        prop_assert_eq!(zero, SimDuration::ZERO);
+    }
+
+    /// Spot terminations never precede the acquisition instant, and
+    /// higher bids never terminate earlier.
+    #[test]
+    fn spot_termination_ordering(seed in any::<u64>(), from in 0u64..100_000, bid in 0.1f64..1.5) {
+        let m = SpotMarket::default();
+        let f = RngFactory::new(seed);
+        let from = SimTime::from_secs(from);
+        let horizon = SimDuration::from_hours(4);
+        let itype = InstanceType::standard(4);
+        let low = m.first_termination(&f, itype, bid, from, horizon);
+        let high = m.first_termination(&f, itype, bid + 0.5, from, horizon);
+        if let Some(t) = low {
+            prop_assert!(t >= from);
+        }
+        match (low, high) {
+            (Some(a), Some(b)) => prop_assert!(b >= a, "higher bid terminated earlier"),
+            (None, Some(_)) => prop_assert!(false, "higher bid terminated but lower survived"),
+            _ => {}
+        }
+    }
+
+    /// Usage records never have negative durations and spot records carry
+    /// sub-unit multipliers on average.
+    #[test]
+    fn usage_records_are_sane(seed in any::<u64>(), release_after in 1u64..5000) {
+        let mut cloud = Cloud::new(CloudConfig::default(), RngFactory::new(seed));
+        let a = cloud.acquire(InstanceType::standard(2), SimTime::ZERO);
+        let s = cloud.acquire_spot(InstanceType::standard(2), 0.6, SimTime::ZERO);
+        cloud.release(a, SimTime::from_secs(release_after));
+        cloud.release(s, SimTime::from_secs(release_after));
+        for rec in cloud.usage_records(SimTime::from_secs(10_000)) {
+            prop_assert!(rec.to >= rec.from);
+            prop_assert!(rec.rate_multiplier > 0.0);
+        }
+    }
+
+    /// Partitioning only ever reduces external pressure.
+    #[test]
+    fn partitioning_reduces_pressure(seed in any::<u64>(), iso in 0.0f64..=1.0, t in 0u64..50_000) {
+        let mk = |partitioning: f64| {
+            Cloud::new(
+                CloudConfig {
+                    partitioning,
+                    ..CloudConfig::default()
+                },
+                RngFactory::new(seed),
+            )
+        };
+        let mut plain = mk(0.0);
+        let mut shielded = mk(iso);
+        let a = plain.acquire(InstanceType::standard(1), SimTime::ZERO);
+        let b = shielded.acquire(InstanceType::standard(1), SimTime::ZERO);
+        let t = SimTime::from_secs(t);
+        let p = plain.external_pressure(a, t).sum();
+        let q = shielded.external_pressure(b, t).sum();
+        prop_assert!(q <= p + 1e-12, "partitioned pressure {q} exceeds plain {p}");
+    }
+}

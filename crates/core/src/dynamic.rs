@@ -1,0 +1,200 @@
+//! The dynamic policy's adaptive utilization limits (Figure 8 / 9-left).
+//!
+//! The dynamic policy keeps two utilization limits on the reserved pool:
+//!
+//! * a **soft limit** (experimentally 60–65%) below which every incoming
+//!   job is placed on reserved resources;
+//! * a **hard limit** (~80%) above which jobs that need reserved quality
+//!   are queued (or sent to large on-demand instances when the estimated
+//!   queueing time exceeds the spin-up overhead).
+//!
+//! The soft limit is adjusted by a feedback loop with linear transfer
+//! functions on the queue length: a sharply growing queue means the
+//! reserved pool should become *more* selective (lower soft limit); a
+//! queue empty for a long stretch means it can accept more (higher soft
+//! limit). Figure 9 (left) shows exactly this trace.
+
+use hcloud_sim::{SimDuration, SimTime};
+
+/// Adaptive soft/hard utilization limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicLimits {
+    soft: f64,
+    hard: f64,
+    min_soft: f64,
+    max_soft: f64,
+    /// Gain applied to queue growth (fraction of soft limit per queued job
+    /// per adjustment).
+    decrease_gain: f64,
+    /// Linear recovery per second of empty queue.
+    increase_rate: f64,
+    last_queue_len: usize,
+    last_adjust: SimTime,
+    empty_since: Option<SimTime>,
+    /// Trace of `(time, soft limit)` for Figure 9 (left).
+    trace: Vec<(SimTime, f64)>,
+}
+
+impl Default for DynamicLimits {
+    /// The paper's experimental defaults: soft limit starting at 65%
+    /// (the 60–65% band), hard limit 85% (Figure 8 annotates the hard
+    /// limit at ~80%, with saturation above).
+    fn default() -> Self {
+        DynamicLimits::new(0.65, 0.85)
+    }
+}
+
+impl DynamicLimits {
+    /// Creates limits with the given starting soft and fixed hard limit.
+    ///
+    /// # Panics
+    /// Panics unless `0 < soft < hard <= 1`.
+    pub fn new(soft: f64, hard: f64) -> Self {
+        assert!(
+            0.0 < soft && soft < hard && hard <= 1.0,
+            "invalid limits soft={soft} hard={hard}"
+        );
+        DynamicLimits {
+            soft,
+            hard,
+            min_soft: 0.30,
+            max_soft: hard - 0.02,
+            decrease_gain: 0.01,
+            increase_rate: 0.001,
+            last_queue_len: 0,
+            last_adjust: SimTime::ZERO,
+            empty_since: Some(SimTime::ZERO),
+            trace: vec![(SimTime::ZERO, soft)],
+        }
+    }
+
+    /// The current soft limit.
+    pub fn soft(&self) -> f64 {
+        self.soft
+    }
+
+    /// The hard limit.
+    pub fn hard(&self) -> f64 {
+        self.hard
+    }
+
+    /// Feeds the current queue length into the feedback loop. Call
+    /// periodically (every monitor tick).
+    pub fn observe_queue(&mut self, queue_len: usize, now: SimTime) {
+        let dt = now.saturating_since(self.last_adjust);
+        self.last_adjust = now;
+        if queue_len > self.last_queue_len {
+            // Queue grew: become more selective, proportionally to the
+            // growth (linear transfer function).
+            let growth = (queue_len - self.last_queue_len) as f64;
+            self.soft = (self.soft - self.decrease_gain * growth).max(self.min_soft);
+            self.empty_since = None;
+        } else if queue_len == 0 {
+            // Queue empty: recover linearly with time.
+            let empty_for = match self.empty_since {
+                Some(t) => now.saturating_since(t),
+                None => {
+                    self.empty_since = Some(now);
+                    SimDuration::ZERO
+                }
+            };
+            if empty_for >= SimDuration::from_secs(30) {
+                self.soft = (self.soft + self.increase_rate * dt.as_secs_f64()).min(self.max_soft);
+            }
+        } else {
+            self.empty_since = None;
+        }
+        self.last_queue_len = queue_len;
+        if self
+            .trace
+            .last()
+            .is_none_or(|&(_, v)| (v - self.soft).abs() > 1e-9)
+        {
+            self.trace.push((now, self.soft));
+        }
+    }
+
+    /// The `(time, soft limit)` trace (Figure 9 left).
+    pub fn trace(&self) -> &[(SimTime, f64)] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_the_papers_band() {
+        let d = DynamicLimits::default();
+        assert!((0.60..=0.65).contains(&d.soft()));
+        assert!((d.hard() - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_growth_lowers_soft_limit() {
+        let mut d = DynamicLimits::default();
+        let before = d.soft();
+        d.observe_queue(0, SimTime::from_secs(10));
+        d.observe_queue(25, SimTime::from_secs(20));
+        assert!(d.soft() < before, "soft should drop on queue growth");
+    }
+
+    #[test]
+    fn sharp_growth_drops_more_than_mild_growth() {
+        let mut mild = DynamicLimits::default();
+        mild.observe_queue(2, SimTime::from_secs(10));
+        let mut sharp = DynamicLimits::default();
+        sharp.observe_queue(40, SimTime::from_secs(10));
+        assert!(sharp.soft() < mild.soft());
+    }
+
+    #[test]
+    fn sustained_empty_queue_recovers_limit() {
+        let mut d = DynamicLimits::default();
+        d.observe_queue(30, SimTime::from_secs(10));
+        let depressed = d.soft();
+        for k in 2..200u64 {
+            d.observe_queue(0, SimTime::from_secs(10 * k));
+        }
+        assert!(
+            d.soft() > depressed,
+            "soft should recover when queue stays empty"
+        );
+    }
+
+    #[test]
+    fn soft_limit_stays_in_bounds() {
+        let mut d = DynamicLimits::default();
+        // Hammer with growth.
+        for k in 1..200u64 {
+            d.observe_queue((k * 10) as usize, SimTime::from_secs(k));
+        }
+        assert!(d.soft() >= 0.30 - 1e-9);
+        // Then a very long idle stretch.
+        for k in 200..4000u64 {
+            d.observe_queue(0, SimTime::from_secs(k * 10));
+        }
+        assert!(d.soft() <= d.hard() - 0.02 + 1e-9);
+    }
+
+    #[test]
+    fn trace_records_changes() {
+        let mut d = DynamicLimits::default();
+        d.observe_queue(10, SimTime::from_secs(5));
+        d.observe_queue(20, SimTime::from_secs(6));
+        assert!(d.trace().len() >= 3);
+        let mut last_t = SimTime::ZERO;
+        for &(t, v) in d.trace() {
+            assert!(t >= last_t);
+            assert!((0.0..=1.0).contains(&v));
+            last_t = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid limits")]
+    fn rejects_inverted_limits() {
+        DynamicLimits::new(0.9, 0.8);
+    }
+}

@@ -1,0 +1,309 @@
+//! Application-mapping policies between reserved and on-demand resources
+//! (Section 4.2, Figures 6–8).
+//!
+//! * **P1** — random (fair coin);
+//! * **P2–P4** — quality thresholds: jobs needing `Q >` 80% / 50% / 20%
+//!   go to reserved, the rest to on-demand;
+//! * **P5–P7** — static reserved-utilization limits: below 50% / 70% /
+//!   90% everything goes to reserved, above it everything to on-demand;
+//! * **P8** — the dynamic policy: soft/hard adaptive limits, per-type
+//!   `Q90` vs `QT` comparison, and queueing-time-aware overflow.
+
+use hcloud_cloud::InstanceType;
+use hcloud_sim::SimDuration;
+use rand::Rng;
+
+use crate::dynamic::DynamicLimits;
+use crate::monitor::QualityMonitor;
+use crate::queue_estimator::QueueEstimator;
+
+/// A mapping policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingPolicy {
+    /// P1: map to reserved or on-demand with a fair coin.
+    Random,
+    /// P2–P4: jobs needing quality above the threshold go to reserved.
+    QualityThreshold(f64),
+    /// P5–P7: below the reserved-utilization limit everything goes to
+    /// reserved.
+    UtilizationLimit(f64),
+    /// P8: the dynamic policy of Figure 8.
+    Dynamic,
+}
+
+impl MappingPolicy {
+    /// The eight policies of Figures 6–7, with their paper labels.
+    pub fn paper_set() -> [(&'static str, MappingPolicy); 8] {
+        [
+            ("P1", MappingPolicy::Random),
+            ("P2", MappingPolicy::QualityThreshold(0.8)),
+            ("P3", MappingPolicy::QualityThreshold(0.5)),
+            ("P4", MappingPolicy::QualityThreshold(0.2)),
+            ("P5", MappingPolicy::UtilizationLimit(0.5)),
+            ("P6", MappingPolicy::UtilizationLimit(0.7)),
+            ("P7", MappingPolicy::UtilizationLimit(0.9)),
+            ("P8", MappingPolicy::Dynamic),
+        ]
+    }
+}
+
+/// Everything a mapping decision may consult.
+#[derive(Debug)]
+pub struct MappingContext<'a> {
+    /// Current reserved-pool utilization in `[0, 1]`.
+    pub reserved_utilization: f64,
+    /// The job's target quality `QT` (from classification, or 0 when
+    /// profiling info is unavailable).
+    pub job_quality: f64,
+    /// The on-demand instance type the job would receive.
+    pub od_itype: InstanceType,
+    /// Cores the job needs (for queue estimation).
+    pub job_cores: u32,
+    /// Jobs currently queued for reserved capacity.
+    pub queue_len: usize,
+    /// Expected spin-up overhead of a large (16-vCPU) on-demand instance.
+    pub expected_spinup_large: SimDuration,
+    /// Per-type delivered-quality monitor.
+    pub monitor: &'a QualityMonitor,
+    /// The adaptive limits (only consulted by [`MappingPolicy::Dynamic`]).
+    pub limits: &'a DynamicLimits,
+    /// The queueing-time estimator.
+    pub queue_estimator: &'a QueueEstimator,
+}
+
+/// Where the policy sends the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Schedule on the reserved pool (queueing there if it is full).
+    Reserved,
+    /// Schedule on the strategy's usual on-demand instance type.
+    OnDemand,
+    /// Schedule on a *large* (16-vCPU) on-demand instance even under HM —
+    /// the hard-limit escape hatch for sensitive jobs whose queueing time
+    /// would exceed the spin-up overhead.
+    OnDemandLarge,
+    /// Queue locally until reserved capacity frees up.
+    Queue,
+}
+
+impl MappingPolicy {
+    /// Decides where to place a job.
+    pub fn decide<R: Rng + ?Sized>(&self, ctx: &MappingContext<'_>, rng: &mut R) -> Placement {
+        match *self {
+            MappingPolicy::Random => {
+                if rng.gen::<bool>() {
+                    Placement::Reserved
+                } else {
+                    Placement::OnDemand
+                }
+            }
+            MappingPolicy::QualityThreshold(threshold) => {
+                if ctx.job_quality > threshold {
+                    Placement::Reserved
+                } else {
+                    Placement::OnDemand
+                }
+            }
+            MappingPolicy::UtilizationLimit(limit) => {
+                if ctx.reserved_utilization < limit {
+                    Placement::Reserved
+                } else {
+                    Placement::OnDemand
+                }
+            }
+            MappingPolicy::Dynamic => Self::decide_dynamic(ctx),
+        }
+    }
+
+    /// The Figure 8 decision procedure.
+    fn decide_dynamic(ctx: &MappingContext<'_>) -> Placement {
+        let util = ctx.reserved_utilization;
+        let soft = ctx.limits.soft();
+        let hard = ctx.limits.hard();
+        if util < soft {
+            // Below the soft limit: sensitive and insensitive jobs alike
+            // use the already-paid-for reserved resources.
+            return Placement::Reserved;
+        }
+        // The quality the on-demand instance type guarantees 90% of the
+        // time, vs the quality the job needs.
+        let od_good_enough = ctx.monitor.q90(ctx.od_itype) >= ctx.job_quality;
+        if util < hard {
+            if od_good_enough {
+                Placement::OnDemand
+            } else {
+                Placement::Reserved
+            }
+        } else if od_good_enough {
+            Placement::OnDemand
+        } else {
+            // Saturated reserved pool and a sensitive job: queue, unless
+            // the wait would exceed spinning up a large on-demand
+            // instance (which is insensitive-safe).
+            let wait = ctx
+                .queue_estimator
+                .estimate_wait(ctx.job_cores, ctx.queue_len);
+            match wait {
+                Some(w) if w > ctx.expected_spinup_large => Placement::OnDemandLarge,
+                Some(_) => Placement::Queue,
+                // Cold estimator: queue briefly while the queue is short,
+                // escape to a large instance once it builds up.
+                None if ctx.queue_len < 10 => Placement::Queue,
+                None => Placement::OnDemandLarge,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::rng::SimRng;
+    use hcloud_sim::SimTime;
+
+    struct Fixture {
+        monitor: QualityMonitor,
+        limits: DynamicLimits,
+        estimator: QueueEstimator,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            Fixture {
+                monitor: QualityMonitor::default(),
+                limits: DynamicLimits::default(),
+                estimator: QueueEstimator::default(),
+            }
+        }
+
+        fn ctx(&self, util: f64, quality: f64) -> MappingContext<'_> {
+            MappingContext {
+                reserved_utilization: util,
+                job_quality: quality,
+                od_itype: InstanceType::standard(2),
+                job_cores: 2,
+                queue_len: 0,
+                expected_spinup_large: SimDuration::from_secs(18),
+                monitor: &self.monitor,
+                limits: &self.limits,
+                queue_estimator: &self.estimator,
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_roughly_fair() {
+        let f = Fixture::new();
+        let mut rng = SimRng::from_seed_u64(3);
+        let reserved = (0..1000)
+            .filter(|_| {
+                MappingPolicy::Random.decide(&f.ctx(0.5, 0.5), &mut rng) == Placement::Reserved
+            })
+            .count();
+        assert!((400..600).contains(&reserved), "reserved picks {reserved}");
+    }
+
+    #[test]
+    fn quality_threshold_splits_on_q() {
+        let f = Fixture::new();
+        let mut rng = SimRng::from_seed_u64(1);
+        let p2 = MappingPolicy::QualityThreshold(0.8);
+        assert_eq!(p2.decide(&f.ctx(0.2, 0.9), &mut rng), Placement::Reserved);
+        assert_eq!(p2.decide(&f.ctx(0.2, 0.5), &mut rng), Placement::OnDemand);
+    }
+
+    #[test]
+    fn utilization_limit_splits_on_load() {
+        let f = Fixture::new();
+        let mut rng = SimRng::from_seed_u64(1);
+        let p6 = MappingPolicy::UtilizationLimit(0.7);
+        assert_eq!(p6.decide(&f.ctx(0.5, 0.9), &mut rng), Placement::Reserved);
+        assert_eq!(p6.decide(&f.ctx(0.75, 0.9), &mut rng), Placement::OnDemand);
+    }
+
+    #[test]
+    fn dynamic_below_soft_always_reserved() {
+        let f = Fixture::new();
+        let mut rng = SimRng::from_seed_u64(1);
+        // Even a fully tolerant job goes to reserved below the soft limit.
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.3, 0.0), &mut rng),
+            Placement::Reserved
+        );
+    }
+
+    #[test]
+    fn dynamic_mid_band_separates_by_q90() {
+        let mut f = Fixture::new();
+        // Teach the monitor that st2 delivers ~0.85.
+        for _ in 0..50 {
+            f.monitor.record(InstanceType::standard(2), 0.85);
+        }
+        let mut rng = SimRng::from_seed_u64(1);
+        // Tolerant job (QT 0.5 < 0.85): on-demand.
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.7, 0.5), &mut rng),
+            Placement::OnDemand
+        );
+        // Sensitive job (QT 0.95 > 0.85): reserved.
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.7, 0.95), &mut rng),
+            Placement::Reserved
+        );
+    }
+
+    #[test]
+    fn dynamic_above_hard_queues_sensitive_jobs_when_wait_is_short() {
+        let mut f = Fixture::new();
+        for _ in 0..50 {
+            f.monitor.record(InstanceType::standard(2), 0.80);
+        }
+        // Frequent releases → short estimated waits.
+        for k in 0..50u64 {
+            f.estimator.record_release(4, SimTime::from_secs(k));
+        }
+        let mut rng = SimRng::from_seed_u64(1);
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.9, 0.95), &mut rng),
+            Placement::Queue
+        );
+    }
+
+    #[test]
+    fn dynamic_above_hard_escapes_to_large_od_when_wait_is_long() {
+        let mut f = Fixture::new();
+        for _ in 0..50 {
+            f.monitor.record(InstanceType::standard(2), 0.80);
+        }
+        // Releases every 100 s → estimated wait far exceeds spin-up.
+        for k in 0..50u64 {
+            f.estimator.record_release(4, SimTime::from_secs(k * 100));
+        }
+        let mut rng = SimRng::from_seed_u64(1);
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.9, 0.95), &mut rng),
+            Placement::OnDemandLarge
+        );
+    }
+
+    #[test]
+    fn dynamic_above_hard_insensitive_jobs_still_use_od() {
+        let mut f = Fixture::new();
+        for _ in 0..50 {
+            f.monitor.record(InstanceType::standard(2), 0.80);
+        }
+        let mut rng = SimRng::from_seed_u64(1);
+        assert_eq!(
+            MappingPolicy::Dynamic.decide(&f.ctx(0.95, 0.3), &mut rng),
+            Placement::OnDemand
+        );
+    }
+
+    #[test]
+    fn paper_set_has_eight_policies() {
+        let set = MappingPolicy::paper_set();
+        assert_eq!(set.len(), 8);
+        assert_eq!(set[0].0, "P1");
+        assert_eq!(set[7].1, MappingPolicy::Dynamic);
+    }
+}

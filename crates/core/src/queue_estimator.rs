@@ -1,0 +1,196 @@
+//! Queueing-time estimation from reserved-capacity release rates.
+//!
+//! Section 4.2: "Queueing time is estimated using a simple feedback loop
+//! based on the rate at which instances of a given type are being released
+//! over time. For example, if out of 100 jobs waiting for an instance with
+//! 4 vCPUs ..., 99 were scheduled in less than 1.4 seconds, the system
+//! will estimate that there is a 0.99 probability that the queueing time
+//! ... will be 1.4 seconds."
+//!
+//! [`QueueEstimator`] watches events that free capacity on the reserved
+//! pool and keeps, per requested size, a rolling window of inter-release
+//! intervals. The estimated wait for a newly queued job is the
+//! high-quantile interval scaled by how many queued jobs are ahead of it.
+
+use std::collections::{HashMap, VecDeque};
+
+use hcloud_sim::{SimDuration, SimTime};
+
+/// Rolling release-interval statistics per requested core size.
+#[derive(Debug, Clone)]
+pub struct QueueEstimator {
+    window: usize,
+    last_release: HashMap<u32, SimTime>,
+    intervals: HashMap<u32, VecDeque<f64>>,
+    waits: HashMap<u32, VecDeque<f64>>,
+}
+
+impl Default for QueueEstimator {
+    fn default() -> Self {
+        QueueEstimator::new(128)
+    }
+}
+
+impl QueueEstimator {
+    /// Creates an estimator keeping up to `window` intervals per size.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "estimator window must be positive");
+        QueueEstimator {
+            window,
+            last_release: HashMap::new(),
+            intervals: HashMap::new(),
+            waits: HashMap::new(),
+        }
+    }
+
+    /// Records a *measured* queueing time for a job that needed `size`
+    /// cores. Measured waits dominate the estimate once enough are known
+    /// — this is exactly the paper's formulation ("out of 100 jobs
+    /// waiting for an instance with 4 vCPUs, 99 were scheduled in less
+    /// than 1.4 seconds").
+    pub fn record_wait(&mut self, size: u32, wait: SimDuration) {
+        let buf = self.waits.entry(size).or_default();
+        if buf.len() == self.window {
+            buf.pop_front();
+        }
+        buf.push_back(wait.as_secs_f64());
+    }
+
+    /// Records that `freed_cores` became available on the reserved pool at
+    /// `now`. The event counts as a release for every size it could
+    /// satisfy (a 8-core release also unblocks 4-, 2- and 1-core waiters).
+    pub fn record_release(&mut self, freed_cores: u32, now: SimTime) {
+        for &size in &[1u32, 2, 4, 8, 16] {
+            if size > freed_cores {
+                break;
+            }
+            if let Some(&last) = self.last_release.get(&size) {
+                let dt = now.saturating_since(last).as_secs_f64();
+                let buf = self.intervals.entry(size).or_default();
+                if buf.len() == self.window {
+                    buf.pop_front();
+                }
+                buf.push_back(dt);
+            }
+            self.last_release.insert(size, now);
+        }
+    }
+
+    /// Number of recorded intervals for `size`.
+    pub fn interval_count(&self, size: u32) -> usize {
+        self.intervals.get(&size).map_or(0, VecDeque::len)
+    }
+
+    /// The `q`-quantile of the release-interval distribution for jobs
+    /// needing `size` cores; `None` until at least 5 intervals are known.
+    pub fn release_interval_quantile(&self, size: u32, q: f64) -> Option<SimDuration> {
+        let buf = self.intervals.get(&size)?;
+        if buf.len() < 5 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = buf.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN interval"));
+        let v = hcloud_sim::stats::percentile_sorted(&sorted, q * 100.0);
+        Some(SimDuration::from_secs_f64(v))
+    }
+
+    /// The estimated queueing time for a job needing `size` cores with
+    /// `ahead` queued jobs in front of it; `None` while the estimator is
+    /// cold (the caller should then fall back to a pessimistic default).
+    ///
+    /// With ≥10 measured waits for this size, the estimate is their 99th
+    /// percentile (the paper's feedback formulation). Before that it
+    /// falls back to the release-interval tail scaled by queue position.
+    pub fn estimate_wait(&self, size: u32, ahead: usize) -> Option<SimDuration> {
+        if let Some(buf) = self.waits.get(&size) {
+            if buf.len() >= 10 {
+                let mut sorted: Vec<f64> = buf.iter().copied().collect();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN wait"));
+                let q99 = hcloud_sim::stats::percentile_sorted(&sorted, 99.0);
+                return Some(SimDuration::from_secs_f64(q99));
+            }
+        }
+        let q99 = self.release_interval_quantile(size, 0.99)?;
+        Some(q99.mul_f64((ahead + 1) as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_estimator_abstains() {
+        let e = QueueEstimator::default();
+        assert_eq!(e.estimate_wait(4, 0), None);
+    }
+
+    #[test]
+    fn regular_releases_give_tight_estimates() {
+        let mut e = QueueEstimator::default();
+        for k in 0..50u64 {
+            e.record_release(4, SimTime::from_secs(k * 2));
+        }
+        let est = e.estimate_wait(4, 0).unwrap();
+        assert!((1.9..2.5).contains(&est.as_secs_f64()), "estimate {est}");
+    }
+
+    #[test]
+    fn waiting_behind_others_scales_estimate() {
+        let mut e = QueueEstimator::default();
+        for k in 0..50u64 {
+            e.record_release(4, SimTime::from_secs(k));
+        }
+        let alone = e.estimate_wait(4, 0).unwrap();
+        let behind = e.estimate_wait(4, 3).unwrap();
+        assert_eq!(behind.as_micros(), alone.as_micros() * 4);
+    }
+
+    #[test]
+    fn large_releases_unblock_small_sizes() {
+        let mut e = QueueEstimator::default();
+        for k in 0..20u64 {
+            e.record_release(16, SimTime::from_secs(k * 3));
+        }
+        assert!(e.estimate_wait(1, 0).is_some());
+        assert!(e.estimate_wait(16, 0).is_some());
+    }
+
+    #[test]
+    fn small_releases_do_not_unblock_large_sizes() {
+        let mut e = QueueEstimator::default();
+        for k in 0..20u64 {
+            e.record_release(2, SimTime::from_secs(k));
+        }
+        assert!(e.estimate_wait(2, 0).is_some());
+        assert_eq!(e.estimate_wait(8, 0), None);
+    }
+
+    #[test]
+    fn quantiles_reflect_tail() {
+        let mut e = QueueEstimator::default();
+        let mut t = SimTime::ZERO;
+        // Mostly 1-second releases with occasional 10-second gaps.
+        for k in 0..100u64 {
+            let gap = if k % 10 == 9 { 10 } else { 1 };
+            t += SimDuration::from_secs(gap);
+            e.record_release(4, t);
+        }
+        let q50 = e.release_interval_quantile(4, 0.5).unwrap();
+        let q99 = e.release_interval_quantile(4, 0.99).unwrap();
+        assert!(q50.as_secs_f64() <= 1.5);
+        assert!(q99.as_secs_f64() >= 9.0);
+    }
+
+    #[test]
+    fn window_bounds_memory() {
+        let mut e = QueueEstimator::new(10);
+        for k in 0..100u64 {
+            e.record_release(1, SimTime::from_secs(k));
+        }
+        assert_eq!(e.interval_count(1), 10);
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end scenario execution.
+//!
+//! [`run_scenario`] feeds a generated [`Scenario`] through the
+//! [`Scheduler`] under a [`RunConfig`], driving the discrete-event loop to
+//! completion and returning the [`RunResult`] every figure binary
+//! aggregates.
+
+use hcloud_sim::event::EventQueue;
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::SimTime;
+use hcloud_workloads::Scenario;
+
+use crate::config::RunConfig;
+use crate::result::RunResult;
+use crate::scheduler::{Event, Scheduler};
+
+/// Runs `scenario` under `config`. Deterministic in `factory`.
+///
+/// The monitor tick keeps firing until every job has finished, so the
+/// returned makespan covers stragglers (OdM's high-variability run takes
+/// ~48% longer than SR's, Section 5.4).
+pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactory) -> RunResult {
+    let mut sched = Scheduler::new(scenario, config, factory);
+    let mut events: EventQueue<Event> = EventQueue::new();
+    for (i, job) in scenario.jobs().iter().enumerate() {
+        events.schedule(job.arrival, Event::Arrival(i));
+    }
+    let last_arrival = scenario
+        .jobs()
+        .last()
+        .map(|j| j.arrival)
+        .unwrap_or(SimTime::ZERO);
+    events.schedule(SimTime::ZERO, Event::Tick);
+
+    let mut end = SimTime::ZERO;
+    while let Some((t, event)) = events.pop() {
+        end = t;
+        match event {
+            Event::Arrival(i) => sched.on_arrival(i, t, &mut events),
+            Event::Start(jid) => sched.on_start(jid, t, &mut events),
+            Event::Finish(jid, v) => sched.on_finish(jid, v, t, &mut events),
+            Event::Retention(idx, token) => sched.on_retention(idx, token, t),
+            Event::SpotTermination(idx) => sched.on_spot_termination(idx, t, &mut events),
+            Event::Tick => {
+                sched.on_tick(t, &mut events);
+                if t < last_arrival || sched.pending_jobs() > 0 {
+                    events.schedule(t + config.monitor_interval, Event::Tick);
+                }
+            }
+        }
+    }
+    sched.into_result(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use hcloud_workloads::{ScenarioConfig, ScenarioKind};
+
+    /// A small scenario that runs in well under a second.
+    fn small_scenario(kind: ScenarioKind) -> Scenario {
+        Scenario::generate(ScenarioConfig::scaled(kind, 0.08, 20), &RngFactory::new(7))
+    }
+
+    fn run(strategy: StrategyKind, kind: ScenarioKind) -> RunResult {
+        let scenario = small_scenario(kind);
+        let config = RunConfig::new(strategy);
+        run_scenario(&scenario, &config, &RngFactory::new(7))
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_strategy() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        for strategy in StrategyKind::ALL {
+            let config = RunConfig::new(strategy);
+            let result = run_scenario(&scenario, &config, &RngFactory::new(7));
+            assert_eq!(
+                result.outcomes.len(),
+                scenario.jobs().len(),
+                "{strategy}: some jobs never finished"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(StrategyKind::HybridMixed, ScenarioKind::HighVariability);
+        let b = run(StrategyKind::HybridMixed, ScenarioKind::HighVariability);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        let perf_a: Vec<f64> = a.outcomes.iter().map(|o| o.normalized_perf).collect();
+        let perf_b: Vec<f64> = b.outcomes.iter().map(|o| o.normalized_perf).collect();
+        assert_eq!(perf_a, perf_b);
+    }
+
+    #[test]
+    fn sr_uses_no_on_demand() {
+        let r = run(StrategyKind::StaticReserved, ScenarioKind::Static);
+        assert_eq!(r.counters.od_acquired, 0);
+        assert!(r.usage_records.iter().all(|u| u.reserved));
+        assert!(r.outcomes.iter().all(|o| o.on_reserved));
+    }
+
+    #[test]
+    fn on_demand_strategies_use_no_reserved() {
+        for s in [StrategyKind::OnDemandFull, StrategyKind::OnDemandMixed] {
+            let r = run(s, ScenarioKind::Static);
+            assert_eq!(r.reserved_cores, 0, "{s}");
+            assert!(r.counters.od_acquired > 0, "{s}");
+            assert!(r.outcomes.iter().all(|o| !o.on_reserved), "{s}");
+        }
+    }
+
+    #[test]
+    fn odm_uses_smaller_instances_than_odf() {
+        let f = run(StrategyKind::OnDemandFull, ScenarioKind::Static);
+        let m = run(StrategyKind::OnDemandMixed, ScenarioKind::Static);
+        let mean_vcpus = |r: &RunResult| {
+            let od: Vec<u32> = r
+                .usage_records
+                .iter()
+                .filter(|u| !u.reserved)
+                .map(|u| u.itype.vcpus())
+                .collect();
+            od.iter().sum::<u32>() as f64 / od.len() as f64
+        };
+        assert!(mean_vcpus(&m) < mean_vcpus(&f));
+    }
+
+    #[test]
+    fn hybrids_use_both_kinds() {
+        let r = run(StrategyKind::HybridMixed, ScenarioKind::HighVariability);
+        assert!(r.reserved_cores > 0);
+        assert!(r.counters.od_acquired > 0);
+        let on_res = r.outcomes.iter().filter(|o| o.on_reserved).count();
+        assert!(on_res > 0 && on_res < r.outcomes.len());
+    }
+
+    #[test]
+    fn sr_outperforms_odm() {
+        let sr = run(StrategyKind::StaticReserved, ScenarioKind::HighVariability);
+        let odm = run(StrategyKind::OnDemandMixed, ScenarioKind::HighVariability);
+        assert!(
+            sr.mean_normalized_perf() > odm.mean_normalized_perf(),
+            "SR {} should beat OdM {}",
+            sr.mean_normalized_perf(),
+            odm.mean_normalized_perf()
+        );
+    }
+
+    #[test]
+    fn profiling_info_helps_hybrids() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        let with = run_scenario(
+            &scenario,
+            &RunConfig::new(StrategyKind::HybridMixed),
+            &RngFactory::new(7),
+        );
+        let without = run_scenario(
+            &scenario,
+            &RunConfig::new(StrategyKind::HybridMixed).without_profiling(),
+            &RngFactory::new(7),
+        );
+        assert!(
+            with.mean_normalized_perf() > without.mean_normalized_perf(),
+            "with {} vs without {}",
+            with.mean_normalized_perf(),
+            without.mean_normalized_perf()
+        );
+    }
+
+    #[test]
+    fn makespan_covers_all_outcomes() {
+        let r = run(StrategyKind::OnDemandMixed, ScenarioKind::LowVariability);
+        for o in &r.outcomes {
+            assert!(o.finished <= r.makespan);
+            assert!(o.started >= o.arrival);
+            assert!((0.0..=1.0).contains(&o.normalized_perf));
+        }
+    }
+
+    #[test]
+    fn reserved_busy_never_exceeds_capacity() {
+        let r = run(StrategyKind::StaticReserved, ScenarioKind::Static);
+        for &(_, v) in r.reserved_busy.points() {
+            assert!(v >= -1e-9, "negative busy cores {v}");
+            assert!(
+                v <= r.reserved_cores as f64 + 1e-9,
+                "busy {v} exceeds capacity {}",
+                r.reserved_cores
+            );
+        }
+    }
+}

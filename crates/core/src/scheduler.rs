@@ -1,0 +1,1594 @@
+//! Job placement, packing, retention, queueing and QoS monitoring.
+//!
+//! The [`Scheduler`] owns all mutable state of a scenario run: the cloud
+//! instances it holds, the jobs running on them, the reserved queue, the
+//! quality monitor, the dynamic limits and the queueing-time estimator.
+//! The [`crate::runner`] drives it with discrete events.
+//!
+//! Placement follows Section 3.3:
+//!
+//! * with profiling info, jobs are sized from Quasar estimates and placed
+//!   on the candidate instance that minimizes predicted interference
+//!   (greedy search);
+//! * without profiling info, jobs are sized by error-prone user
+//!   reservations and placed least-loaded, interference-oblivious.
+//!
+//! On-demand instances are retained idle for `retention_mult ×` their
+//! spin-up overhead, but only if they delivered predictably high quality;
+//! poorly-performing instances are released immediately (Section 3.2).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hcloud_cloud::{Cloud, Family, InstanceId, InstanceType};
+use hcloud_interference::{Resource, ResourceVector};
+use hcloud_quasar::{JobEstimate, ProfilingEnvironment, QuasarEngine};
+use hcloud_sim::event::EventQueue;
+use hcloud_sim::rng::{RngFactory, SimRng};
+use hcloud_sim::series::StepSeries;
+use hcloud_sim::{SimDuration, SimTime};
+use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario};
+
+use crate::config::RunConfig;
+use crate::dynamic::DynamicLimits;
+use crate::mapping::{MappingContext, Placement};
+use crate::monitor::QualityMonitor;
+use crate::queue_estimator::QueueEstimator;
+use crate::result::{
+    JobOutcome, PlacementDecision, PlacementReason, RunCounters, RunResult, UtilizationSample,
+    WaitSample,
+};
+use crate::strategy::StrategyKind;
+
+/// Discrete events driving the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Job `scenario.jobs()[idx]` arrives.
+    Arrival(usize),
+    /// A job begins executing on its assigned instance.
+    Start(JobId),
+    /// A job's projected finish; `u64` is the projection version (stale
+    /// versions are ignored).
+    Finish(JobId, u64),
+    /// Periodic monitor tick.
+    Tick,
+    /// Retention timeout for instance `usize` with token `u64`.
+    Retention(usize, u64),
+    /// The spot market outbids instance `usize`: it is terminated and its
+    /// jobs must be evacuated.
+    SpotTermination(usize),
+}
+
+/// One instance as the scheduler sees it.
+#[derive(Debug, Clone)]
+struct SchedInstance {
+    cloud_id: InstanceId,
+    itype: InstanceType,
+    reserved: bool,
+    spot: bool,
+    ready_at: SimTime,
+    used_cores: u32,
+    jobs: Vec<JobId>,
+    idle_since: Option<SimTime>,
+    released: bool,
+    retention_token: u64,
+}
+
+impl SchedInstance {
+    fn free_cores(&self) -> u32 {
+        self.itype.vcpus().saturating_sub(self.used_cores)
+    }
+}
+
+/// A job currently assigned to an instance.
+#[derive(Debug, Clone)]
+struct RunningJob {
+    spec_idx: usize,
+    instance: usize,
+    cores: u32,
+    started: bool,
+    start_at: SimTime,
+    queue_delay: SimDuration,
+    // Batch progress state.
+    remaining_work: f64,
+    last_progress: SimTime,
+    finish_version: u64,
+    // Latency-critical accumulators.
+    lat_weighted_sum: f64,
+    lat_weight: f64,
+    isolation_p99: f64,
+    qos_bad_ticks: u32,
+    rescheduled: bool,
+}
+
+/// The outcome of a pool placement search: an instance that satisfies the
+/// job's QoS headroom, and the least-bad alternative when none does.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolCandidate {
+    acceptable: Option<usize>,
+    fallback: Option<usize>,
+}
+
+/// A job waiting for reserved capacity.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    spec_idx: usize,
+    cores: u32,
+    est_quality: f64,
+    est_sensitivity: ResourceVector,
+    enqueued: SimTime,
+    estimated_wait: Option<SimDuration>,
+}
+
+/// The scheduler state for one scenario run.
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    scenario: &'a Scenario,
+    config: &'a RunConfig,
+    cloud: Cloud,
+    quasar: Option<QuasarEngine>,
+    profiled_classes: Vec<AppClass>,
+    monitor: QualityMonitor,
+    limits: DynamicLimits,
+    queue_est: QueueEstimator,
+    mapping_rng: SimRng,
+    latency_model: LatencyModel,
+
+    instances: Vec<SchedInstance>,
+    reserved_total: u32,
+    queue: VecDeque<QueuedJob>,
+    running: BTreeMap<JobId, RunningJob>,
+
+    outcomes: Vec<JobOutcome>,
+    od_allocated: StepSeries,
+    reserved_busy: StepSeries,
+    wait_samples: Vec<WaitSample>,
+    utilization_samples: Vec<UtilizationSample>,
+    counters: RunCounters,
+    decisions: Vec<PlacementDecision>,
+    last_finish: SimTime,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Builds the scheduler: provisions reserved capacity and seeds the
+    /// classification engine.
+    pub fn new(scenario: &'a Scenario, config: &'a RunConfig, factory: &RngFactory) -> Self {
+        let mut cloud = Cloud::new(config.cloud.clone(), factory.child("cloud"));
+        let reserved_cores = config.reserved_cores(scenario);
+        let reserved_servers =
+            (reserved_cores as f64 / InstanceType::full_server().vcpus() as f64).ceil() as usize;
+        let reserved_ids = cloud.provision_reserved(reserved_servers, SimTime::ZERO);
+        let instances: Vec<SchedInstance> = reserved_ids
+            .iter()
+            .map(|&id| SchedInstance {
+                cloud_id: id,
+                itype: InstanceType::full_server(),
+                reserved: true,
+                spot: false,
+                ready_at: SimTime::ZERO,
+                used_cores: 0,
+                jobs: Vec::new(),
+                idle_since: Some(SimTime::ZERO),
+                released: false,
+                retention_token: 0,
+            })
+            .collect();
+        let quasar = config
+            .profiling
+            .then(|| QuasarEngine::new(config.quasar.clone(), &factory.child("quasar")));
+        Scheduler {
+            scenario,
+            config,
+            cloud,
+            quasar,
+            profiled_classes: Vec::new(),
+            monitor: QualityMonitor::default(),
+            limits: match config.dynamic_limits {
+                Some((soft, hard)) => DynamicLimits::new(soft, hard),
+                None => DynamicLimits::default(),
+            },
+            queue_est: QueueEstimator::default(),
+            mapping_rng: factory.stream("scheduler.mapping"),
+            latency_model: scenario.config().latency_model,
+            instances,
+            reserved_total: (reserved_servers as u32) * InstanceType::full_server().vcpus(),
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            outcomes: Vec::new(),
+            od_allocated: StepSeries::new(0.0),
+            reserved_busy: StepSeries::new(0.0),
+            wait_samples: Vec::new(),
+            utilization_samples: Vec::new(),
+            counters: RunCounters::default(),
+            decisions: Vec::new(),
+            last_finish: SimTime::ZERO,
+        }
+    }
+
+    /// Reserved cores provisioned.
+    pub fn reserved_cores(&self) -> u32 {
+        self.reserved_total
+    }
+
+    /// Jobs still running or queued.
+    pub fn pending_jobs(&self) -> usize {
+        self.running.len() + self.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Estimation
+    // ------------------------------------------------------------------
+
+    /// Estimates a job's needs: Quasar when profiling info is on,
+    /// user-reservation defaults otherwise.
+    fn estimate(&mut self, spec: &JobSpec) -> JobEstimate {
+        match self.quasar.as_mut() {
+            Some(engine) => {
+                if !self.profiled_classes.contains(&spec.class) {
+                    self.profiled_classes.push(spec.class);
+                    self.counters.profiled += 1;
+                }
+                self.counters.classified += 1;
+                // Profiling on small shared instances (the only kind OdM
+                // holds) yields noisier signals.
+                let env = if self.config.strategy == StrategyKind::OnDemandMixed {
+                    ProfilingEnvironment::noisy()
+                } else {
+                    ProfilingEnvironment::clean()
+                };
+                let mut est = engine.estimate(spec, &env);
+                est.cores = est.cores.clamp(1, 16);
+                est
+            }
+            None => JobEstimate {
+                sensitivity: ResourceVector::ZERO,
+                quality: 0.0,
+                cores: spec.user_sized_cores().clamp(1, 16),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrival & placement
+    // ------------------------------------------------------------------
+
+    /// Handles a job arrival.
+    pub fn on_arrival(&mut self, idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
+        let spec = &self.scenario.jobs()[idx];
+        let class = spec.class;
+        let est = self.estimate(&self.scenario.jobs()[idx]);
+        let mut placement = self.decide_placement(idx, &est, now);
+        let mut data_override = false;
+        // Data-aware mitigation: when the transfer would dominate the
+        // job, prefer the side where the data lives (if the policy's
+        // choice disagrees and the job can run there).
+        if let Some(data) = self.config.data {
+            if data.data_aware_placement && self.config.strategy.is_hybrid() {
+                let spec = &self.scenario.jobs()[idx];
+                let transfer = data.transfer_delay(spec.dataset_gb());
+                let heavy = transfer.as_secs_f64() > 0.25 * spec.ideal_duration().as_secs_f64();
+                if heavy {
+                    let private = data.data_in_private(spec.id.0);
+                    let before = placement;
+                    placement = match (placement, private) {
+                        // Data in the private facility: pull back to
+                        // reserved while below the hard limit.
+                        (Placement::OnDemand, true)
+                            if self.reserved_utilization() < self.limits.hard() =>
+                        {
+                            Placement::Reserved
+                        }
+                        // Data in the cloud: don't drag it into the
+                        // private facility for a tolerant job.
+                        (Placement::Reserved, false) if est.quality < 0.8 => Placement::OnDemand,
+                        (p, _) => p,
+                    };
+                    data_override = placement != before;
+                }
+            }
+        }
+        if self.config.record_decisions {
+            let spot = placement == Placement::OnDemand
+                && self.spot_eligible(&self.scenario.jobs()[idx], &est);
+            let util = self.reserved_utilization();
+            let reason = if data_override {
+                PlacementReason::DataLocality
+            } else if spot {
+                PlacementReason::Spot
+            } else if self.config.strategy.is_hybrid()
+                && self.config.policy == crate::mapping::MappingPolicy::Dynamic
+            {
+                match placement {
+                    Placement::Reserved if util < self.limits.soft() => {
+                        PlacementReason::BelowSoftLimit
+                    }
+                    Placement::Reserved => PlacementReason::QualityNeedsReserved,
+                    Placement::OnDemand => PlacementReason::OnDemandGoodEnough,
+                    Placement::Queue => PlacementReason::QueuedAtHardLimit,
+                    Placement::OnDemandLarge => PlacementReason::EscapedToLargeOnDemand,
+                }
+            } else {
+                PlacementReason::FixedByStrategy
+            };
+            self.decisions.push(PlacementDecision {
+                job: self.scenario.jobs()[idx].id,
+                at: now,
+                estimated_quality: est.quality,
+                reserved_utilization: util,
+                reason,
+            });
+        }
+        match placement {
+            Placement::Reserved => {
+                if !self.try_place_reserved(idx, &est, now, SimDuration::ZERO, events) {
+                    self.enqueue(idx, &est, now);
+                }
+            }
+            Placement::OnDemand => {
+                if self.config.strategy.on_demand_full_only()
+                    || self.config.strategy == StrategyKind::StaticReserved
+                {
+                    self.place_od_pool(idx, &est, now, events);
+                } else {
+                    self.place_od_dedicated(idx, &est, class, now, events);
+                }
+            }
+            Placement::OnDemandLarge => {
+                self.place_od_pool(idx, &est, now, events);
+            }
+            Placement::Queue => {
+                self.enqueue(idx, &est, now);
+            }
+        }
+    }
+
+    /// Decides between reserved and on-demand for this strategy.
+    fn decide_placement(&mut self, idx: usize, est: &JobEstimate, _now: SimTime) -> Placement {
+        match self.config.strategy {
+            StrategyKind::StaticReserved => Placement::Reserved,
+            StrategyKind::OnDemandFull | StrategyKind::OnDemandMixed => Placement::OnDemand,
+            StrategyKind::HybridFull | StrategyKind::HybridMixed => {
+                let spec = &self.scenario.jobs()[idx];
+                let od_itype = if self.config.strategy.on_demand_full_only() {
+                    InstanceType::full_server()
+                } else {
+                    self.dedicated_itype(est, spec.class)
+                };
+                let ctx = MappingContext {
+                    reserved_utilization: self.reserved_utilization(),
+                    job_quality: est.quality,
+                    od_itype,
+                    job_cores: est.cores,
+                    queue_len: self.queue.len(),
+                    expected_spinup_large: self
+                        .config
+                        .cloud
+                        .spin_up
+                        .expected(InstanceType::full_server()),
+                    monitor: &self.monitor,
+                    limits: &self.limits,
+                    queue_estimator: &self.queue_est,
+                };
+                self.config.policy.decide(&ctx, &mut self.mapping_rng)
+            }
+        }
+    }
+
+    /// Current reserved-pool utilization.
+    pub fn reserved_utilization(&self) -> f64 {
+        if self.reserved_total == 0 {
+            return 1.0;
+        }
+        self.reserved_busy.last_value() / self.reserved_total as f64
+    }
+
+    /// Attempts to place a job on the reserved pool. Returns `false` when
+    /// no reserved instance has enough free cores.
+    fn try_place_reserved(
+        &mut self,
+        idx: usize,
+        est: &JobEstimate,
+        now: SimTime,
+        queue_delay: SimDuration,
+        events: &mut EventQueue<Event>,
+    ) -> bool {
+        let cores = est.cores;
+        let candidate = self.best_pool_instance(true, cores, &est.sensitivity, est.quality, now);
+        match candidate.acceptable.or(candidate.fallback) {
+            Some(inst_idx) => {
+                self.assign(idx, est, inst_idx, now, queue_delay, events);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The greedy search of Section 3.3 over a pool of full-server
+    /// instances (reserved pool or on-demand pool).
+    ///
+    /// With profiling info the search is QoS-aware and consolidating:
+    /// among instances whose predicted interference still satisfies the
+    /// job (more-sensitive jobs accept less), pick the most loaded — so
+    /// load dips leave whole instances idle and releasable. If no
+    /// instance is acceptable, fall back to the least-interfering one.
+    /// Without profiling info, placement is least-loaded and oblivious.
+    fn best_pool_instance(
+        &self,
+        reserved: bool,
+        cores: u32,
+        sensitivity: &ResourceVector,
+        quality: f64,
+        now: SimTime,
+    ) -> PoolCandidate {
+        let mut acceptable: Option<(usize, u32)> = None; // most loaded
+        let mut fallback: Option<(usize, f64)> = None; // min slowdown
+        let mut least_loaded: Option<(usize, u32)> = None;
+        // A sensitive job (high Q) tolerates little predicted slowdown; a
+        // tolerant one accepts more.
+        let headroom = 1.0 + 0.6 * (1.0 - quality).max(0.08);
+        for (i, inst) in self.instances.iter().enumerate() {
+            if inst.reserved != reserved
+                || inst.released
+                || inst.spot
+                || !inst.itype.is_full_server()
+                || inst.free_cores() < cores
+            {
+                continue;
+            }
+            // On-demand pool instances keep ~2 cores of headroom to absorb
+            // unpredictability (the overprovisioning the paper attributes
+            // to OdF/HF "only requesting the largest instances").
+            if !reserved && inst.used_cores + cores > inst.itype.vcpus().saturating_sub(2) {
+                continue;
+            }
+            if !self.config.profiling {
+                if least_loaded.is_none_or(|(_, u)| inst.used_cores < u) {
+                    least_loaded = Some((i, inst.used_cores));
+                }
+                continue;
+            }
+            let mut pressure = self.internal_pressure(i, None);
+            if !reserved {
+                pressure = pressure.add(&self.cloud.external_pressure(inst.cloud_id, now));
+            }
+            let slowdown = self.cloud.slowdown_model().slowdown(sensitivity, &pressure);
+            if slowdown <= headroom {
+                if acceptable.is_none_or(|(_, u)| inst.used_cores > u) {
+                    acceptable = Some((i, inst.used_cores));
+                }
+            } else if fallback.is_none_or(|(_, s)| slowdown < s) {
+                fallback = Some((i, slowdown));
+            }
+        }
+        if !self.config.profiling {
+            return PoolCandidate {
+                acceptable: least_loaded.map(|(i, _)| i),
+                fallback: None,
+            };
+        }
+        PoolCandidate {
+            acceptable: acceptable.map(|(i, _)| i),
+            fallback: fallback.map(|(i, _)| i),
+        }
+    }
+
+    /// Places a job on the on-demand full-server pool, packing onto an
+    /// existing instance when possible.
+    fn place_od_pool(
+        &mut self,
+        idx: usize,
+        est: &JobEstimate,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) {
+        let cores = est.cores;
+        // Pack onto an acceptable existing pool instance; acquire a fresh
+        // one rather than degrade the job on an unacceptable instance.
+        let candidate = self.best_pool_instance(false, cores, &est.sensitivity, est.quality, now);
+        let inst_idx = match candidate.acceptable {
+            Some(i) => i,
+            None => self.acquire(InstanceType::full_server(), now),
+        };
+        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, events);
+    }
+
+    /// The instance type a mixed-size strategy requests for this job:
+    /// smallest fitting size, family matched to the dominant estimated
+    /// sensitivity (Section 3.3: "standard, compute- or memory-optimized").
+    fn dedicated_itype(&self, est: &JobEstimate, _class: AppClass) -> InstanceType {
+        let size = InstanceType::smallest_fitting(est.cores).unwrap_or(16);
+        if !self.config.profiling {
+            return InstanceType::new(Family::Standard, size);
+        }
+        let s = &est.sensitivity;
+        let mem = s
+            .get(Resource::MemCapacity)
+            .max(s.get(Resource::MemBandwidth));
+        let cpu = s.get(Resource::Cpu);
+        let family = if mem > 0.6 && mem > cpu {
+            Family::MemoryOptimized
+        } else if cpu > 0.6 && cpu > mem {
+            Family::ComputeOptimized
+        } else {
+            Family::Standard
+        };
+        InstanceType::new(family, size)
+    }
+
+    /// Places a job on a per-job-sized on-demand instance, reusing an
+    /// idle retained instance of the same type when one exists.
+    fn place_od_dedicated(
+        &mut self,
+        idx: usize,
+        est: &JobEstimate,
+        class: AppClass,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) {
+        let itype = self.dedicated_itype(est, class);
+        let spot_ok = self.spot_eligible(&self.scenario.jobs()[idx], est);
+        // Hybrids: free cores on an already-held full-server on-demand
+        // instance (e.g. one acquired by the hard-limit escape hatch) are
+        // paid for whether used or not, and deliver full-server quality;
+        // fill them first. OdM has no such pool — the paper's OdM
+        // requests the smallest instance per job.
+        if self.config.strategy.is_hybrid() {
+            let pool =
+                self.best_pool_instance(false, est.cores, &est.sensitivity, est.quality, now);
+            if let Some(i) = pool.acceptable {
+                self.assign(idx, est, i, now, SimDuration::ZERO, events);
+                return;
+            }
+        }
+        // Reuse an idle retained instance of the same family whose size
+        // fits without gross waste (up to 2× the requested size), smallest
+        // first — but only if it currently delivers the quality the job
+        // needs (Section 3.3: match "the resource capabilities of
+        // instances to the interference requirements of a job").
+        let min_quality = est.quality * 0.9;
+        let margin = SimDuration::from_mins(2);
+        let reuse = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| {
+                !inst.reserved
+                    && !inst.released
+                    && inst.jobs.is_empty()
+                    && inst.ready_at <= now
+                    && inst.itype.family() == itype.family()
+                    && inst.itype.vcpus() >= itype.vcpus()
+                    && inst.itype.vcpus() <= itype.vcpus() * 2
+                    // Spot instances only host spot-tolerant jobs, and
+                    // only while the market is not about to reclaim them.
+                    && (!inst.spot
+                        || (spot_ok
+                            && self
+                                .cloud
+                                .instance(inst.cloud_id)
+                                .terminates_at()
+                                .is_none_or(|t| t > now + margin)))
+                    && (!self.config.profiling
+                        || self.cloud.delivered_quality(inst.cloud_id, now) >= min_quality)
+            })
+            .min_by_key(|(_, inst)| inst.itype.vcpus())
+            .map(|(i, _)| i);
+        let inst_idx = match reuse {
+            Some(i) => i,
+            None if spot_ok => {
+                let bid = self
+                    .config
+                    .spot
+                    .expect("spot_eligible checked")
+                    .bid_multiplier;
+                self.acquire_spot(itype, bid, now, events)
+            }
+            None => self.acquire(itype, now),
+        };
+        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, events);
+    }
+
+    /// Acquires a fresh on-demand instance.
+    fn acquire(&mut self, itype: InstanceType, now: SimTime) -> usize {
+        let id = self.cloud.acquire(itype, now);
+        let ready_at = self.cloud.instance(id).ready_at();
+        self.counters.od_acquired += 1;
+        self.od_allocated.record_delta(now, itype.vcpus() as f64);
+        self.instances.push(SchedInstance {
+            cloud_id: id,
+            itype,
+            reserved: false,
+            spot: false,
+            ready_at,
+            used_cores: 0,
+            jobs: Vec::new(),
+            idle_since: None,
+            released: false,
+            retention_token: 0,
+        });
+        self.instances.len() - 1
+    }
+
+    /// Acquires a fresh spot instance and schedules its market
+    /// termination (if the price path outbids it within the horizon).
+    fn acquire_spot(
+        &mut self,
+        itype: InstanceType,
+        bid: f64,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) -> usize {
+        let id = self.cloud.acquire_spot(itype, bid, now);
+        let inst = self.cloud.instance(id);
+        let ready_at = inst.ready_at();
+        let terminates_at = inst.terminates_at();
+        self.counters.spot_acquired += 1;
+        self.od_allocated.record_delta(now, itype.vcpus() as f64);
+        self.instances.push(SchedInstance {
+            cloud_id: id,
+            itype,
+            reserved: false,
+            spot: true,
+            ready_at,
+            used_cores: 0,
+            jobs: Vec::new(),
+            idle_since: None,
+            released: false,
+            retention_token: 0,
+        });
+        let idx = self.instances.len() - 1;
+        if let Some(t) = terminates_at {
+            events.schedule(t.max(now), Event::SpotTermination(idx));
+        }
+        idx
+    }
+
+    /// Whether a job is eligible for spot capacity under the configured
+    /// policy: a tolerant, non-latency-critical batch job.
+    fn spot_eligible(&self, spec: &JobSpec, est: &JobEstimate) -> bool {
+        match self.config.spot {
+            Some(policy) => {
+                self.config.strategy.is_hybrid()
+                    && self.config.profiling
+                    && !spec.class.is_latency_metric()
+                    && !spec.class.is_sensitive()
+                    && est.quality <= policy.max_quality
+            }
+            None => false,
+        }
+    }
+
+    /// The spot market outbid an instance: release it and evacuate its
+    /// jobs onto regular on-demand capacity (progress since the last
+    /// monitor tick is lost — the checkpointing granularity).
+    pub fn on_spot_termination(
+        &mut self,
+        inst_idx: usize,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) {
+        if self.instances[inst_idx].released {
+            return;
+        }
+        let victims: Vec<JobId> = self.instances[inst_idx].jobs.clone();
+        for jid in &victims {
+            let Some(job) = self.running.get(jid) else {
+                continue;
+            };
+            self.counters.spot_terminations += 1;
+            let cores = job.cores;
+            let spec_idx = job.spec_idx;
+            // Free the dying instance's bookkeeping.
+            let inst = &mut self.instances[inst_idx];
+            inst.used_cores = inst.used_cores.saturating_sub(cores);
+            inst.jobs.retain(|j| j != jid);
+            // Re-place on regular on-demand capacity with the same shape.
+            let spec = &self.scenario.jobs()[spec_idx];
+            let est = JobEstimate {
+                sensitivity: spec.sensitivity,
+                quality: 0.0,
+                cores,
+            };
+            let itype = self.dedicated_itype(&est, spec.class);
+            let new_idx = self.acquire(itype, now);
+            let inst = &mut self.instances[new_idx];
+            inst.used_cores += cores.min(inst.itype.vcpus());
+            inst.jobs.push(*jid);
+            inst.retention_token += 1;
+            let ready = inst.ready_at;
+            let job = self.running.get_mut(jid).expect("running");
+            job.instance = new_idx;
+            job.rescheduled = true;
+            if let JobKind::Batch { .. } = self.scenario.jobs()[job.spec_idx].kind {
+                // Re-project the finish once the replacement is up.
+                job.last_progress = ready.max(now);
+                job.finish_version += 1;
+                let eff = job
+                    .cores
+                    .min(self.scenario.jobs()[job.spec_idx].cores)
+                    .max(1) as f64;
+                let finish = ready.max(now) + SimDuration::from_secs_f64(job.remaining_work / eff);
+                events.schedule(finish, Event::Finish(*jid, job.finish_version));
+            } else {
+                job.last_progress = ready.max(now);
+            }
+        }
+        self.release_instance(inst_idx, now);
+    }
+
+    /// Binds a job to an instance and schedules its start.
+    fn assign(
+        &mut self,
+        spec_idx: usize,
+        est: &JobEstimate,
+        inst_idx: usize,
+        now: SimTime,
+        queue_delay: SimDuration,
+        events: &mut EventQueue<Event>,
+    ) {
+        let spec = &self.scenario.jobs()[spec_idx];
+        let cores = est.cores.min(self.instances[inst_idx].free_cores()).max(1);
+        let inst = &mut self.instances[inst_idx];
+        debug_assert!(inst.free_cores() >= cores, "overpacked instance");
+        inst.used_cores += cores;
+        inst.jobs.push(spec.id);
+        inst.idle_since = None;
+        inst.retention_token += 1;
+        let mut start_at = now.max(inst.ready_at);
+        let reserved_side = inst.reserved;
+        if inst.reserved {
+            self.reserved_busy.record_delta(now, cores as f64);
+        }
+        // Data-locality extension: running a job away from its dataset
+        // first copies it across the inter-cluster link.
+        if let Some(data) = self.config.data {
+            if data.data_in_private(spec.id.0) != reserved_side {
+                let gb = spec.dataset_gb();
+                start_at += data.transfer_delay(gb);
+                self.counters.data_transfers += 1;
+                self.counters.data_transferred_gb += gb;
+            }
+        }
+        let isolation_p99 = match spec.kind {
+            JobKind::LatencyCritical { offered_rps, .. } => self
+                .latency_model
+                .isolation_p99_us(offered_rps, spec.cores.max(1)),
+            JobKind::Batch { .. } => 0.0,
+        };
+        let remaining_work = match spec.kind {
+            JobKind::Batch { work_core_secs } => work_core_secs,
+            JobKind::LatencyCritical { .. } => 0.0,
+        };
+        self.running.insert(
+            spec.id,
+            RunningJob {
+                spec_idx,
+                instance: inst_idx,
+                cores,
+                started: false,
+                start_at,
+                queue_delay,
+                remaining_work,
+                last_progress: start_at,
+                finish_version: 0,
+                lat_weighted_sum: 0.0,
+                lat_weight: 0.0,
+                isolation_p99,
+                qos_bad_ticks: 0,
+                rescheduled: false,
+            },
+        );
+        events.schedule(start_at, Event::Start(spec.id));
+    }
+
+    /// Adds a job to the reserved queue.
+    fn enqueue(&mut self, spec_idx: usize, est: &JobEstimate, now: SimTime) {
+        self.counters.queued_jobs += 1;
+        let estimated_wait = self.queue_est.estimate_wait(est.cores, self.queue.len());
+        self.queue.push_back(QueuedJob {
+            spec_idx,
+            cores: est.cores,
+            est_quality: est.quality,
+            est_sensitivity: est.sensitivity,
+            enqueued: now,
+            estimated_wait,
+        });
+    }
+
+    /// Tries to place queued jobs after capacity freed up (FIFO with
+    /// skipping: a small job behind a large one may go first).
+    fn drain_queue(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let qj = self.queue[i].clone();
+            let est = JobEstimate {
+                sensitivity: qj.est_sensitivity,
+                quality: qj.est_quality,
+                cores: qj.cores,
+            };
+            let wait = now.saturating_since(qj.enqueued);
+            if self.try_place_reserved(qj.spec_idx, &est, now, wait, events) {
+                self.queue_est.record_wait(qj.cores, wait);
+                self.wait_samples.push(WaitSample {
+                    size: qj.cores,
+                    estimated: qj.estimated_wait,
+                    actual: wait,
+                });
+                self.queue.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Escape hatch for starving queued jobs (hybrids only): after waiting
+    /// far beyond the expected spin-up, reroute to a large on-demand
+    /// instance.
+    fn relieve_starving_queue(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+        if !self.config.strategy.is_hybrid() {
+            return;
+        }
+        let spinup = self
+            .config
+            .cloud
+            .spin_up
+            .expected(InstanceType::full_server());
+        let deadline = spinup.mul_f64(4.0).max(SimDuration::from_secs(60));
+        let mut i = 0;
+        while i < self.queue.len() {
+            if now.saturating_since(self.queue[i].enqueued) > deadline {
+                let qj = self.queue.remove(i).expect("index in bounds");
+                let est = JobEstimate {
+                    sensitivity: qj.est_sensitivity,
+                    quality: qj.est_quality,
+                    cores: qj.cores,
+                };
+                self.wait_samples.push(WaitSample {
+                    size: qj.cores,
+                    estimated: qj.estimated_wait,
+                    actual: now.saturating_since(qj.enqueued),
+                });
+                self.place_od_pool(qj.spec_idx, &est, now, events);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interference
+    // ------------------------------------------------------------------
+
+    /// Aggregate pressure on instance `inst_idx` from co-scheduled jobs
+    /// (true sensitivities, scaled by their core share), excluding
+    /// `exclude`.
+    fn internal_pressure(&self, inst_idx: usize, exclude: Option<JobId>) -> ResourceVector {
+        let inst = &self.instances[inst_idx];
+        let server = InstanceType::full_server().vcpus() as f64;
+        let mut total = ResourceVector::ZERO;
+        for &jid in &inst.jobs {
+            if Some(jid) == exclude {
+                continue;
+            }
+            let Some(job) = self.running.get(&jid) else {
+                continue;
+            };
+            if !job.started {
+                continue;
+            }
+            let spec = &self.scenario.jobs()[job.spec_idx];
+            total = total.add(&spec.sensitivity.scale(job.cores as f64 / server));
+        }
+        total.scale(self.config.internal_pressure_scale)
+    }
+
+    /// The total pressure a job experiences right now: external tenants
+    /// plus co-scheduled jobs.
+    fn pressure_on(&self, jid: JobId, now: SimTime) -> ResourceVector {
+        let job = &self.running[&jid];
+        let inst = &self.instances[job.instance];
+        let external = self.cloud.external_pressure(inst.cloud_id, now);
+        external.add(&self.internal_pressure(job.instance, Some(jid)))
+    }
+
+    /// The multiplicative slowdown `jid` currently suffers.
+    pub fn current_slowdown(&self, jid: JobId, now: SimTime) -> f64 {
+        let job = &self.running[&jid];
+        let spec = &self.scenario.jobs()[job.spec_idx];
+        let pressure = self.pressure_on(jid, now);
+        self.cloud
+            .slowdown_model()
+            .slowdown(&spec.sensitivity, &pressure)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution events
+    // ------------------------------------------------------------------
+
+    /// A job starts executing.
+    pub fn on_start(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
+        let Some(job) = self.running.get_mut(&jid) else {
+            return;
+        };
+        if job.started {
+            return;
+        }
+        job.started = true;
+        job.last_progress = now;
+        let spec = &self.scenario.jobs()[job.spec_idx];
+        match spec.kind {
+            JobKind::Batch { .. } => {
+                let job = &self.running[&jid];
+                let slowdown = self.current_slowdown(jid, now);
+                let eff = job.cores.min(spec.cores).max(1) as f64;
+                let finish = now + SimDuration::from_secs_f64(job.remaining_work * slowdown / eff);
+                let v = {
+                    let job = self.running.get_mut(&jid).expect("running");
+                    job.finish_version += 1;
+                    job.finish_version
+                };
+                events.schedule(finish, Event::Finish(jid, v));
+            }
+            JobKind::LatencyCritical { lifetime, .. } => {
+                // Requests issued while the service waited for spin-up or
+                // in the queue saw effectively unbounded latency; charge
+                // the wait at saturation level so delayed starts hurt the
+                // latency metric the way they do in the paper.
+                let wait = now.saturating_since(spec.arrival).as_secs_f64();
+                let saturated = self.latency_model.saturated_p99_us();
+                let v = {
+                    let job = self.running.get_mut(&jid).expect("running");
+                    job.lat_weighted_sum += saturated * wait;
+                    job.lat_weight += wait;
+                    job.finish_version += 1;
+                    job.finish_version
+                };
+                events.schedule(now + lifetime, Event::Finish(jid, v));
+            }
+        }
+    }
+
+    /// A job's projected finish fires.
+    pub fn on_finish(
+        &mut self,
+        jid: JobId,
+        version: u64,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) {
+        let Some(job) = self.running.get(&jid) else {
+            return; // already finished
+        };
+        if job.finish_version != version || !job.started {
+            return; // stale projection
+        }
+        let job = self.running.remove(&jid).expect("running");
+        let spec = &self.scenario.jobs()[job.spec_idx];
+        let inst_idx = job.instance;
+
+        // Record the outcome.
+        let arrival = spec.arrival;
+        let (completion, p99, isolation, normalized) = match spec.kind {
+            JobKind::Batch { .. } => {
+                let completion = now.saturating_since(arrival);
+                let ideal = spec.ideal_duration().as_secs_f64().max(1e-9);
+                let norm = (ideal / completion.as_secs_f64().max(1e-9)).min(1.0);
+                (Some(completion), None, None, norm)
+            }
+            JobKind::LatencyCritical { offered_rps, .. } => {
+                let p99 = if job.lat_weight > 0.0 {
+                    job.lat_weighted_sum / job.lat_weight
+                } else {
+                    // Finished before any tick: sample once now.
+                    let slowdown = {
+                        let pressure = {
+                            let inst = &self.instances[inst_idx];
+                            let external = self.cloud.external_pressure(inst.cloud_id, now);
+                            external.add(&self.internal_pressure(inst_idx, Some(jid)))
+                        };
+                        self.cloud
+                            .slowdown_model()
+                            .slowdown(&spec.sensitivity, &pressure)
+                    };
+                    self.latency_model
+                        .p99_latency_us(offered_rps, job.cores, slowdown)
+                };
+                let norm = (job.isolation_p99 / p99.max(1e-9)).min(1.0);
+                (None, Some(p99), Some(job.isolation_p99), norm)
+            }
+        };
+        self.outcomes.push(JobOutcome {
+            id: spec.id,
+            class: spec.class,
+            arrival,
+            started: job.start_at,
+            finished: now,
+            on_reserved: self.instances[inst_idx].reserved,
+            cores: job.cores,
+            completion,
+            p99_latency_us: p99,
+            isolation_p99_us: isolation,
+            normalized_perf: normalized,
+            queue_delay: job.queue_delay,
+            spinup_delay: self.instances[inst_idx]
+                .ready_at
+                .saturating_since(arrival)
+                .min(job.start_at.saturating_since(arrival)),
+            rescheduled: job.rescheduled,
+        });
+        self.last_finish = self.last_finish.max(now);
+
+        // Free the capacity.
+        let freed = job.cores;
+        let inst = &mut self.instances[inst_idx];
+        inst.used_cores = inst.used_cores.saturating_sub(freed);
+        inst.jobs.retain(|&j| j != jid);
+        let reserved = inst.reserved;
+        let now_idle = inst.jobs.is_empty();
+        if reserved {
+            self.reserved_busy.record_delta(now, -(freed as f64));
+            self.queue_est.record_release(freed, now);
+            self.drain_queue(now, events);
+        } else if now_idle {
+            self.handle_idle_od(inst_idx, now, events);
+        }
+    }
+
+    /// Decides what to do with a newly idle on-demand instance: release
+    /// immediately if its delivered quality is poor, otherwise retain for
+    /// `retention_mult ×` its spin-up overhead.
+    fn handle_idle_od(&mut self, inst_idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
+        let (cloud_id, spin_up) = {
+            let inst = &self.instances[inst_idx];
+            (
+                inst.cloud_id,
+                self.cloud.instance(inst.cloud_id).spin_up_overhead(),
+            )
+        };
+        let quality = self.cloud.delivered_quality(cloud_id, now);
+        let threshold = self.config.quality_retention_threshold;
+        // Without profiling there is no quality signal to act on, so
+        // everything is retained.
+        let release_now = self.config.profiling && quality < threshold;
+        if release_now {
+            // Poorly-performing instance: release immediately.
+            self.counters.od_released_immediately += 1;
+            self.release_instance(inst_idx, now);
+            return;
+        }
+        let retention = spin_up
+            .mul_f64(self.config.retention_mult)
+            .max(SimDuration::from_secs(1));
+        let inst = &mut self.instances[inst_idx];
+        inst.idle_since = Some(now);
+        inst.retention_token += 1;
+        let token = inst.retention_token;
+        events.schedule(now + retention, Event::Retention(inst_idx, token));
+    }
+
+    /// Retention timer fired: release the instance if it is still idle.
+    pub fn on_retention(&mut self, inst_idx: usize, token: u64, now: SimTime) {
+        let inst = &self.instances[inst_idx];
+        if inst.released || inst.retention_token != token || !inst.jobs.is_empty() {
+            return;
+        }
+        self.release_instance(inst_idx, now);
+    }
+
+    fn release_instance(&mut self, inst_idx: usize, now: SimTime) {
+        let inst = &mut self.instances[inst_idx];
+        debug_assert!(!inst.reserved, "reserved instances are never released");
+        if inst.released {
+            return;
+        }
+        inst.released = true;
+        let vcpus = inst.itype.vcpus() as f64;
+        let id = inst.cloud_id;
+        self.od_allocated.record_delta(now, -vcpus);
+        self.cloud.release(id, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Monitor tick
+    // ------------------------------------------------------------------
+
+    /// Periodic monitoring: quality sampling, progress re-projection,
+    /// QoS actions, feedback loops.
+    pub fn on_tick(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+        // 1. Sample delivered quality of active on-demand instances.
+        for inst in &self.instances {
+            if inst.reserved || inst.released || inst.ready_at > now {
+                continue;
+            }
+            let q = self.cloud.delivered_quality(inst.cloud_id, now);
+            self.monitor.record(inst.itype, q);
+        }
+
+        // 2. Update running jobs.
+        let jids: Vec<JobId> = self.running.keys().copied().collect();
+        for jid in jids {
+            self.update_job(jid, now, events);
+        }
+
+        // 3. Feedback loops.
+        self.limits.observe_queue(self.queue.len(), now);
+        self.relieve_starving_queue(now, events);
+        self.consolidate_od_pool(now, events);
+
+        // 4. Optional utilization heat-map samples.
+        if self.config.record_utilization {
+            for (i, inst) in self.instances.iter().enumerate() {
+                if inst.released || inst.ready_at > now {
+                    continue;
+                }
+                self.utilization_samples.push(UtilizationSample {
+                    instance_index: i,
+                    reserved: inst.reserved,
+                    time: now,
+                    utilization: inst.used_cores as f64 / inst.itype.vcpus() as f64,
+                });
+            }
+        }
+    }
+
+    /// Consolidates the hybrids' on-demand pool: when a full-server
+    /// on-demand instance is lightly used and another pool instance can
+    /// absorb its jobs, migrate them over so the drained instance can be
+    /// released after its retention window. Both instances are already
+    /// up, so migration pays no spin-up. At most one migration per tick
+    /// to avoid thrash. The pure on-demand baselines do not do this —
+    /// consolidation is part of HCloud's active management.
+    fn consolidate_od_pool(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+        if !self.config.strategy.is_hybrid() || !self.config.profiling {
+            return;
+        }
+        let pool: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| {
+                let inst = &self.instances[i];
+                !inst.reserved
+                    && !inst.released
+                    && inst.itype.is_full_server()
+                    && inst.ready_at <= now
+            })
+            .collect();
+        if pool.len() < 2 {
+            return;
+        }
+        // Source: the least-used instance with at most 4 busy cores.
+        let Some(&src) = pool
+            .iter()
+            .filter(|&&i| {
+                let u = self.instances[i].used_cores;
+                u > 0 && u <= 4
+            })
+            .min_by_key(|&&i| self.instances[i].used_cores)
+        else {
+            return;
+        };
+        let need = self.instances[src].used_cores;
+        // Destination: the fullest other instance that still fits the
+        // whole source load within the packing headroom.
+        let cap = InstanceType::full_server().vcpus().saturating_sub(2);
+        let Some(&dst) = pool
+            .iter()
+            .filter(|&&i| i != src && self.instances[i].used_cores + need <= cap)
+            .max_by_key(|&&i| self.instances[i].used_cores)
+        else {
+            return;
+        };
+        let moving: Vec<JobId> = self.instances[src].jobs.clone();
+        for jid in moving {
+            let Some(job) = self.running.get_mut(&jid) else {
+                continue;
+            };
+            let cores = job.cores;
+            job.instance = dst;
+            self.instances[src].used_cores -= cores;
+            self.instances[src].jobs.retain(|&j| j != jid);
+            self.instances[dst].used_cores += cores;
+            self.instances[dst].jobs.push(jid);
+        }
+        self.instances[dst].retention_token += 1;
+        if self.instances[src].jobs.is_empty() {
+            self.handle_idle_od(src, now, events);
+        }
+    }
+
+    /// Progress + QoS update for one job.
+    fn update_job(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
+        let Some(job) = self.running.get(&jid) else {
+            return;
+        };
+        if !job.started {
+            return;
+        }
+        let spec_idx = job.spec_idx;
+        let inst_idx = job.instance;
+        let cores = job.cores;
+        let spec = &self.scenario.jobs()[spec_idx];
+        let slowdown = self.current_slowdown(jid, now);
+
+        match spec.kind {
+            JobKind::Batch { .. } => {
+                let eff = cores.min(spec.cores).max(1) as f64;
+                let job = self.running.get_mut(&jid).expect("running");
+                let dt = now.saturating_since(job.last_progress).as_secs_f64();
+                job.remaining_work = (job.remaining_work - eff * dt / slowdown).max(0.0);
+                job.last_progress = now;
+                job.finish_version += 1;
+                let v = job.finish_version;
+                let finish = now + SimDuration::from_secs_f64(job.remaining_work * slowdown / eff);
+                events.schedule(finish, Event::Finish(jid, v));
+            }
+            JobKind::LatencyCritical { offered_rps, .. } => {
+                let rho = self.latency_model.utilization(offered_rps, cores, slowdown);
+                // Local QoS action: grow the allocation on the same
+                // server when the service nears saturation (Section 3.3).
+                if self.config.profiling && rho > 0.85 {
+                    let free = self.instances[inst_idx].free_cores();
+                    if free > 0 {
+                        let grow = free.min(cores);
+                        self.instances[inst_idx].used_cores += grow;
+                        if self.instances[inst_idx].reserved {
+                            self.reserved_busy.record_delta(now, grow as f64);
+                        }
+                        self.running.get_mut(&jid).expect("running").cores += grow;
+                    }
+                }
+                let job = self.running.get_mut(&jid).expect("running");
+                let dt = now.saturating_since(job.last_progress).as_secs_f64();
+                job.last_progress = now;
+                let p99 = self
+                    .latency_model
+                    .p99_latency_us(offered_rps, job.cores, slowdown);
+                job.lat_weighted_sum += p99 * dt;
+                job.lat_weight += dt;
+                // Rescheduling: persistent severe degradation on an
+                // on-demand instance (rare; Section 3.3 "the latter is
+                // unlikely in practice").
+                let badly = p99 > 6.0 * job.isolation_p99;
+                if badly {
+                    job.qos_bad_ticks += 1;
+                } else {
+                    job.qos_bad_ticks = 0;
+                }
+                let should_reschedule = self.config.profiling
+                    && job.qos_bad_ticks >= 3
+                    && !job.rescheduled
+                    && !self.instances[inst_idx].reserved;
+                if should_reschedule {
+                    self.reschedule(jid, now, events);
+                }
+            }
+        }
+    }
+
+    /// Moves a persistently degraded job to a fresh on-demand instance.
+    fn reschedule(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
+        self.counters.reschedules += 1;
+        let (cores, old_inst) = {
+            let job = &self.running[&jid];
+            (job.cores, job.instance)
+        };
+        // Free the old slot.
+        {
+            let inst = &mut self.instances[old_inst];
+            inst.used_cores = inst.used_cores.saturating_sub(cores);
+            inst.jobs.retain(|&j| j != jid);
+            if inst.jobs.is_empty() {
+                // A degraded instance we are fleeing: release immediately.
+                self.counters.od_released_immediately += 1;
+                self.release_instance(old_inst, now);
+            }
+        }
+        // Acquire a replacement of the same type.
+        let itype = self.instances[old_inst].itype;
+        let new_idx = self.acquire(itype, now);
+        let inst = &mut self.instances[new_idx];
+        inst.used_cores += cores;
+        inst.jobs.push(jid);
+        inst.retention_token += 1;
+        let ready = inst.ready_at;
+        let job = self.running.get_mut(&jid).expect("running");
+        job.instance = new_idx;
+        job.rescheduled = true;
+        job.qos_bad_ticks = 0;
+        // Service resumes once the replacement is up; the LC finish event
+        // (fixed lifetime) remains valid, so no rescheduling of events.
+        job.last_progress = ready.max(now);
+        let _ = events;
+    }
+
+    // ------------------------------------------------------------------
+    // Finalization
+    // ------------------------------------------------------------------
+
+    /// Consumes the scheduler and produces the run result.
+    ///
+    /// The makespan is the completion time of the last job (`end` only
+    /// matters for empty scenarios); pending retention or spot-market
+    /// events past that instant do not extend the run.
+    pub fn into_result(mut self, end: SimTime) -> RunResult {
+        let makespan = if self.outcomes.is_empty() {
+            end
+        } else {
+            self.last_finish
+        };
+        // Release everything still held.
+        let still_open: Vec<usize> = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| !i.reserved && !i.released)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in still_open {
+            self.release_instance(idx, makespan.max(SimTime::ZERO));
+        }
+        RunResult {
+            strategy: self.config.strategy,
+            outcomes: self.outcomes,
+            usage_records: self.cloud.usage_records(makespan),
+            makespan,
+            reserved_cores: self.reserved_total,
+            od_allocated: self.od_allocated,
+            reserved_busy: self.reserved_busy,
+            soft_limit_trace: self.limits.trace().to_vec(),
+            wait_samples: self.wait_samples,
+            utilization_samples: self.utilization_samples,
+            counters: self.counters,
+            decisions: self.decisions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpotPolicy;
+    use hcloud_workloads::{ScenarioConfig, ScenarioKind};
+
+    fn job(id: u64, class: AppClass, cores: u32, secs: u64) -> JobSpec {
+        let mut rng = SimRng::from_seed_u64(id);
+        let kind = if class.is_latency_metric() {
+            JobKind::LatencyCritical {
+                offered_rps: LatencyModel::default().offered_rps_for(cores),
+                lifetime: SimDuration::from_secs(secs),
+            }
+        } else {
+            JobKind::Batch {
+                work_core_secs: (cores as u64 * secs) as f64,
+            }
+        };
+        JobSpec {
+            id: JobId(id),
+            class,
+            arrival: SimTime::ZERO,
+            kind,
+            cores,
+            sensitivity: class.sample_sensitivity(&mut rng),
+        }
+    }
+
+    fn scenario_of(jobs: Vec<JobSpec>) -> Scenario {
+        Scenario::from_jobs(ScenarioConfig::scaled(ScenarioKind::Static, 0.05, 10), jobs)
+    }
+
+    fn scheduler<'a>(
+        scenario: &'a Scenario,
+        config: &'a RunConfig,
+    ) -> (Scheduler<'a>, EventQueue<Event>) {
+        (
+            Scheduler::new(scenario, config, &RngFactory::new(1)),
+            EventQueue::new(),
+        )
+    }
+
+    #[test]
+    fn estimate_without_profiling_uses_user_sizing() {
+        let jobs = vec![job(0, AppClass::HadoopSvm, 8, 300)];
+        let scenario = scenario_of(jobs);
+        let config = RunConfig::new(StrategyKind::StaticReserved).without_profiling();
+        let (mut sched, _) = scheduler(&scenario, &config);
+        let est = sched.estimate(&scenario.jobs()[0]);
+        assert_eq!(est.cores, scenario.jobs()[0].user_sized_cores());
+        assert_eq!(est.quality, 0.0);
+        assert_eq!(est.sensitivity, ResourceVector::ZERO);
+        assert_eq!(sched.counters.classified, 0);
+    }
+
+    #[test]
+    fn estimate_with_profiling_charges_one_profile_per_class() {
+        let jobs = vec![
+            job(0, AppClass::Memcached, 2, 300),
+            job(1, AppClass::Memcached, 2, 300),
+            job(2, AppClass::SparkBatch, 4, 300),
+        ];
+        let scenario = scenario_of(jobs);
+        let config = RunConfig::new(StrategyKind::HybridMixed);
+        let (mut sched, _) = scheduler(&scenario, &config);
+        for spec in scenario.jobs() {
+            let _ = sched.estimate(spec);
+        }
+        assert_eq!(sched.counters.classified, 3);
+        assert_eq!(sched.counters.profiled, 2, "one profiling run per class");
+    }
+
+    #[test]
+    fn dedicated_itype_matches_dominant_sensitivity() {
+        let scenario = scenario_of(vec![job(0, AppClass::SparkBatch, 4, 300)]);
+        let config = RunConfig::new(StrategyKind::OnDemandMixed);
+        let (sched, _) = scheduler(&scenario, &config);
+        // Memory-dominant estimate → memory-optimized family.
+        let mem = JobEstimate {
+            sensitivity: ResourceVector::ZERO.with(Resource::MemCapacity, 0.9),
+            quality: 0.9,
+            cores: 3,
+        };
+        let t = sched.dedicated_itype(&mem, AppClass::SparkBatch);
+        assert_eq!(t.family(), Family::MemoryOptimized);
+        assert_eq!(t.vcpus(), 4, "3 cores round up to the next size");
+        // CPU-dominant → compute-optimized.
+        let cpu = JobEstimate {
+            sensitivity: ResourceVector::ZERO.with(Resource::Cpu, 0.9),
+            quality: 0.9,
+            cores: 2,
+        };
+        assert_eq!(
+            sched.dedicated_itype(&cpu, AppClass::HadoopSvm).family(),
+            Family::ComputeOptimized
+        );
+        // Balanced → standard.
+        let flat = JobEstimate {
+            sensitivity: ResourceVector::uniform(0.4),
+            quality: 0.5,
+            cores: 2,
+        };
+        assert_eq!(
+            sched.dedicated_itype(&flat, AppClass::HadoopSvm).family(),
+            Family::Standard
+        );
+    }
+
+    #[test]
+    fn internal_pressure_respects_config_scale() {
+        let jobs = vec![
+            job(0, AppClass::SparkBatch, 8, 600),
+            job(1, AppClass::SparkBatch, 8, 600),
+        ];
+        let scenario = scenario_of(jobs);
+        let mut config = RunConfig::new(StrategyKind::StaticReserved);
+        config.reserved_cores_override = Some(16);
+        config.internal_pressure_scale = 1.0;
+        let run_pressure = |config: &RunConfig| {
+            let (mut sched, mut events) = scheduler(&scenario, config);
+            sched.on_arrival(0, SimTime::ZERO, &mut events);
+            sched.on_arrival(1, SimTime::ZERO, &mut events);
+            sched.on_start(JobId(0), SimTime::ZERO, &mut events);
+            sched.on_start(JobId(1), SimTime::ZERO, &mut events);
+            sched.internal_pressure(0, Some(JobId(0))).sum()
+        };
+        let full = run_pressure(&config);
+        config.internal_pressure_scale = 0.1;
+        let tenth = run_pressure(&config);
+        assert!(full > 0.0);
+        assert!((tenth - full * 0.1).abs() < 1e-9, "{tenth} vs {full}");
+    }
+
+    #[test]
+    fn consolidation_drains_lightly_used_pool_instances() {
+        // Two od pool instances, one holding a small job: a tick should
+        // migrate the job and idle the source.
+        let jobs = vec![
+            job(0, AppClass::HadoopSvm, 2, 3600),
+            job(1, AppClass::HadoopSvm, 8, 3600),
+        ];
+        let scenario = scenario_of(jobs);
+        let mut config = RunConfig::new(StrategyKind::HybridMixed);
+        config.reserved_cores_override = Some(16);
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+        // Force both jobs onto separate od pool instances.
+        let e0 = sched.estimate(&scenario.jobs()[0]);
+        let e1 = sched.estimate(&scenario.jobs()[1]);
+        sched.place_od_pool(0, &e0, SimTime::ZERO, &mut events);
+        let first_pool = sched.instances.len() - 1;
+        let idx = sched.acquire(InstanceType::full_server(), SimTime::ZERO);
+        sched.assign(1, &e1, idx, SimTime::ZERO, SimDuration::ZERO, &mut events);
+        sched.on_start(JobId(0), SimTime::from_secs(30), &mut events);
+        sched.on_start(JobId(1), SimTime::from_secs(30), &mut events);
+        assert!(sched.instances[first_pool].used_cores > 0);
+        sched.consolidate_od_pool(SimTime::from_secs(60), &mut events);
+        // The small job moved off one of the two instances.
+        let empties = sched
+            .instances
+            .iter()
+            .filter(|i| !i.reserved && i.jobs.is_empty())
+            .count();
+        assert_eq!(empties, 1, "one pool instance should have been drained");
+        // Bookkeeping stays consistent.
+        let total_assigned: u32 = sched.instances.iter().map(|i| i.used_cores).sum();
+        assert_eq!(total_assigned, e0.cores + e1.cores);
+    }
+
+    #[test]
+    fn spot_eligibility_gates_correctly() {
+        let jobs = vec![
+            job(0, AppClass::HadoopSvm, 4, 300),   // tolerant batch
+            job(1, AppClass::Memcached, 2, 300),   // latency-critical
+            job(2, AppClass::SparkRealtime, 1, 5), // sensitive batch
+        ];
+        let scenario = scenario_of(jobs);
+        let mut config = RunConfig::new(StrategyKind::HybridMixed);
+        config.spot = Some(SpotPolicy {
+            bid_multiplier: 0.6,
+            max_quality: 0.99,
+        });
+        let (mut sched, _) = scheduler(&scenario, &config);
+        let est = |sched: &mut Scheduler, i: usize| sched.estimate(&scenario.jobs()[i]);
+        let e0 = est(&mut sched, 0);
+        let e1 = est(&mut sched, 1);
+        let e2 = est(&mut sched, 2);
+        assert!(sched.spot_eligible(&scenario.jobs()[0], &e0));
+        assert!(
+            !sched.spot_eligible(&scenario.jobs()[1], &e1),
+            "LC never rides spot"
+        );
+        assert!(
+            !sched.spot_eligible(&scenario.jobs()[2], &e2),
+            "sensitive batch never rides spot"
+        );
+        // OdM (non-hybrid) never uses spot even for tolerant jobs.
+        let mut odm = RunConfig::new(StrategyKind::OnDemandMixed);
+        odm.spot = config.spot;
+        let (mut sched, _) = scheduler(&scenario, &odm);
+        let e0 = sched.estimate(&scenario.jobs()[0]);
+        assert!(!sched.spot_eligible(&scenario.jobs()[0], &e0));
+    }
+
+    #[test]
+    fn queue_drain_is_fifo_with_skip() {
+        // Reserved pool of 16 cores; a 16-core job fills it, then a
+        // 16-core job and a 2-core job queue. On release, the 16-core job
+        // (head of queue) is placed; the 2-core one waits if no room, or
+        // fits if there is.
+        let jobs = vec![
+            job(0, AppClass::Memcached, 16, 600),
+            job(1, AppClass::Memcached, 16, 600),
+            job(2, AppClass::Memcached, 2, 600),
+        ];
+        let scenario = scenario_of(jobs);
+        let mut config = RunConfig::new(StrategyKind::StaticReserved);
+        config.reserved_cores_override = Some(16);
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+        sched.on_arrival(0, SimTime::ZERO, &mut events);
+        sched.on_arrival(1, SimTime::ZERO, &mut events);
+        sched.on_arrival(2, SimTime::ZERO, &mut events);
+        assert_eq!(sched.queue.len(), 2, "both later jobs queue");
+        sched.on_start(JobId(0), SimTime::ZERO, &mut events);
+        // Finish the first job: the queue head (16-core) takes the slot.
+        let version = sched.running[&JobId(0)].finish_version;
+        sched.on_finish(JobId(0), version, SimTime::from_secs(600), &mut events);
+        assert_eq!(sched.queue.len(), 1);
+        assert!(sched.running.contains_key(&JobId(1)));
+        assert!(!sched.running.contains_key(&JobId(2)) || sched.queue.is_empty());
+    }
+
+    #[test]
+    fn retention_token_prevents_stale_release() {
+        let jobs = vec![
+            job(0, AppClass::HadoopSvm, 2, 100),
+            job(1, AppClass::HadoopSvm, 2, 100),
+        ];
+        let scenario = scenario_of(jobs);
+        let config = RunConfig::new(StrategyKind::OnDemandMixed);
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+        sched.on_arrival(0, SimTime::ZERO, &mut events);
+        let inst_idx = sched.instances.len() - 1;
+        let token_before = sched.instances[inst_idx].retention_token;
+        // A new job lands on the instance (reuse) before the retention
+        // timer fires; the stale token must not release it.
+        sched.instances[inst_idx].jobs.push(JobId(99));
+        sched.instances[inst_idx].retention_token += 1;
+        sched.on_retention(inst_idx, token_before, SimTime::from_secs(500));
+        assert!(!sched.instances[inst_idx].released);
+    }
+}

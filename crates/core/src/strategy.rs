@@ -1,0 +1,113 @@
+//! The five provisioning strategies (Tables 1 and 3).
+//!
+//! | | SR | OdF | OdM | HF | HM |
+//! |---|---|---|---|---|---|
+//! | Reserved resources | yes | no | no | yes | yes |
+//! | On-demand resources | no | full servers | any size | full servers | any size |
+
+use std::fmt;
+
+/// A provisioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Statically reserved: provision reserved full servers for peak load
+    /// (plus overprovisioning) upfront; never acquire on-demand.
+    StaticReserved,
+    /// Fully on-demand, full servers only (OdF).
+    OnDemandFull,
+    /// Fully on-demand, mixed instance sizes (OdM).
+    OnDemandMixed,
+    /// Hybrid: reserved for the steady-state minimum, on-demand full
+    /// servers for overflow (HF).
+    HybridFull,
+    /// Hybrid: reserved for the steady-state minimum, mixed-size
+    /// on-demand for overflow (HM).
+    HybridMixed,
+}
+
+impl StrategyKind {
+    /// All five strategies, in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::StaticReserved,
+        StrategyKind::OnDemandFull,
+        StrategyKind::OnDemandMixed,
+        StrategyKind::HybridFull,
+        StrategyKind::HybridMixed,
+    ];
+
+    /// Short name as used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            StrategyKind::StaticReserved => "SR",
+            StrategyKind::OnDemandFull => "OdF",
+            StrategyKind::OnDemandMixed => "OdM",
+            StrategyKind::HybridFull => "HF",
+            StrategyKind::HybridMixed => "HM",
+        }
+    }
+
+    /// Whether the strategy provisions reserved resources (Table 3 row 1).
+    pub fn uses_reserved(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::StaticReserved | StrategyKind::HybridFull | StrategyKind::HybridMixed
+        )
+    }
+
+    /// Whether the strategy acquires on-demand resources (Table 3 row 2).
+    pub fn uses_on_demand(self) -> bool {
+        !matches!(self, StrategyKind::StaticReserved)
+    }
+
+    /// Whether on-demand acquisitions are restricted to full servers.
+    pub fn on_demand_full_only(self) -> bool {
+        matches!(self, StrategyKind::OnDemandFull | StrategyKind::HybridFull)
+    }
+
+    /// Whether this is one of the two hybrid strategies.
+    pub fn is_hybrid(self) -> bool {
+        matches!(self, StrategyKind::HybridFull | StrategyKind::HybridMixed)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matrix() {
+        use StrategyKind::*;
+        assert!(StaticReserved.uses_reserved() && !StaticReserved.uses_on_demand());
+        assert!(!OnDemandFull.uses_reserved() && OnDemandFull.uses_on_demand());
+        assert!(!OnDemandMixed.uses_reserved() && OnDemandMixed.uses_on_demand());
+        assert!(HybridFull.uses_reserved() && HybridFull.uses_on_demand());
+        assert!(HybridMixed.uses_reserved() && HybridMixed.uses_on_demand());
+    }
+
+    #[test]
+    fn full_only_flags() {
+        use StrategyKind::*;
+        assert!(OnDemandFull.on_demand_full_only());
+        assert!(HybridFull.on_demand_full_only());
+        assert!(!OnDemandMixed.on_demand_full_only());
+        assert!(!HybridMixed.on_demand_full_only());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = StrategyKind::ALL.iter().map(|s| s.short_name()).collect();
+        assert_eq!(names, vec!["SR", "OdF", "OdM", "HF", "HM"]);
+    }
+
+    #[test]
+    fn hybrids_identified() {
+        assert!(StrategyKind::HybridFull.is_hybrid());
+        assert!(!StrategyKind::StaticReserved.is_hybrid());
+    }
+}

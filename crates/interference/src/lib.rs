@@ -1,0 +1,31 @@
+//! # hcloud-interference — shared-resource interference model
+//!
+//! HCloud's provisioning decisions revolve around how much interference a
+//! job generates in — and tolerates from — shared server resources. This
+//! crate is the stand-in for the iBench/Quasar interference methodology the
+//! paper relies on (its reference \[21\]):
+//!
+//! * [`resource`] — the N = 10 shared resources the paper examines and
+//!   dense per-resource vectors ([`ResourceVector`]);
+//! * [`quality`] — the **order-preserving encoding** of a job's sorted
+//!   sensitivity vector into a single scalar resource quality requirement
+//!   `Q ∈ [0, 1]` (Section 3.3 of the paper, reproduced exactly);
+//! * [`slowdown`] — the colocation model: given the aggregate pressure on a
+//!   server and a job's sensitivity, how much does the job slow down, and
+//!   what *resource quality* does an instance deliver.
+//!
+//! ```
+//! use hcloud_interference::{ResourceVector, quality::resource_quality};
+//!
+//! let cache_bound = ResourceVector::from_fn(|i| if i == 3 { 0.9 } else { 0.1 });
+//! let tolerant = ResourceVector::uniform(0.05);
+//! assert!(resource_quality(&cache_bound) > resource_quality(&tolerant));
+//! ```
+
+pub mod quality;
+pub mod resource;
+pub mod slowdown;
+
+pub use quality::resource_quality;
+pub use resource::{Resource, ResourceVector, NUM_RESOURCES};
+pub use slowdown::SlowdownModel;

@@ -1,0 +1,136 @@
+//! The order-preserving resource-quality encoding of Section 3.3.
+//!
+//! The paper encodes a job's sensitivity vector into a single scalar like
+//! so: rearrange `C = [c_1 … c_N]` by decreasing magnitude into
+//! `C' = [c_j, c_k, …, c_n]`, then
+//!
+//! ```text
+//! Q = c_j · 10^(2(N−1)) + c_k · 10^(2(N−2)) + … + c_n
+//! ```
+//!
+//! normalized to `[0, 1]`. Each coefficient occupies two decimal digits, so
+//! the encoding is **lexicographic on the sorted vector**: a job whose
+//! largest sensitivity exceeds another's always has a larger Q, with ties
+//! broken by the second-largest, and so on. High Q ⇒ resource-demanding
+//! job; low Q ⇒ tolerant job.
+//!
+//! To make the order preservation *exact* (rather than subject to f64
+//! rounding at 10^18 magnitudes), we quantize each sorted coefficient to
+//! two decimal digits and accumulate in `u128`, then normalize. This is
+//! faithful to the paper's "two decimal digits per coefficient" construction
+//! and gives us a property-testable invariant.
+
+use crate::resource::{ResourceVector, NUM_RESOURCES};
+
+/// Number of quantization levels per coefficient (two decimal digits).
+const LEVELS: u128 = 100;
+
+/// Encodes a sensitivity vector into the raw (unnormalized) base-100
+/// integer of the paper's formula.
+///
+/// Coefficients are clamped into `[0, 1]` and quantized to `round(c·99)`,
+/// i.e. two decimal digits.
+pub fn encode_raw(c: &ResourceVector) -> u128 {
+    let sorted = c.clamped_unit().sorted_desc();
+    let mut acc: u128 = 0;
+    for &coeff in sorted.iter() {
+        let digit = (coeff * (LEVELS - 1) as f64).round() as u128;
+        acc = acc * LEVELS + digit;
+    }
+    acc
+}
+
+/// The largest possible raw encoding (all coefficients = 1.0).
+pub fn encode_raw_max() -> u128 {
+    LEVELS.pow(NUM_RESOURCES as u32) - 1
+}
+
+/// The resource quality `Q ∈ [0, 1]` a job needs to satisfy its QoS
+/// constraints (Section 3.3).
+///
+/// High `Q` denotes a resource-demanding job; low `Q` a job that can
+/// tolerate some interference.
+///
+/// ```
+/// use hcloud_interference::{ResourceVector, resource_quality};
+///
+/// let demanding = ResourceVector::uniform(0.9);
+/// let tolerant = ResourceVector::uniform(0.1);
+/// assert!(resource_quality(&demanding) > resource_quality(&tolerant));
+/// assert!(resource_quality(&demanding) <= 1.0);
+/// assert!(resource_quality(&tolerant) >= 0.0);
+/// ```
+pub fn resource_quality(c: &ResourceVector) -> f64 {
+    encode_raw(c) as f64 / encode_raw_max() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resource;
+
+    #[test]
+    fn zero_vector_encodes_to_zero() {
+        assert_eq!(encode_raw(&ResourceVector::ZERO), 0);
+        assert_eq!(resource_quality(&ResourceVector::ZERO), 0.0);
+    }
+
+    #[test]
+    fn ones_vector_encodes_to_one() {
+        let v = ResourceVector::uniform(1.0);
+        assert_eq!(encode_raw(&v), encode_raw_max());
+        assert_eq!(resource_quality(&v), 1.0);
+    }
+
+    #[test]
+    fn dominant_coefficient_wins() {
+        // One strong sensitivity beats many weak ones: lexicographic order.
+        let one_strong = ResourceVector::ZERO.with(Resource::CacheLlc, 0.8);
+        let all_weak = ResourceVector::uniform(0.5);
+        assert!(resource_quality(&one_strong) > resource_quality(&all_weak));
+    }
+
+    #[test]
+    fn encoding_ignores_resource_position() {
+        // Only the sorted magnitudes matter, not which resource they're in.
+        let a = ResourceVector::ZERO
+            .with(Resource::Cpu, 0.7)
+            .with(Resource::NetLatency, 0.3);
+        let b = ResourceVector::ZERO
+            .with(Resource::MemBandwidth, 0.7)
+            .with(Resource::CacheL1, 0.3);
+        assert_eq!(encode_raw(&a), encode_raw(&b));
+    }
+
+    #[test]
+    fn ties_broken_by_second_coefficient() {
+        let a = ResourceVector::ZERO
+            .with(Resource::Cpu, 0.9)
+            .with(Resource::CacheL2, 0.4);
+        let b = ResourceVector::ZERO
+            .with(Resource::Cpu, 0.9)
+            .with(Resource::CacheL2, 0.3);
+        assert!(encode_raw(&a) > encode_raw(&b));
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        let over = ResourceVector::uniform(2.0);
+        assert_eq!(resource_quality(&over), 1.0);
+        let under = ResourceVector::uniform(-1.0);
+        assert_eq!(resource_quality(&under), 0.0);
+    }
+
+    #[test]
+    fn quality_is_monotone_in_every_coefficient() {
+        let base = ResourceVector::uniform(0.3);
+        let q0 = resource_quality(&base);
+        for r in Resource::ALL {
+            let bumped = base.with(r, 0.6);
+            assert!(
+                resource_quality(&bumped) > q0,
+                "bumping {r} did not increase Q"
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The shared resources jobs contend on, and dense per-resource vectors.
+//!
+//! The paper (following Quasar) examines **N = 10** shared resources. A
+//! job's interference profile is a vector `C = [c_1 … c_10]`, `c_i ∈ [0,1]`,
+//! where a large `c_i` means the job both puts a lot of pressure on
+//! resource `i` and is sensitive to contention in it.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Number of shared resources examined (N in the paper).
+pub const NUM_RESOURCES: usize = 10;
+
+/// One of the ten shared server resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Core compute (SMT contention, scheduler pressure).
+    Cpu,
+    /// L1 instruction/data cache.
+    CacheL1,
+    /// Private L2 cache.
+    CacheL2,
+    /// Shared last-level cache.
+    CacheLlc,
+    /// Memory bandwidth.
+    MemBandwidth,
+    /// Memory capacity.
+    MemCapacity,
+    /// Disk bandwidth.
+    DiskBandwidth,
+    /// Disk capacity.
+    DiskCapacity,
+    /// Network bandwidth.
+    NetBandwidth,
+    /// Network latency (switch/NIC queueing).
+    NetLatency,
+}
+
+impl Resource {
+    /// All resources, in canonical index order.
+    pub const ALL: [Resource; NUM_RESOURCES] = [
+        Resource::Cpu,
+        Resource::CacheL1,
+        Resource::CacheL2,
+        Resource::CacheLlc,
+        Resource::MemBandwidth,
+        Resource::MemCapacity,
+        Resource::DiskBandwidth,
+        Resource::DiskCapacity,
+        Resource::NetBandwidth,
+        Resource::NetLatency,
+    ];
+
+    /// The canonical index of this resource (0..10).
+    pub fn index(self) -> usize {
+        Resource::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("resource present in ALL")
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Resource::Cpu => "cpu",
+            Resource::CacheL1 => "l1",
+            Resource::CacheL2 => "l2",
+            Resource::CacheLlc => "llc",
+            Resource::MemBandwidth => "mem-bw",
+            Resource::MemCapacity => "mem-cap",
+            Resource::DiskBandwidth => "disk-bw",
+            Resource::DiskCapacity => "disk-cap",
+            Resource::NetBandwidth => "net-bw",
+            Resource::NetLatency => "net-lat",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A dense vector with one entry per shared resource.
+///
+/// Entries are free-form `f64`s; pressure/sensitivity vectors keep them in
+/// `[0, 1]` (see [`ResourceVector::clamped_unit`]).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector([f64; NUM_RESOURCES]);
+
+impl ResourceVector {
+    /// The all-zeros vector.
+    pub const ZERO: ResourceVector = ResourceVector([0.0; NUM_RESOURCES]);
+
+    /// Creates a vector from raw entries.
+    pub const fn new(values: [f64; NUM_RESOURCES]) -> Self {
+        ResourceVector(values)
+    }
+
+    /// Creates a vector whose entries all equal `v`.
+    pub const fn uniform(v: f64) -> Self {
+        ResourceVector([v; NUM_RESOURCES])
+    }
+
+    /// Creates a vector by evaluating `f` at every index.
+    pub fn from_fn(f: impl FnMut(usize) -> f64) -> Self {
+        ResourceVector(std::array::from_fn(f))
+    }
+
+    /// The raw entries, in canonical resource order.
+    pub fn as_array(&self) -> &[f64; NUM_RESOURCES] {
+        &self.0
+    }
+
+    /// The entry for `resource`.
+    pub fn get(&self, resource: Resource) -> f64 {
+        self.0[resource.index()]
+    }
+
+    /// Sets the entry for `resource`, returning `self` for chaining.
+    pub fn with(mut self, resource: Resource, value: f64) -> Self {
+        self.0[resource.index()] = value;
+        self
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector::from_fn(|i| self.0[i] + other.0[i])
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector::from_fn(|i| self.0[i] - other.0[i])
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scale(&self, k: f64) -> ResourceVector {
+        ResourceVector::from_fn(|i| self.0[i] * k)
+    }
+
+    /// Element-wise product (used to weight pressure by sensitivity).
+    pub fn hadamard(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector::from_fn(|i| self.0[i] * other.0[i])
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &ResourceVector) -> f64 {
+        (0..NUM_RESOURCES).map(|i| self.0[i] * other.0[i]).sum()
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Arithmetic mean of entries.
+    pub fn mean(&self) -> f64 {
+        self.sum() / NUM_RESOURCES as f64
+    }
+
+    /// Largest entry.
+    pub fn max(&self) -> f64 {
+        self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Clamps every entry into `[0, 1]`.
+    pub fn clamped_unit(&self) -> ResourceVector {
+        ResourceVector::from_fn(|i| self.0[i].clamp(0.0, 1.0))
+    }
+
+    /// Entries sorted by decreasing magnitude — the `C'` rearrangement of
+    /// Section 3.3, feeding the order-preserving Q encoding.
+    pub fn sorted_desc(&self) -> [f64; NUM_RESOURCES] {
+        let mut v = self.0;
+        v.sort_by(|a, b| b.partial_cmp(a).expect("NaN in resource vector"));
+        v
+    }
+
+    /// Whether all entries are finite and inside `[0, 1]`.
+    pub fn is_unit_range(&self) -> bool {
+        self.0
+            .iter()
+            .all(|v| v.is_finite() && (0.0..=1.0).contains(v))
+    }
+
+    /// Euclidean distance to `other` (used by classification accuracy
+    /// metrics in the Quasar substrate).
+    pub fn distance(&self, other: &ResourceVector) -> f64 {
+        (0..NUM_RESOURCES)
+            .map(|i| (self.0[i] - other.0[i]).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Index<Resource> for ResourceVector {
+    type Output = f64;
+    fn index(&self, r: Resource) -> &f64 {
+        &self.0[r.index()]
+    }
+}
+
+impl IndexMut<Resource> for ResourceVector {
+    fn index_mut(&mut self, r: Resource) -> &mut f64 {
+        &mut self.0[r.index()]
+    }
+}
+
+impl From<[f64; NUM_RESOURCES]> for ResourceVector {
+    fn from(values: [f64; NUM_RESOURCES]) -> Self {
+        ResourceVector(values)
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (r, v)) in Resource::ALL.iter().zip(self.0.iter()).enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}={v:.2}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_canonical_and_unique() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn indexing_by_resource() {
+        let mut v = ResourceVector::ZERO;
+        v[Resource::CacheLlc] = 0.8;
+        assert_eq!(v.get(Resource::CacheLlc), 0.8);
+        assert_eq!(v[Resource::Cpu], 0.0);
+    }
+
+    #[test]
+    fn with_builds_chains() {
+        let v = ResourceVector::ZERO
+            .with(Resource::Cpu, 0.5)
+            .with(Resource::NetBandwidth, 0.25);
+        assert_eq!(v[Resource::Cpu], 0.5);
+        assert_eq!(v[Resource::NetBandwidth], 0.25);
+    }
+
+    #[test]
+    fn arithmetic_is_elementwise() {
+        let a = ResourceVector::uniform(0.5);
+        let b = ResourceVector::uniform(0.25);
+        assert_eq!(a.add(&b), ResourceVector::uniform(0.75));
+        assert_eq!(a.sub(&b), ResourceVector::uniform(0.25));
+        assert_eq!(a.scale(2.0), ResourceVector::uniform(1.0));
+        assert_eq!(a.hadamard(&b), ResourceVector::uniform(0.125));
+        assert!((a.dot(&b) - 10.0 * 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregations() {
+        let v = ResourceVector::from_fn(|i| i as f64);
+        assert_eq!(v.sum(), 45.0);
+        assert_eq!(v.mean(), 4.5);
+        assert_eq!(v.max(), 9.0);
+    }
+
+    #[test]
+    fn sorted_desc_sorts() {
+        let v = ResourceVector::from_fn(|i| ((i * 7) % 10) as f64 / 10.0);
+        let s = v.sorted_desc();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn clamp_and_range_check() {
+        let v = ResourceVector::uniform(1.5);
+        assert!(!v.is_unit_range());
+        assert!(v.clamped_unit().is_unit_range());
+        assert_eq!(v.clamped_unit(), ResourceVector::uniform(1.0));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = ResourceVector::ZERO;
+        let b = ResourceVector::uniform(1.0);
+        assert!((a.distance(&b) - (10.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+}

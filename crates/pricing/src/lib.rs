@@ -1,0 +1,23 @@
+//! # hcloud-pricing — cloud pricing models and cost accounting
+//!
+//! Section 2.3 / 5.3: the paper evaluates under the **AWS-style** pricing
+//! model (long-term reservations + on-demand, on-demand:reserved per-hour
+//! ratio ≈ 2.74), and revisits the results under the **GCE** model
+//! (on-demand with sustained-use monthly discounts) and the **Azure**
+//! model (on-demand only). This crate implements all three plus the cost
+//! accounting that turns [`hcloud_cloud::UsageRecord`]s into the dollar
+//! figures of Figures 5, 11, 12, 13 and 17:
+//!
+//! * [`rates`] — per-instance-type hourly list prices;
+//! * [`model`] — the three pricing models and [`model::CostBreakdown`];
+//!   per-run billing ([`model::run_cost`]) and long-horizon commitment
+//!   billing with 1-year reservation terms ([`model::commitment_cost`]).
+
+pub mod model;
+pub mod rates;
+
+pub use model::{
+    commitment_cost, run_cost, CostBreakdown, PricingModel, ReservedOnDemandPricing,
+    SustainedUsePricing,
+};
+pub use rates::Rates;

@@ -1,0 +1,402 @@
+//! Pricing models and cost accounting.
+//!
+//! Three models, mirroring Section 5.3:
+//!
+//! * **Reserved + on-demand** (AWS-style, the paper's default): reserved
+//!   capacity bills at `on-demand / ratio` per hour (ratio ≈ 2.74) but
+//!   commits to 1-year terms charged upfront; on-demand bills hourly.
+//! * **Sustained-use discounts** (GCE-style): everything is on-demand, but
+//!   the effective hourly rate drops the larger the fraction of the
+//!   billing month an instance is in use (up to 30% off for a full month).
+//! * **On-demand only** (Azure-style): flat hourly billing.
+//!
+//! Two billing horizons, matching the paper's two kinds of cost figures:
+//!
+//! * [`run_cost`] — per-run hourly billing (Figures 5, 11, 12, 17), where
+//!   reserved usage is charged at its per-hour rate;
+//! * [`commitment_cost`] — absolute cost over a multi-week deployment
+//!   (Figure 13), where reserved capacity pays full 1-year terms upfront
+//!   (doubling past 52 weeks) and the per-run on-demand spend repeats for
+//!   the duration.
+
+use hcloud_cloud::{InstanceType, UsageRecord};
+use hcloud_sim::SimDuration;
+
+use crate::rates::Rates;
+
+/// AWS-style reserved + on-demand pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReservedOnDemandPricing {
+    /// The per-hour price ratio of on-demand to reserved resources
+    /// (Section 5.1: "the current average cost ratio ... is 2.74").
+    pub od_to_reserved_ratio: f64,
+    /// Reservation term (1 year — "the shortest contract for reserved
+    /// resources on EC2", Section 3.1).
+    pub term: SimDuration,
+}
+
+impl Default for ReservedOnDemandPricing {
+    fn default() -> Self {
+        ReservedOnDemandPricing {
+            od_to_reserved_ratio: 2.74,
+            term: SimDuration::from_hours(24 * 7 * 52),
+        }
+    }
+}
+
+impl ReservedOnDemandPricing {
+    /// A model with a different on-demand:reserved ratio (the Figure 12
+    /// sweep knob).
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not strictly positive.
+    pub fn with_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "price ratio must be positive, got {ratio}");
+        ReservedOnDemandPricing {
+            od_to_reserved_ratio: ratio,
+            ..ReservedOnDemandPricing::default()
+        }
+    }
+
+    /// The reserved hourly price of `itype`.
+    pub fn reserved_hourly(&self, rates: &Rates, itype: InstanceType) -> f64 {
+        rates.on_demand_hourly(itype) / self.od_to_reserved_ratio
+    }
+
+    /// Upfront cost of reserving `itype` for enough whole terms to cover
+    /// `duration` (a 60-week deployment pays two 1-year terms).
+    pub fn upfront_cost(&self, rates: &Rates, itype: InstanceType, duration: SimDuration) -> f64 {
+        let terms = (duration.as_hours_f64() / self.term.as_hours_f64())
+            .ceil()
+            .max(1.0);
+        self.reserved_hourly(rates, itype) * self.term.as_hours_f64() * terms
+    }
+}
+
+/// GCE-style sustained-use discounts.
+///
+/// GCE discounts each successive quarter of a month of usage: the first
+/// 25% bills at 100%, then 80%, 60%, 40% — an instance used a full month
+/// pays an effective 70%. [`SustainedUsePricing::effective_multiplier`]
+/// implements that schedule on the fraction of the billing window used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SustainedUsePricing {
+    /// Per-quarter rate multipliers.
+    pub tier_multipliers: [f64; 4],
+}
+
+impl Default for SustainedUsePricing {
+    fn default() -> Self {
+        SustainedUsePricing {
+            tier_multipliers: [1.0, 0.8, 0.6, 0.4],
+        }
+    }
+}
+
+impl SustainedUsePricing {
+    /// The average rate multiplier for an instance in use for `fraction`
+    /// of the billing month.
+    pub fn effective_multiplier(&self, fraction: f64) -> f64 {
+        let f = fraction.clamp(0.0, 1.0);
+        if f == 0.0 {
+            return 1.0;
+        }
+        let mut billed = 0.0;
+        let mut remaining = f;
+        for &m in &self.tier_multipliers {
+            let in_tier = remaining.min(0.25);
+            billed += in_tier * m;
+            remaining -= in_tier;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        billed / f
+    }
+}
+
+/// One of the three pricing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingModel {
+    /// AWS-style reserved + on-demand (the paper's default).
+    ReservedOnDemand(ReservedOnDemandPricing),
+    /// GCE-style on-demand with sustained-use discounts.
+    SustainedUse(SustainedUsePricing),
+    /// Azure-style on-demand only.
+    OnDemandOnly,
+}
+
+impl PricingModel {
+    /// The paper's default model with the default 2.74 ratio.
+    pub fn aws() -> Self {
+        PricingModel::ReservedOnDemand(ReservedOnDemandPricing::default())
+    }
+    /// The GCE model.
+    pub fn gce() -> Self {
+        PricingModel::SustainedUse(SustainedUsePricing::default())
+    }
+    /// The Azure model.
+    pub fn azure() -> Self {
+        PricingModel::OnDemandOnly
+    }
+}
+
+/// Cost split by resource role.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Dollars attributed to reserved capacity.
+    pub reserved: f64,
+    /// Dollars attributed to on-demand capacity.
+    pub on_demand: f64,
+}
+
+impl CostBreakdown {
+    /// Total dollars.
+    pub fn total(&self) -> f64 {
+        self.reserved + self.on_demand
+    }
+}
+
+/// Per-run hourly billing of a set of usage records over a run of length
+/// `run_duration` (Figures 5, 11, 12, 17).
+///
+/// Under the AWS-style model, reserved capacity bills its per-hour
+/// reserved rate for the **whole run** (reservations can't be released
+/// mid-run); on-demand bills per usage hour. Under the GCE model the
+/// sustained-use multiplier applies per record based on the fraction of
+/// the run it spans (the paper assumes runs last at least a month so the
+/// discounts take effect). Under Azure everything bills flat hourly.
+pub fn run_cost(
+    records: &[UsageRecord],
+    rates: &Rates,
+    model: &PricingModel,
+    run_duration: SimDuration,
+) -> CostBreakdown {
+    let mut cost = CostBreakdown::default();
+    let run_hours = run_duration.as_hours_f64();
+    for rec in records {
+        let od_rate = rates.on_demand_hourly(rec.itype) * rec.rate_multiplier;
+        let hours = rec.duration().as_hours_f64();
+        match model {
+            PricingModel::ReservedOnDemand(p) => {
+                if rec.reserved {
+                    cost.reserved += p.reserved_hourly(rates, rec.itype) * run_hours;
+                } else {
+                    cost.on_demand += od_rate * hours;
+                }
+            }
+            PricingModel::SustainedUse(p) => {
+                // Reserved-role instances are held for the whole run and
+                // earn the full sustained discount; short-lived on-demand
+                // instances earn it pro-rata.
+                let billed_hours = if rec.reserved { run_hours } else { hours };
+                let fraction = (billed_hours / run_hours).clamp(0.0, 1.0);
+                let charge = od_rate * billed_hours * p.effective_multiplier(fraction);
+                if rec.reserved {
+                    cost.reserved += charge;
+                } else {
+                    cost.on_demand += charge;
+                }
+            }
+            PricingModel::OnDemandOnly => {
+                let billed_hours = if rec.reserved { run_hours } else { hours };
+                let charge = od_rate * billed_hours;
+                if rec.reserved {
+                    cost.reserved += charge;
+                } else {
+                    cost.on_demand += charge;
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Absolute deployment cost when the workload (captured by `records` over
+/// a run of `run_duration`) repeats for `total_duration` (Figure 13).
+///
+/// Only meaningful for the reserved + on-demand model: reserved capacity
+/// pays upfront whole-term charges; the on-demand spend of one run is
+/// scaled to the deployment length.
+pub fn commitment_cost(
+    records: &[UsageRecord],
+    rates: &Rates,
+    pricing: &ReservedOnDemandPricing,
+    run_duration: SimDuration,
+    total_duration: SimDuration,
+) -> CostBreakdown {
+    let mut cost = CostBreakdown::default();
+    let repeats = total_duration.as_hours_f64() / run_duration.as_hours_f64();
+    for rec in records {
+        if rec.reserved {
+            cost.reserved += pricing.upfront_cost(rates, rec.itype, total_duration);
+        } else {
+            cost.on_demand += rates.on_demand_hourly(rec.itype)
+                * rec.rate_multiplier
+                * rec.duration().as_hours_f64()
+                * repeats;
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::SimTime;
+
+    fn record(itype: InstanceType, reserved: bool, from_h: u64, to_h: u64) -> UsageRecord {
+        UsageRecord::new(
+            itype,
+            reserved,
+            SimTime::ZERO + SimDuration::from_hours(from_h),
+            SimTime::ZERO + SimDuration::from_hours(to_h),
+        )
+    }
+
+    #[test]
+    fn spot_records_bill_at_their_multiplier() {
+        let rates = Rates::default();
+        let mut rec = record(InstanceType::standard(4), false, 0, 2);
+        rec.rate_multiplier = 0.35;
+        let c = run_cost(
+            &[rec],
+            &rates,
+            &PricingModel::aws(),
+            SimDuration::from_hours(2),
+        );
+        assert!((c.on_demand - 0.20 * 2.0 * 0.35).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn reserved_is_cheaper_per_hour() {
+        let rates = Rates::default();
+        let p = ReservedOnDemandPricing::default();
+        let full = InstanceType::full_server();
+        assert!(p.reserved_hourly(&rates, full) < rates.on_demand_hourly(full));
+        assert!(
+            (rates.on_demand_hourly(full) / p.reserved_hourly(&rates, full) - 2.74).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn run_cost_charges_reserved_for_whole_run() {
+        let rates = Rates::default();
+        let model = PricingModel::aws();
+        // Reserved instance "used" only 1 of 2 hours still bills 2 hours.
+        let recs = vec![record(InstanceType::full_server(), true, 0, 1)];
+        let c = run_cost(&recs, &rates, &model, SimDuration::from_hours(2));
+        let expected = 0.80 / 2.74 * 2.0;
+        assert!((c.reserved - expected).abs() < 1e-9, "{c:?}");
+        assert_eq!(c.on_demand, 0.0);
+    }
+
+    #[test]
+    fn run_cost_charges_on_demand_per_hour() {
+        let rates = Rates::default();
+        let model = PricingModel::aws();
+        let recs = vec![record(InstanceType::standard(4), false, 0, 1)];
+        let c = run_cost(&recs, &rates, &model, SimDuration::from_hours(2));
+        assert!((c.on_demand - 0.20).abs() < 1e-9);
+        assert_eq!(c.reserved, 0.0);
+    }
+
+    #[test]
+    fn sustained_use_schedule_matches_gce() {
+        let p = SustainedUsePricing::default();
+        assert_eq!(p.effective_multiplier(0.25), 1.0);
+        assert!((p.effective_multiplier(0.5) - 0.9).abs() < 1e-9);
+        assert!((p.effective_multiplier(1.0) - 0.7).abs() < 1e-9);
+        assert_eq!(p.effective_multiplier(0.0), 1.0);
+    }
+
+    #[test]
+    fn gce_model_discounts_long_running_instances() {
+        let rates = Rates::default();
+        let run = SimDuration::from_hours(2);
+        let long = vec![record(InstanceType::full_server(), true, 0, 2)];
+        let gce = run_cost(&long, &rates, &PricingModel::gce(), run);
+        let azure = run_cost(&long, &rates, &PricingModel::azure(), run);
+        assert!((gce.reserved - azure.reserved * 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn azure_bills_flat() {
+        let rates = Rates::default();
+        let recs = vec![
+            record(InstanceType::full_server(), true, 0, 2),
+            record(InstanceType::standard(2), false, 0, 1),
+        ];
+        let c = run_cost(
+            &recs,
+            &rates,
+            &PricingModel::azure(),
+            SimDuration::from_hours(2),
+        );
+        assert!((c.reserved - 1.6).abs() < 1e-9);
+        assert!((c.on_demand - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_ratio_sweep_changes_reserved_cost_only() {
+        let rates = Rates::default();
+        let recs = vec![
+            record(InstanceType::full_server(), true, 0, 2),
+            record(InstanceType::standard(2), false, 0, 1),
+        ];
+        let run = SimDuration::from_hours(2);
+        let cheap = run_cost(
+            &recs,
+            &rates,
+            &PricingModel::ReservedOnDemand(ReservedOnDemandPricing::with_ratio(4.0)),
+            run,
+        );
+        let pricey = run_cost(
+            &recs,
+            &rates,
+            &PricingModel::ReservedOnDemand(ReservedOnDemandPricing::with_ratio(0.5)),
+            run,
+        );
+        assert!(cheap.reserved < pricey.reserved);
+        assert_eq!(cheap.on_demand, pricey.on_demand);
+    }
+
+    #[test]
+    fn upfront_terms_double_past_one_year() {
+        let rates = Rates::default();
+        let p = ReservedOnDemandPricing::default();
+        let full = InstanceType::full_server();
+        let one = p.upfront_cost(&rates, full, SimDuration::from_hours(24 * 7 * 30));
+        let two = p.upfront_cost(&rates, full, SimDuration::from_hours(24 * 7 * 60));
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commitment_cost_scales_on_demand_with_duration() {
+        let rates = Rates::default();
+        let p = ReservedOnDemandPricing::default();
+        let recs = vec![record(InstanceType::standard(4), false, 0, 1)];
+        let run = SimDuration::from_hours(2);
+        let c10 = commitment_cost(&recs, &rates, &p, run, SimDuration::from_hours(24 * 7 * 10));
+        let c20 = commitment_cost(&recs, &rates, &p, run, SimDuration::from_hours(24 * 7 * 20));
+        assert!((c20.on_demand / c10.on_demand - 2.0).abs() < 1e-9);
+        assert_eq!(c10.reserved, 0.0);
+    }
+
+    #[test]
+    fn commitment_reserved_is_flat_within_term() {
+        let rates = Rates::default();
+        let p = ReservedOnDemandPricing::default();
+        let recs = vec![record(InstanceType::full_server(), true, 0, 2)];
+        let run = SimDuration::from_hours(2);
+        let c10 = commitment_cost(&recs, &rates, &p, run, SimDuration::from_hours(24 * 7 * 10));
+        let c40 = commitment_cost(&recs, &rates, &p, run, SimDuration::from_hours(24 * 7 * 40));
+        assert_eq!(c10.reserved, c40.reserved);
+    }
+
+    #[test]
+    #[should_panic(expected = "price ratio must be positive")]
+    fn zero_ratio_rejected() {
+        ReservedOnDemandPricing::with_ratio(0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Hourly list prices per instance type.
+//!
+//! Rates follow the GCE list-price structure of the paper's era:
+//! `n1-standard-1` at $0.05/hour, high-memory at a ~1.25× per-vCPU
+//! premium, high-cpu at a ~0.76× per-vCPU discount, and the shared-core
+//! micro at $0.008/hour. Prices scale linearly with vCPUs within a family.
+
+use hcloud_cloud::{Family, InstanceType};
+
+/// The on-demand hourly price table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rates {
+    /// Dollars per standard vCPU-hour.
+    pub standard_vcpu_hour: f64,
+    /// Per-vCPU multiplier for memory-optimized instances.
+    pub memory_optimized_mult: f64,
+    /// Per-vCPU multiplier for compute-optimized instances.
+    pub compute_optimized_mult: f64,
+    /// Flat hourly price of the shared-core micro instance.
+    pub micro_hour: f64,
+}
+
+impl Default for Rates {
+    fn default() -> Self {
+        Rates {
+            standard_vcpu_hour: 0.05,
+            memory_optimized_mult: 1.25,
+            compute_optimized_mult: 0.76,
+            micro_hour: 0.008,
+        }
+    }
+}
+
+impl Rates {
+    /// The on-demand hourly price of `itype`.
+    pub fn on_demand_hourly(&self, itype: InstanceType) -> f64 {
+        if itype.is_micro() {
+            return self.micro_hour;
+        }
+        let mult = match itype.family() {
+            Family::Standard => 1.0,
+            Family::MemoryOptimized => self.memory_optimized_mult,
+            Family::ComputeOptimized => self.compute_optimized_mult,
+        };
+        self.standard_vcpu_hour * mult * itype.vcpus() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_prices_scale_with_vcpus() {
+        let r = Rates::default();
+        assert!((r.on_demand_hourly(InstanceType::standard(1)) - 0.05).abs() < 1e-12);
+        assert!((r.on_demand_hourly(InstanceType::standard(16)) - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_multipliers_apply() {
+        let r = Rates::default();
+        let st = r.on_demand_hourly(InstanceType::standard(16));
+        let mem = r.on_demand_hourly(InstanceType::m16());
+        let cpu = r.on_demand_hourly(InstanceType::new(Family::ComputeOptimized, 16));
+        assert!(mem > st && cpu < st);
+    }
+
+    #[test]
+    fn micro_is_flat_priced() {
+        let r = Rates::default();
+        assert_eq!(r.on_demand_hourly(InstanceType::MICRO), 0.008);
+    }
+}

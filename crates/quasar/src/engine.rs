@@ -1,0 +1,356 @@
+//! The Quasar classification engine.
+//!
+//! Section 3.3: "When a job is submitted, it is first profiled on two
+//! instance types, while injecting interference in two shared resources,
+//! e.g., last level cache and network bandwidth. This signal is used by a
+//! set of classification techniques which find similarities between the
+//! new and previously-scheduled jobs."
+//!
+//! [`QuasarEngine`] reproduces that pipeline:
+//!
+//! 1. a **corpus** of previously-scheduled jobs (drawn from the workload
+//!    app classes) is factorized into low-rank latent factors;
+//! 2. **profiling** a new job yields four noisy measurements of its true
+//!    sensitivity vector (2 instance types × 2 interference sources);
+//!    profiling on small, shared instances yields noisier measurements;
+//! 3. **classification** folds the sparse signal into the latent space and
+//!    reconstructs the full sensitivity vector, the scalar quality
+//!    requirement `Q`, and the resource amount (core count) the job needs.
+
+use hcloud_cloud::instance_type::VALID_SIZES;
+use hcloud_interference::{resource_quality, Resource, ResourceVector, NUM_RESOURCES};
+use hcloud_sim::dist::{Normal, Sample};
+use hcloud_sim::rng::{RngFactory, SimRng};
+use hcloud_sim::SimDuration;
+use hcloud_workloads::{AppClass, JobSpec};
+
+use crate::matrix::{Matrix, MatrixFactorization};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuasarConfig {
+    /// Number of previously-scheduled jobs in the training corpus.
+    pub corpus_size: usize,
+    /// Factorization rank.
+    pub rank: usize,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD L2 regularization.
+    pub regularization: f64,
+    /// Ridge strength for fold-in.
+    pub ridge: f64,
+    /// The resources observed during profiling (2 instance types × 2
+    /// injected interference sources = 4 measurements).
+    pub profiled_resources: [Resource; 4],
+    /// Wall-clock cost of profiling a job the first time it is submitted
+    /// ("5-10 sec", Section 5.2).
+    pub profiling_time: SimDuration,
+    /// Wall-clock cost of classification ("20 msec on average").
+    pub classification_time: SimDuration,
+}
+
+impl Default for QuasarConfig {
+    fn default() -> Self {
+        QuasarConfig {
+            corpus_size: 240,
+            rank: 4,
+            epochs: 120,
+            learning_rate: 0.05,
+            regularization: 0.01,
+            ridge: 0.05,
+            profiled_resources: [
+                Resource::CacheLlc,
+                Resource::NetBandwidth,
+                Resource::Cpu,
+                Resource::MemBandwidth,
+            ],
+            profiling_time: SimDuration::from_millis(7_500),
+            classification_time: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Where profiling runs, which determines measurement noise.
+///
+/// Profiling on dedicated or large instances is clean; on small shared
+/// instances, external interference corrupts the signal — the mechanism
+/// behind OdM's "lower accuracy" provisioning decisions (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilingEnvironment {
+    /// Std-dev of measurement noise added to each profiled sensitivity.
+    pub noise_sigma: f64,
+}
+
+impl ProfilingEnvironment {
+    /// Profiling on reserved or full-server instances.
+    pub fn clean() -> Self {
+        ProfilingEnvironment { noise_sigma: 0.03 }
+    }
+
+    /// Profiling on small shared instances under external load.
+    pub fn noisy() -> Self {
+        ProfilingEnvironment { noise_sigma: 0.12 }
+    }
+}
+
+/// The sparse signal profiling produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSignal {
+    /// `(resource index, measured sensitivity)` pairs.
+    pub observations: Vec<(usize, f64)>,
+    /// Noisy observation of the job's parallelism/size needs.
+    pub cores_hint: u32,
+}
+
+/// What classification estimates about a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEstimate {
+    /// Reconstructed sensitivity vector.
+    pub sensitivity: ResourceVector,
+    /// The resource quality requirement `Q ∈ [0, 1]` derived from the
+    /// reconstruction (what the mapping policies consume as `QT`).
+    pub quality: f64,
+    /// Estimated cores needed to meet QoS.
+    pub cores: u32,
+}
+
+/// The profiling + classification engine.
+#[derive(Debug, Clone)]
+pub struct QuasarEngine {
+    config: QuasarConfig,
+    factorization: MatrixFactorization,
+    profile_rng: SimRng,
+}
+
+impl QuasarEngine {
+    /// Builds the corpus, trains the factorization, and returns a ready
+    /// engine. Deterministic in `factory`.
+    pub fn new(config: QuasarConfig, factory: &RngFactory) -> QuasarEngine {
+        assert!(config.corpus_size >= NUM_RESOURCES, "corpus too small");
+        let mut corpus_rng = factory.stream("quasar.corpus");
+        let mut r = Matrix::zeros(config.corpus_size, NUM_RESOURCES);
+        for i in 0..config.corpus_size {
+            let class = AppClass::ALL[i % AppClass::ALL.len()];
+            let s = class.sample_sensitivity(&mut corpus_rng);
+            for (j, &v) in s.as_array().iter().enumerate() {
+                r.set(i, j, v);
+            }
+        }
+        let mut train_rng = factory.stream("quasar.train");
+        let factorization = MatrixFactorization::train(
+            &r,
+            config.rank,
+            config.epochs,
+            config.learning_rate,
+            config.regularization,
+            &mut train_rng,
+        );
+        QuasarEngine {
+            config,
+            factorization,
+            profile_rng: factory.stream("quasar.profile"),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &QuasarConfig {
+        &self.config
+    }
+
+    /// Time the profiling run occupies (charged on first submission only).
+    pub fn profiling_time(&self) -> SimDuration {
+        self.config.profiling_time
+    }
+
+    /// Time classification takes.
+    pub fn classification_time(&self) -> SimDuration {
+        self.config.classification_time
+    }
+
+    /// Profiles `job` in `env`, producing the sparse noisy signal.
+    pub fn profile(&mut self, job: &JobSpec, env: &ProfilingEnvironment) -> ProfileSignal {
+        let noise = Normal::new(0.0, env.noise_sigma);
+        let observations = self
+            .config
+            .profiled_resources
+            .iter()
+            .map(|&res| {
+                let truth = job.sensitivity.get(res);
+                let measured = (truth + noise.sample(&mut self.profile_rng)).clamp(0.0, 1.0);
+                (res.index(), measured)
+            })
+            .collect();
+        // Sizing observation: mostly right, occasionally off by one size
+        // step; noisier environments mis-size more often.
+        let steps = Normal::new(0.0, env.noise_sigma * 3.0).sample(&mut self.profile_rng);
+        let true_idx = VALID_SIZES
+            .iter()
+            .position(|&s| s >= job.cores.min(16))
+            .unwrap_or(VALID_SIZES.len() - 1);
+        let idx =
+            (true_idx as f64 + steps.round()).clamp(0.0, (VALID_SIZES.len() - 1) as f64) as usize;
+        ProfileSignal {
+            observations,
+            cores_hint: VALID_SIZES[idx],
+        }
+    }
+
+    /// Classifies a profile signal into a full estimate.
+    pub fn classify(&self, signal: &ProfileSignal) -> JobEstimate {
+        let row = self
+            .factorization
+            .fold_in(&signal.observations, self.config.ridge);
+        let sensitivity = ResourceVector::from_fn(|i| row[i].clamp(0.0, 1.0));
+        JobEstimate {
+            quality: resource_quality(&sensitivity),
+            sensitivity,
+            cores: signal.cores_hint,
+        }
+    }
+
+    /// Profile + classify in one step.
+    pub fn estimate(&mut self, job: &JobSpec, env: &ProfilingEnvironment) -> JobEstimate {
+        let signal = self.profile(job, env);
+        self.classify(&signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::SimTime;
+    use hcloud_workloads::{JobId, JobKind};
+
+    fn engine() -> QuasarEngine {
+        QuasarEngine::new(QuasarConfig::default(), &RngFactory::new(11))
+    }
+
+    fn job_of(class: AppClass, seed: u64) -> JobSpec {
+        let mut rng = SimRng::from_seed_u64(seed);
+        JobSpec {
+            id: JobId(seed),
+            class,
+            arrival: SimTime::ZERO,
+            kind: JobKind::Batch {
+                work_core_secs: 600.0,
+            },
+            cores: 4,
+            sensitivity: class.sample_sensitivity(&mut rng),
+        }
+    }
+
+    #[test]
+    fn clean_classification_recovers_quality() {
+        let mut e = engine();
+        let env = ProfilingEnvironment::clean();
+        let mut total_err = 0.0;
+        let mut n = 0;
+        for (i, class) in AppClass::ALL.iter().enumerate() {
+            for k in 0..10 {
+                let job = job_of(*class, (i * 100 + k) as u64);
+                let est = e.estimate(&job, &env);
+                total_err += (est.quality - job.quality_requirement()).abs();
+                n += 1;
+            }
+        }
+        let mean_err = total_err / n as f64;
+        assert!(mean_err < 0.09, "mean |ΔQ| = {mean_err}");
+    }
+
+    #[test]
+    fn classification_separates_memcached_from_hadoop() {
+        let mut e = engine();
+        let env = ProfilingEnvironment::clean();
+        let mut mc_min = f64::MAX;
+        let mut hd_max = f64::MIN;
+        for k in 0..20 {
+            let mc = e.estimate(&job_of(AppClass::Memcached, k), &env);
+            let hd = e.estimate(&job_of(AppClass::HadoopRecommender, 1000 + k), &env);
+            mc_min = mc_min.min(mc.quality);
+            hd_max = hd_max.max(hd.quality);
+        }
+        assert!(
+            mc_min > hd_max,
+            "memcached min Q {mc_min} should exceed hadoop max Q {hd_max}"
+        );
+    }
+
+    #[test]
+    fn noisy_profiling_degrades_accuracy() {
+        let run = |env: ProfilingEnvironment| {
+            let mut e = engine();
+            let mut err = 0.0;
+            for k in 0..60 {
+                let class = AppClass::ALL[(k % 6) as usize];
+                let job = job_of(class, 5000 + k);
+                let est = e.estimate(&job, &env);
+                err += est.sensitivity.distance(&job.sensitivity);
+            }
+            err / 60.0
+        };
+        let clean = run(ProfilingEnvironment::clean());
+        let noisy = run(ProfilingEnvironment::noisy());
+        assert!(noisy > clean, "noisy {noisy} should exceed clean {clean}");
+    }
+
+    #[test]
+    fn sizing_mostly_correct_when_clean() {
+        let mut e = engine();
+        let env = ProfilingEnvironment::clean();
+        let correct = (0..100)
+            .filter(|&k| {
+                let job = job_of(AppClass::SparkBatch, 9000 + k);
+                e.estimate(&job, &env).cores == 4
+            })
+            .count();
+        assert!(correct >= 90, "correct sizings {correct}/100");
+    }
+
+    #[test]
+    fn sizing_errors_grow_with_noise() {
+        let count_wrong = |env: ProfilingEnvironment| {
+            let mut e = engine();
+            (0..200)
+                .filter(|&k| {
+                    let job = job_of(AppClass::SparkBatch, 7000 + k);
+                    e.estimate(&job, &env).cores != 4
+                })
+                .count()
+        };
+        let clean_wrong = count_wrong(ProfilingEnvironment::clean());
+        let noisy_wrong = count_wrong(ProfilingEnvironment::noisy());
+        assert!(noisy_wrong > clean_wrong, "{noisy_wrong} vs {clean_wrong}");
+    }
+
+    #[test]
+    fn estimates_are_deterministic_given_factory() {
+        let mut a = engine();
+        let mut b = engine();
+        let job = job_of(AppClass::Memcached, 1);
+        let env = ProfilingEnvironment::clean();
+        assert_eq!(a.estimate(&job, &env), b.estimate(&job, &env));
+    }
+
+    #[test]
+    fn overhead_constants_match_section_5_2() {
+        let e = engine();
+        let prof = e.profiling_time().as_secs_f64();
+        let class = e.classification_time().as_secs_f64();
+        assert!((5.0..=10.0).contains(&prof), "profiling {prof}s");
+        assert!(class <= 0.05, "classification {class}s");
+    }
+
+    #[test]
+    fn estimated_sensitivity_is_unit_range() {
+        let mut e = engine();
+        let env = ProfilingEnvironment::noisy();
+        for k in 0..30 {
+            let job = job_of(AppClass::ALL[(k % 6) as usize], 333 + k);
+            let est = e.estimate(&job, &env);
+            assert!(est.sensitivity.is_unit_range());
+            assert!((0.0..=1.0).contains(&est.quality));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # hcloud-quasar — profiling and classification substrate
+//!
+//! HCloud relies on the Quasar cluster manager (the paper's reference
+//! \[21\]) to "quickly determine the resource preferences of new, unknown
+//! jobs": a job is profiled briefly on two instance types while injecting
+//! interference in two shared resources, and classification techniques
+//! (collaborative filtering) complete the picture from similarities with
+//! previously scheduled jobs. This crate implements that mechanism:
+//!
+//! * [`matrix`] — a small dense-matrix toolkit with SGD-trained low-rank
+//!   factorization and least-squares fold-in, the PQ-reconstruction engine
+//!   behind collaborative filtering;
+//! * [`engine`] — the [`engine::QuasarEngine`]: a corpus of
+//!   previously-scheduled jobs, the profiling step (noisy sparse
+//!   observations of the true sensitivity vector), and classification
+//!   (matrix completion + resource sizing).
+//!
+//! Ground truth lives in the workload generator; the engine only ever sees
+//! noisy profiling signals. Profiling noise grows when the profiling runs
+//! on small shared instances — which is exactly why the paper notes that
+//! OdM's "provisioning decisions may have lower accuracy" (Section 3.3).
+
+pub mod engine;
+pub mod matrix;
+
+pub use engine::{JobEstimate, ProfilingEnvironment, QuasarConfig, QuasarEngine};
+pub use matrix::{Matrix, MatrixFactorization};

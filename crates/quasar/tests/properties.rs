@@ -1,0 +1,83 @@
+//! Property-based tests for the matrix-completion machinery.
+
+use hcloud_quasar::matrix::{solve, Matrix, MatrixFactorization};
+use hcloud_sim::rng::SimRng;
+use proptest::prelude::*;
+
+/// A random diagonally-dominant matrix (always invertible).
+fn dominant_matrix(n: usize, entries: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        let mut row_sum = 0.0;
+        for c in 0..n {
+            if r != c {
+                let v = entries[(r * n + c) % entries.len()];
+                m.set(r, c, v);
+                row_sum += v.abs();
+            }
+        }
+        m.set(r, r, row_sum + 1.0);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gaussian elimination inverts well-conditioned systems: solving
+    /// `A x = A·y` recovers `y`.
+    #[test]
+    fn solve_recovers_known_solutions(
+        n in 1usize..6,
+        entries in prop::collection::vec(-2.0f64..2.0, 36),
+        y in prop::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let a = dominant_matrix(n, &entries);
+        let y = &y[..n];
+        // b = A·y
+        let b: Vec<f64> = (0..n)
+            .map(|r| (0..n).map(|c| a.get(r, c) * y[c]).sum())
+            .collect();
+        let x = solve(&a, &b).expect("diagonally dominant systems are solvable");
+        for (xi, yi) in x.iter().zip(y) {
+            prop_assert!((xi - yi).abs() < 1e-6, "{xi} vs {yi}");
+        }
+    }
+
+    /// Fold-in always produces finite reconstructions, even for
+    /// degenerate observations.
+    #[test]
+    fn fold_in_is_total(
+        seed in any::<u64>(),
+        observations in prop::collection::vec((0usize..10, -5.0f64..5.0), 0..8),
+        ridge in 0.001f64..1.0,
+    ) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        let mut r = Matrix::zeros(20, 10);
+        r.randomize(1.0, &mut rng);
+        let f = MatrixFactorization::train(&r, 3, 20, 0.05, 0.01, &mut rng);
+        let row = f.fold_in(&observations, ridge);
+        prop_assert_eq!(row.len(), 10);
+        prop_assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    /// Training reduces reconstruction error relative to the random
+    /// initialization for genuinely low-rank data.
+    #[test]
+    fn training_learns_low_rank_structure(seed in 0u64..200) {
+        let mut rng = SimRng::from_seed_u64(seed);
+        // Rank-2 ground truth.
+        let mut r = Matrix::zeros(30, 10);
+        for i in 0..30 {
+            for j in 0..10 {
+                let a = ((i % 5) as f64) / 5.0;
+                let b = ((i % 3) as f64) / 3.0;
+                r.set(i, j, a * ((j % 4) as f64 / 4.0) + b * ((j % 2) as f64));
+            }
+        }
+        let trained = MatrixFactorization::train(&r, 3, 120, 0.05, 0.005, &mut rng);
+        let barely = MatrixFactorization::train(&r, 3, 1, 0.05, 0.005, &mut rng);
+        prop_assert!(trained.rmse(&r) < barely.rmse(&r));
+        prop_assert!(trained.rmse(&r) < 0.15, "rmse {}", trained.rmse(&r));
+    }
+}

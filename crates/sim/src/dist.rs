@@ -1,0 +1,534 @@
+//! Probability distributions for the cloud and workload models.
+//!
+//! All distributions implement [`Sample`], producing `f64` values from any
+//! [`rand::Rng`]. The set covers everything the HCloud models need:
+//!
+//! * [`Exponential`] — job inter-arrival times (1 s mean in all scenarios);
+//! * [`Normal`] / [`TruncatedNormal`] — external-load fluctuation
+//!   (±10% around 25% utilization) and profiling noise;
+//! * [`LogNormal`] — instance spin-up overheads (mean 12–19 s with a heavy
+//!   2-minute p95 tail, matching Section 3.2);
+//! * [`Pareto`] — heavy-tailed batch job sizes;
+//! * [`Empirical`] — resampling from measured values (used to model the
+//!   per-instance-type performance variability of Figures 1–2);
+//! * [`Constant`], [`Uniform`], [`Bernoulli`] — building blocks.
+//!
+//! [`Dist`] is a dynamic-dispatch-free enum over all of these so model
+//! configuration structs can hold "some distribution" without generics.
+
+use rand::Rng;
+
+/// Types that can draw samples using an external RNG.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The distribution mean, used by sizing heuristics.
+    fn mean(&self) -> f64;
+}
+
+/// A degenerate distribution that always returns the same value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential distribution with the given mean (rate = 1/mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exponential { mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF; 1 - u in (0, 1] avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -self.mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Normal distribution (Marsaglia polar method).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation
+    /// `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid normal parameters mu={mu} sigma={sigma}"
+        );
+        Normal { mu, sigma }
+    }
+
+    /// Draws one standard-normal variate.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u = rng.gen::<f64>() * 2.0 - 1.0;
+            let v = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * Normal::standard(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Normal distribution clamped to `[lo, hi]` by rejection (with a clamp
+/// fallback after a bounded number of rejections, so sampling always
+/// terminates even for pathological bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid truncation bounds [{lo}, {hi}]");
+        TruncatedNormal {
+            inner: Normal::new(mu, sigma),
+            lo,
+            hi,
+        }
+    }
+}
+
+impl Sample for TruncatedNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        for _ in 0..64 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        // Approximation: adequate for the near-symmetric truncations the
+        // models use (load fluctuation bands).
+        self.inner.mean().clamp(self.lo, self.hi)
+    }
+}
+
+/// Log-normal distribution parameterized by the *target* mean and the
+/// sigma of the underlying normal.
+///
+/// Spin-up overheads use this: heavy right tail, strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    mu: f64,
+    /// Std-dev of the underlying normal.
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    pub fn from_underlying(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal parameters"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal whose *resulting* distribution has the given
+    /// mean, with shape `sigma` (std-dev of the underlying normal).
+    ///
+    /// # Panics
+    /// Panics if `mean <= 0`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
+        // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        LogNormal::from_underlying(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "invalid Pareto parameters x_min={x_min} alpha={alpha}"
+        );
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        self.x_min / (1.0 - u).max(f64::MIN_POSITIVE).powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Bernoulli distribution returning 1.0 with probability `p`, else 0.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli p must be in [0,1], got {p}"
+        );
+        Bernoulli { p }
+    }
+}
+
+impl Sample for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen::<f64>() < self.p {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Empirical distribution: resamples uniformly from recorded values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from observed `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains non-finite entries.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            !values.is_empty(),
+            "empirical distribution needs at least one value"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "empirical values must be finite"
+        );
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Empirical { values, mean }
+    }
+
+    /// The recorded values backing this distribution.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Sample for Empirical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.values[rng.gen_range(0..self.values.len())]
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// A closed enum over every distribution, so configuration structs can hold
+/// an arbitrary distribution without generics or boxing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// See [`Constant`].
+    Constant(Constant),
+    /// See [`Uniform`].
+    Uniform(Uniform),
+    /// See [`Exponential`].
+    Exponential(Exponential),
+    /// See [`Normal`].
+    Normal(Normal),
+    /// See [`TruncatedNormal`].
+    TruncatedNormal(TruncatedNormal),
+    /// See [`LogNormal`].
+    LogNormal(LogNormal),
+    /// See [`Pareto`].
+    Pareto(Pareto),
+    /// See [`Bernoulli`].
+    Bernoulli(Bernoulli),
+    /// See [`Empirical`].
+    Empirical(Empirical),
+}
+
+impl Dist {
+    /// Shorthand for a constant.
+    pub fn constant(v: f64) -> Dist {
+        Dist::Constant(Constant(v))
+    }
+    /// Shorthand for a uniform on `[lo, hi)`.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        Dist::Uniform(Uniform::new(lo, hi))
+    }
+    /// Shorthand for an exponential with the given mean.
+    pub fn exponential(mean: f64) -> Dist {
+        Dist::Exponential(Exponential::with_mean(mean))
+    }
+    /// Shorthand for a normal.
+    pub fn normal(mu: f64, sigma: f64) -> Dist {
+        Dist::Normal(Normal::new(mu, sigma))
+    }
+    /// Shorthand for a log-normal with the given resulting mean and shape.
+    pub fn log_normal_mean(mean: f64, sigma: f64) -> Dist {
+        Dist::LogNormal(LogNormal::with_mean(mean, sigma))
+    }
+}
+
+impl Sample for Dist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(d) => d.sample(rng),
+            Dist::Uniform(d) => d.sample(rng),
+            Dist::Exponential(d) => d.sample(rng),
+            Dist::Normal(d) => d.sample(rng),
+            Dist::TruncatedNormal(d) => d.sample(rng),
+            Dist::LogNormal(d) => d.sample(rng),
+            Dist::Pareto(d) => d.sample(rng),
+            Dist::Bernoulli(d) => d.sample(rng),
+            Dist::Empirical(d) => d.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(d) => d.mean(),
+            Dist::Uniform(d) => d.mean(),
+            Dist::Exponential(d) => d.mean(),
+            Dist::Normal(d) => d.mean(),
+            Dist::TruncatedNormal(d) => d.mean(),
+            Dist::LogNormal(d) => d.mean(),
+            Dist::Pareto(d) => d.mean(),
+            Dist::Bernoulli(d) => d.mean(),
+            Dist::Empirical(d) => d.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn sample_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::from_seed_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let d = Exponential::with_mean(2.0);
+        let m = sample_mean(&d, 50_000, 1);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = Normal::new(5.0, 2.0);
+        let mut rng = SimRng::from_seed_u64(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_with_mean_hits_target() {
+        let d = LogNormal::with_mean(15.0, 0.9);
+        let m = sample_mean(&d, 200_000, 3);
+        assert!((m - 15.0).abs() < 0.5, "mean {m}");
+        assert!(m > 0.0);
+    }
+
+    #[test]
+    fn log_normal_samples_positive() {
+        let d = LogNormal::with_mean(1.0, 2.0);
+        let mut rng = SimRng::from_seed_u64(4);
+        assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(0.25, 0.1, 0.15, 0.35);
+        let mut rng = SimRng::from_seed_u64(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.15..=0.35).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn pareto_exceeds_scale_and_matches_mean() {
+        let d = Pareto::new(1.0, 3.0);
+        let mut rng = SimRng::from_seed_u64(6);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        let m = sample_mean(&d, 100_000, 7);
+        assert!((m - 1.5).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_mean_infinite_for_small_alpha() {
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let d = Bernoulli::new(0.3);
+        let m = sample_mean(&d, 50_000, 8);
+        assert!((m - 0.3).abs() < 0.01, "rate {m}");
+    }
+
+    #[test]
+    fn empirical_resamples_only_observed_values() {
+        let d = Empirical::new(vec![1.0, 2.0, 4.0]);
+        let mut rng = SimRng::from_seed_u64(9);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(x == 1.0 || x == 2.0 || x == 4.0);
+        }
+        assert!((d.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_enum_dispatches() {
+        let d = Dist::exponential(1.0);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        let m = sample_mean(&d, 20_000, 10);
+        assert!((m - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean must be positive")]
+    fn exponential_rejects_bad_mean() {
+        Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empirical distribution needs at least one value")]
+    fn empirical_rejects_empty() {
+        Empirical::new(vec![]);
+    }
+
+    #[test]
+    fn uniform_degenerate_interval_is_constant() {
+        let d = Uniform::new(3.0, 3.0);
+        let mut rng = SimRng::from_seed_u64(11);
+        assert_eq!(d.sample(&mut rng), 3.0);
+    }
+}

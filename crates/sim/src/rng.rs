@@ -1,0 +1,251 @@
+//! Reproducible, named random-number streams.
+//!
+//! Every source of randomness in an HCloud experiment (spin-up overheads,
+//! external-load fluctuation, job generation, profiling noise, …) draws from
+//! its own named stream derived from a single master seed. Stream derivation
+//! uses a splittable hash so that:
+//!
+//! * the same `(master seed, stream name)` pair always yields the same
+//!   stream, and
+//! * adding a *new* consumer of randomness never perturbs existing streams
+//!   (unlike handing out draws from one shared RNG).
+//!
+//! The generator itself is `xoshiro256**`, implemented here directly (it is
+//! ~20 lines) and exposed through the [`rand::RngCore`] traits so the whole
+//! `rand` API (ranges, shuffles, Bernoulli, …) is available on top.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step, used for seeding (the construction recommended by the
+/// xoshiro authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte string, used to fold stream names into seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    hash
+}
+
+/// A deterministic `xoshiro256**` pseudo-random generator.
+///
+/// ```
+/// use hcloud_sim::rng::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::from_seed_u64(42);
+/// let mut b = SimRng::from_seed_u64(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+        // cannot produce four zero outputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            SimRng { s: [1, 2, 3, 4] }
+        } else {
+            SimRng { s }
+        }
+    }
+
+    fn next_raw(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SimRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SimRng::from_seed_u64(u64::from_le_bytes(seed))
+    }
+}
+
+/// Derives independent named [`SimRng`] streams from one master seed.
+///
+/// ```
+/// use hcloud_sim::rng::RngFactory;
+/// use rand::Rng;
+///
+/// let factory = RngFactory::new(7);
+/// let mut spin_up = factory.stream("cloud.spin_up");
+/// let mut arrivals = factory.stream("workload.arrivals");
+/// // Streams are independent and reproducible:
+/// assert_eq!(
+///     factory.stream("cloud.spin_up").gen::<u64>(),
+///     spin_up.gen::<u64>(),
+/// );
+/// assert_ne!(spin_up.gen::<u64>(), arrivals.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory for the given master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the stream named `name`.
+    ///
+    /// Calling this twice with the same name returns generators in
+    /// identical states.
+    pub fn stream(&self, name: &str) -> SimRng {
+        SimRng::from_seed_u64(self.master_seed ^ fnv1a(name.as_bytes()))
+    }
+
+    /// Returns the stream for `name` specialized by an index, for per-entity
+    /// streams such as per-server interference.
+    pub fn indexed_stream(&self, name: &str, index: u64) -> SimRng {
+        let mut mix =
+            self.master_seed ^ fnv1a(name.as_bytes()) ^ index.wrapping_mul(0x9E3779B97F4A7C15);
+        SimRng::from_seed_u64(splitmix64(&mut mix))
+    }
+
+    /// Derives a child factory, for nesting experiments (e.g. one factory
+    /// per sweep point derived from the sweep's factory).
+    pub fn child(&self, name: &str) -> RngFactory {
+        RngFactory {
+            master_seed: self.master_seed ^ fnv1a(name.as_bytes()).rotate_left(17),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::from_seed_u64(123);
+        let mut b = SimRng::from_seed_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_seed_u64(1);
+        let mut b = SimRng::from_seed_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_independent_of_creation_order() {
+        let f = RngFactory::new(99);
+        let mut x1 = f.stream("x");
+        let _y = f.stream("y");
+        let mut x2 = f.stream("x");
+        assert_eq!(x1.next_u64(), x2.next_u64());
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let f = RngFactory::new(5);
+        let mut s0 = f.indexed_stream("server", 0);
+        let mut s1 = f.indexed_stream("server", 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn child_factories_are_reproducible() {
+        let f = RngFactory::new(11);
+        let mut a = f.child("sweep:0").stream("arrivals");
+        let mut b = f.child("sweep:0").stream("arrivals");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = f.child("sweep:1").stream("arrivals");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_lengths() {
+        let mut rng = SimRng::from_seed_u64(3);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // With 31 random bytes, all-zeros is astronomically unlikely.
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} produced zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_range_looks_uniform() {
+        let mut rng = SimRng::from_seed_u64(777);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Step-function time series for allocation, utilization and cost traces.
+//!
+//! The paper's trace figures (Figure 3 required cores; Figure 18 allocated
+//! vs required cores; Figures 19–21 utilization) are all piecewise-constant
+//! functions of time. [`StepSeries`] records the value changes and answers
+//! point queries, time-weighted averages, and resampling onto a regular
+//! grid for plotting.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A piecewise-constant (right-continuous) time series.
+///
+/// The value at a time `t` is the value most recently recorded at or before
+/// `t`; before the first record it is the `initial` value.
+///
+/// ```
+/// use hcloud_sim::{SimTime, series::StepSeries};
+///
+/// let mut s = StepSeries::new(0.0);
+/// s.record(SimTime::from_secs(10), 5.0);
+/// s.record(SimTime::from_secs(20), 2.0);
+/// assert_eq!(s.value_at(SimTime::from_secs(5)), 0.0);
+/// assert_eq!(s.value_at(SimTime::from_secs(10)), 5.0);
+/// assert_eq!(s.value_at(SimTime::from_secs(25)), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSeries {
+    initial: f64,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates a series whose value is `initial` until the first record.
+    pub fn new(initial: f64) -> Self {
+        StepSeries {
+            initial,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records that the value becomes `value` at instant `at`.
+    ///
+    /// Records must be appended in non-decreasing time order; a record at
+    /// the same instant as the previous one overwrites it.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `at` precedes the last recorded instant.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            debug_assert!(at >= last_t, "StepSeries record out of order");
+            if last_t == at {
+                *last_v = value;
+                return;
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Adds `delta` to the current value at instant `at` (convenience for
+    /// counters like "cores allocated").
+    pub fn record_delta(&mut self, at: SimTime, delta: f64) {
+        let current = self.last_value();
+        self.record(at, current + delta);
+    }
+
+    /// The value at instant `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => self.initial,
+            n => self.points[n - 1].1,
+        }
+    }
+
+    /// The most recently recorded value (or the initial value).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(self.initial, |&(_, v)| v)
+    }
+
+    /// The instant of the last record, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.points.last().map(|&(t, _)| t)
+    }
+
+    /// Time-weighted average over `[from, to)`.
+    ///
+    /// Returns `None` when the window is empty (`from >= to`).
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        if from >= to {
+            return None;
+        }
+        let mut weighted = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt >= to {
+                break;
+            }
+            weighted += value * (pt - cursor).as_secs_f64();
+            cursor = pt;
+            value = v;
+        }
+        weighted += value * (to - cursor).as_secs_f64();
+        Some(weighted / (to - from).as_secs_f64())
+    }
+
+    /// The maximum value attained in `[from, to]` (including the value
+    /// carried into the window).
+    pub fn max_over(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut max = self.value_at(from);
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt > to {
+                break;
+            }
+            max = max.max(v);
+        }
+        max
+    }
+
+    /// The minimum value attained in `[from, to]`.
+    pub fn min_over(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut min = self.value_at(from);
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt > to {
+                break;
+            }
+            min = min.min(v);
+        }
+        min
+    }
+
+    /// Samples the series every `step` over `[from, to]`, inclusive of both
+    /// endpoints — the shape figure binaries plot these grids directly.
+    ///
+    /// # Panics
+    /// Panics if `step` is zero.
+    pub fn resample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(step > SimDuration::ZERO, "resample step must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t <= to {
+            out.push((t, self.value_at(t)));
+            if t == SimTime::MAX {
+                break;
+            }
+            t = t.saturating_add(step);
+        }
+        out
+    }
+
+    /// Raw change points `(time, new_value)`.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Integral of the series over `[from, to)` in value·seconds
+    /// (e.g. core-seconds when the series tracks allocated cores).
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        self.time_weighted_mean(from, to)
+            .map_or(0.0, |m| m * (to - from).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn value_at_respects_steps() {
+        let mut s = StepSeries::new(1.0);
+        s.record(t(10), 3.0);
+        s.record(t(20), 0.5);
+        assert_eq!(s.value_at(t(0)), 1.0);
+        assert_eq!(s.value_at(t(9)), 1.0);
+        assert_eq!(s.value_at(t(10)), 3.0);
+        assert_eq!(s.value_at(t(19)), 3.0);
+        assert_eq!(s.value_at(t(20)), 0.5);
+        assert_eq!(s.value_at(t(1000)), 0.5);
+    }
+
+    #[test]
+    fn same_instant_overwrites() {
+        let mut s = StepSeries::new(0.0);
+        s.record(t(5), 1.0);
+        s.record(t(5), 2.0);
+        assert_eq!(s.points().len(), 1);
+        assert_eq!(s.value_at(t(5)), 2.0);
+    }
+
+    #[test]
+    fn record_delta_accumulates() {
+        let mut s = StepSeries::new(10.0);
+        s.record_delta(t(1), 5.0);
+        s.record_delta(t(2), -3.0);
+        assert_eq!(s.value_at(t(1)), 15.0);
+        assert_eq!(s.value_at(t(2)), 12.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut s = StepSeries::new(0.0);
+        s.record(t(10), 10.0);
+        // [0,10): 0.0 for 10s; [10,20): 10.0 for 10s → mean 5.0
+        let m = s.time_weighted_mean(t(0), t(20)).unwrap();
+        assert!((m - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean_subwindow() {
+        let mut s = StepSeries::new(2.0);
+        s.record(t(10), 4.0);
+        s.record(t(30), 8.0);
+        // window [5, 35): 2.0 for 5s, 4.0 for 20s, 8.0 for 5s
+        let m = s.time_weighted_mean(t(5), t(35)).unwrap();
+        assert!((m - (2.0 * 5.0 + 4.0 * 20.0 + 8.0 * 5.0) / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        let s = StepSeries::new(1.0);
+        assert_eq!(s.time_weighted_mean(t(5), t(5)), None);
+    }
+
+    #[test]
+    fn max_min_over_window() {
+        let mut s = StepSeries::new(5.0);
+        s.record(t(10), 1.0);
+        s.record(t(20), 9.0);
+        assert_eq!(s.max_over(t(0), t(15)), 5.0);
+        assert_eq!(s.min_over(t(0), t(15)), 1.0);
+        assert_eq!(s.max_over(t(0), t(25)), 9.0);
+        assert_eq!(s.min_over(t(12), t(15)), 1.0);
+    }
+
+    #[test]
+    fn resample_produces_grid() {
+        let mut s = StepSeries::new(0.0);
+        s.record(t(3), 7.0);
+        let grid = s.resample(t(0), t(6), SimDuration::from_secs(2));
+        assert_eq!(
+            grid,
+            vec![(t(0), 0.0), (t(2), 0.0), (t(4), 7.0), (t(6), 7.0)]
+        );
+    }
+
+    #[test]
+    fn integral_is_area_under_curve() {
+        let mut s = StepSeries::new(0.0);
+        s.record(t(0), 100.0); // 100 cores from t=0
+        s.record(t(60), 50.0); // 50 cores from t=60
+        let core_seconds = s.integral(t(0), t(120));
+        assert!((core_seconds - (100.0 * 60.0 + 50.0 * 60.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,176 @@
+//! The memcached tail-latency model.
+//!
+//! memcached "needs to satisfy tail latency guarantees, as opposed to
+//! average performance" (Section 1, citing The Tail at Scale). The model
+//! here is an M/G/k-style approximation collapsed to an effective
+//! single-server queue:
+//!
+//! * interference inflates the mean service time multiplicatively
+//!   (`S' = S × slowdown`);
+//! * utilization is `ρ = λ·S′ / k` for `k` allocated cores;
+//! * p99 sojourn time ≈ `S′ · ln(100) / (1 − ρ)`, the exponential-queue
+//!   tail quantile, with ρ clamped just below 1 so saturated services
+//!   report latencies in the tens of milliseconds — the magnitudes of the
+//!   paper's high-variability violin plots (15–20 ms for OdM).
+//!
+//! The two knobs that matter for reproducing the paper are (a) p99 grows
+//! slowly while ρ is moderate and (b) it explodes once interference or
+//! under-allocation pushes ρ near 1.
+
+/// The latency model parameters.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Mean request service time in microseconds on an uncontended core.
+    pub base_service_us: f64,
+    /// Target utilization the sizing heuristic provisions for.
+    pub target_utilization: f64,
+    /// Utilization clamp: effective ρ never exceeds this, bounding
+    /// reported saturation latency.
+    pub max_utilization: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_service_us: 50.0,
+            target_utilization: 0.60,
+            max_utilization: 0.99,
+        }
+    }
+}
+
+/// `ln(100)`: the p99 quantile factor of an exponential sojourn tail.
+const P99_FACTOR: f64 = 4.605_170_185_988_091;
+
+impl LatencyModel {
+    /// Requests per second one uncontended core sustains at ρ = 1.
+    pub fn per_core_capacity_rps(&self) -> f64 {
+        1e6 / self.base_service_us
+    }
+
+    /// The offered load (rps) that puts `cores` cores at the target
+    /// utilization — how the scenario generator derives a service's load
+    /// from its core count.
+    pub fn offered_rps_for(&self, cores: u32) -> f64 {
+        self.per_core_capacity_rps() * self.target_utilization * cores as f64
+    }
+
+    /// Cores needed to serve `offered_rps` at the target utilization
+    /// (minimum 1) — the Quasar-informed sizing decision.
+    pub fn cores_for(&self, offered_rps: f64) -> u32 {
+        assert!(offered_rps >= 0.0, "offered load must be non-negative");
+        (offered_rps / (self.per_core_capacity_rps() * self.target_utilization)).ceil() as u32
+    }
+
+    /// The utilization of `cores` cores under `offered_rps` with service
+    /// times inflated by `slowdown` (unclamped; may exceed 1).
+    pub fn utilization(&self, offered_rps: f64, cores: u32, slowdown: f64) -> f64 {
+        assert!(cores > 0, "latency service needs at least one core");
+        debug_assert!(slowdown >= 1.0);
+        offered_rps * self.base_service_us * slowdown / (1e6 * cores as f64)
+    }
+
+    /// p99 request latency in microseconds.
+    pub fn p99_latency_us(&self, offered_rps: f64, cores: u32, slowdown: f64) -> f64 {
+        let s_eff = self.base_service_us * slowdown;
+        let rho = self
+            .utilization(offered_rps, cores, slowdown)
+            .min(self.max_utilization);
+        s_eff * P99_FACTOR / (1.0 - rho)
+    }
+
+    /// p99 latency with no interference and ideal sizing — the isolation
+    /// baseline performance is normalized against (Figures 6, 14b, 16).
+    pub fn isolation_p99_us(&self, offered_rps: f64, cores: u32) -> f64 {
+        self.p99_latency_us(offered_rps, cores, 1.0)
+    }
+
+    /// The saturation-level p99: what clients experience while the
+    /// service is effectively unavailable (waiting for instance spin-up
+    /// or queued for capacity). Spin-up overhead is how on-demand
+    /// strategies lose latency QoS in the paper's variable scenarios.
+    pub fn saturated_p99_us(&self) -> f64 {
+        self.base_service_us * P99_FACTOR / (1.0 - self.max_utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_round_trips() {
+        let m = LatencyModel::default();
+        for cores in 1..=16u32 {
+            let rps = m.offered_rps_for(cores);
+            assert_eq!(m.cores_for(rps), cores, "cores {cores}");
+        }
+    }
+
+    #[test]
+    fn isolation_p99_is_sub_millisecond() {
+        let m = LatencyModel::default();
+        let rps = m.offered_rps_for(2);
+        let p99 = m.isolation_p99_us(rps, 2);
+        assert!(
+            (300.0..1500.0).contains(&p99),
+            "isolation p99 {p99}us out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let m = LatencyModel::default();
+        let mut last = 0.0;
+        for step in 1..=20 {
+            let rps = 1000.0 * step as f64;
+            let p99 = m.p99_latency_us(rps, 2, 1.0);
+            assert!(p99 > last);
+            last = p99;
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_slowdown() {
+        let m = LatencyModel::default();
+        let rps = m.offered_rps_for(2);
+        let a = m.p99_latency_us(rps, 2, 1.0);
+        let b = m.p99_latency_us(rps, 2, 1.3);
+        let c = m.p99_latency_us(rps, 2, 1.6);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn more_cores_reduce_latency() {
+        let m = LatencyModel::default();
+        let rps = m.offered_rps_for(2);
+        assert!(m.p99_latency_us(rps, 4, 1.0) < m.p99_latency_us(rps, 2, 1.0));
+    }
+
+    #[test]
+    fn interference_near_saturation_explodes_to_paper_magnitudes() {
+        let m = LatencyModel::default();
+        let rps = m.offered_rps_for(2);
+        // A 1.55x slowdown pushes rho from 0.6 to ~0.93.
+        let p99 = m.p99_latency_us(rps, 2, 1.55);
+        assert!(
+            (3_000.0..40_000.0).contains(&p99),
+            "near-saturation p99 {p99}us; paper reports 15-20ms blowups"
+        );
+    }
+
+    #[test]
+    fn saturation_is_bounded() {
+        let m = LatencyModel::default();
+        let p99 = m.p99_latency_us(1e9, 1, 4.0);
+        assert!(p99.is_finite());
+        assert!(p99 < 1e6, "bounded below one second, got {p99}us");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        LatencyModel::default().utilization(1000.0, 0, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hcloud-workloads — workload and scenario substrate
+//!
+//! The paper's scenarios mix **batch analytics** (Hadoop jobs running
+//! Mahout recommender systems, support vector machines and matrix
+//! factorization, plus Spark jobs) with a **latency-critical service**
+//! (memcached driven at varying loads). This crate models both and
+//! generates the three workload scenarios of Figure 3 / Table 2:
+//!
+//! * [`job`] — job specifications: application classes, ground-truth
+//!   interference sensitivity vectors, resource needs, and the
+//!   batch-completion-time model;
+//! * [`latency`] — the memcached tail-latency model: an M/G/k-style
+//!   approximation whose service times are inflated by interference, so
+//!   p99 latency explodes near saturation exactly like the paper's
+//!   violin plots;
+//! * [`scenario`] — the Static, Low-Variability and High-Variability
+//!   scenarios: target required-core curves and a deterministic job-stream
+//!   generator that tracks them.
+//!
+//! Jobs are generated **independently of any provisioning strategy**, so
+//! every strategy in a comparison faces the identical workload — the
+//! property the paper's repeatable-interference methodology provides.
+
+pub mod job;
+pub mod latency;
+pub mod scenario;
+
+pub use job::{AppClass, JobId, JobKind, JobSpec};
+pub use latency::LatencyModel;
+pub use scenario::{Scenario, ScenarioConfig, ScenarioKind};

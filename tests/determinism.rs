@@ -1,0 +1,103 @@
+//! Integration tests: determinism and workload/strategy independence.
+
+use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::generate(
+        ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.1, 20),
+        &RngFactory::new(seed),
+    )
+}
+
+#[test]
+fn identical_seeds_reproduce_runs_bit_for_bit() {
+    let run = || {
+        let s = scenario(1);
+        run_scenario(
+            &s,
+            &RunConfig::new(StrategyKind::HybridMixed),
+            &RngFactory::new(1),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.counters.od_acquired, b.counters.od_acquired);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.usage_records.len(), b.usage_records.len());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = scenario(1);
+    let b = scenario(2);
+    assert_ne!(
+        a.jobs().iter().map(|j| j.arrival).collect::<Vec<_>>(),
+        b.jobs().iter().map(|j| j.arrival).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn workload_is_identical_across_strategies() {
+    // The scenario is generated before any strategy sees it — every
+    // strategy must face the same jobs (the paper's repeatable
+    // methodology).
+    let s = scenario(7);
+    let ids: Vec<_> = s.jobs().iter().map(|j| j.id).collect();
+    for strategy in StrategyKind::ALL {
+        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(7));
+        let mut done: Vec<_> = r.outcomes.iter().map(|o| o.id).collect();
+        done.sort();
+        let mut expect = ids.clone();
+        expect.sort();
+        assert_eq!(done, expect, "{strategy} lost or invented jobs");
+    }
+}
+
+#[test]
+fn interference_is_repeatable_across_strategies() {
+    // Two strategies observing the same instance id at the same time see
+    // the same external pressure (the container methodology of §2.2).
+    use hcloud_cloud::{Cloud, CloudConfig, InstanceType};
+    use hcloud_sim::SimTime;
+    let mk = || Cloud::new(CloudConfig::default(), RngFactory::new(99).child("cloud"));
+    let mut c1 = mk();
+    let mut c2 = mk();
+    let a = c1.acquire(InstanceType::standard(2), SimTime::ZERO);
+    let b = c2.acquire(InstanceType::standard(2), SimTime::ZERO);
+    for k in 1..50 {
+        let t = SimTime::from_secs(k * 13);
+        assert_eq!(c1.external_pressure(a, t), c2.external_pressure(b, t));
+    }
+}
+
+#[test]
+fn outcomes_are_internally_consistent() {
+    let s = scenario(3);
+    for strategy in StrategyKind::ALL {
+        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(3));
+        for o in &r.outcomes {
+            assert!(o.started >= o.arrival, "{strategy}: started before arrival");
+            assert!(o.finished >= o.started, "{strategy}: finished before start");
+            assert!(
+                (0.0..=1.0).contains(&o.normalized_perf),
+                "{strategy}: perf bounds"
+            );
+            assert_eq!(
+                o.completion.is_some(),
+                !o.is_latency_critical(),
+                "{strategy}: metric/kind mismatch"
+            );
+            assert!(
+                o.cores >= 1 && o.cores <= 16,
+                "{strategy}: cores {}",
+                o.cores
+            );
+        }
+        for u in &r.usage_records {
+            assert!(u.to >= u.from, "{strategy}: negative usage interval");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests: extreme and degenerate configurations must degrade
+//! gracefully, never panic, and never lose jobs.
+
+use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
+
+fn scenario() -> Scenario {
+    Scenario::generate(
+        ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.08, 15),
+        &RngFactory::new(5),
+    )
+}
+
+fn assert_all_complete(config: &RunConfig, label: &str) {
+    let s = scenario();
+    let r = run_scenario(&s, config, &RngFactory::new(5));
+    assert_eq!(r.outcomes.len(), s.jobs().len(), "{label}: jobs lost");
+    for o in &r.outcomes {
+        assert!(o.normalized_perf.is_finite(), "{label}: non-finite perf");
+    }
+}
+
+#[test]
+fn zero_retention_still_completes() {
+    for strategy in StrategyKind::ALL {
+        let mut c = RunConfig::new(strategy);
+        c.retention_mult = 0.0;
+        assert_all_complete(&c, "zero retention");
+    }
+}
+
+#[test]
+fn saturated_external_load_still_completes() {
+    for strategy in [StrategyKind::OnDemandMixed, StrategyKind::HybridMixed] {
+        let mut c = RunConfig::new(strategy);
+        c.cloud.external = ExternalLoadModel::with_mean(1.0);
+        assert_all_complete(&c, "external load 100%");
+    }
+}
+
+#[test]
+fn free_spin_up_still_completes() {
+    let mut c = RunConfig::new(StrategyKind::OnDemandFull);
+    c.cloud.spin_up = SpinUpModel::instant();
+    assert_all_complete(&c, "instant spin-up");
+}
+
+#[test]
+fn huge_spin_up_still_completes() {
+    let mut c = RunConfig::new(StrategyKind::OnDemandMixed);
+    c.cloud.spin_up = SpinUpModel::with_mean_secs(300.0);
+    assert_all_complete(&c, "5-minute spin-up");
+}
+
+#[test]
+fn starved_reserved_pool_still_completes() {
+    // A single reserved server under a hybrid: everything overflows.
+    let mut c = RunConfig::new(StrategyKind::HybridMixed);
+    c.reserved_cores_override = Some(16);
+    assert_all_complete(&c, "16-core reserved pool");
+}
+
+#[test]
+fn oversized_reserved_pool_still_completes() {
+    let mut c = RunConfig::new(StrategyKind::HybridFull);
+    c.reserved_cores_override = Some(4096);
+    assert_all_complete(&c, "huge reserved pool");
+}
+
+#[test]
+fn sr_with_tight_capacity_queues_but_finishes() {
+    // SR provisioned *below* peak: jobs must queue and still drain.
+    let s = scenario();
+    let peak = s
+        .required_cores_series()
+        .max_over(hcloud_sim::SimTime::ZERO, s.ideal_completion());
+    let mut c = RunConfig::new(StrategyKind::StaticReserved);
+    c.reserved_cores_override = Some((peak * 0.6) as u32);
+    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    assert_eq!(r.outcomes.len(), s.jobs().len());
+    assert!(
+        r.counters.queued_jobs > 0,
+        "expected queueing under tight capacity"
+    );
+}
+
+#[test]
+fn all_sensitive_workload_completes() {
+    let mut config = ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.08, 15);
+    config.sensitive_fraction = Some(1.0);
+    let s = Scenario::generate(config, &RngFactory::new(5));
+    for strategy in StrategyKind::ALL {
+        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(5));
+        assert_eq!(r.outcomes.len(), s.jobs().len(), "{strategy}");
+    }
+}
+
+#[test]
+fn empty_scenario_is_a_noop() {
+    let config = ScenarioConfig::scaled(ScenarioKind::Static, 0.05, 10);
+    let s = Scenario::from_jobs(config, vec![]);
+    let r = run_scenario(
+        &s,
+        &RunConfig::new(StrategyKind::HybridMixed),
+        &RngFactory::new(1),
+    );
+    assert!(r.outcomes.is_empty());
+    assert_eq!(r.counters.od_acquired, 0);
+}
+
+#[test]
+fn profiling_off_with_extreme_load_never_panics() {
+    let mut c = RunConfig::new(StrategyKind::HybridMixed).without_profiling();
+    c.cloud.external = ExternalLoadModel::with_mean(0.9);
+    c.retention_mult = 500.0;
+    assert_all_complete(&c, "unprofiled, 90% load, long retention");
+}

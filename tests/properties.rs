@@ -1,0 +1,173 @@
+//! Property-based integration tests (proptest) over the core invariants
+//! the HCloud system relies on.
+
+use hcloud_interference::quality::{encode_raw, encode_raw_max};
+use hcloud_interference::{resource_quality, ResourceVector, SlowdownModel, NUM_RESOURCES};
+use hcloud_pricing::{run_cost, PricingModel, Rates, ReservedOnDemandPricing, SustainedUsePricing};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::{SimDuration, SimTime};
+use hcloud_workloads::{LatencyModel, Scenario, ScenarioConfig, ScenarioKind};
+use proptest::prelude::*;
+
+fn unit_vector() -> impl Strategy<Value = ResourceVector> {
+    prop::array::uniform10(0.0f64..=1.0).prop_map(ResourceVector::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------------------------------------------------------
+    // Q encoding (Section 3.3)
+    // ---------------------------------------------------------------
+
+    /// Q is always in [0, 1].
+    #[test]
+    fn quality_is_normalized(v in unit_vector()) {
+        let q = resource_quality(&v);
+        prop_assert!((0.0..=1.0).contains(&q));
+    }
+
+    /// The encoding is permutation-invariant: only sorted magnitudes
+    /// matter.
+    #[test]
+    fn quality_is_permutation_invariant(v in unit_vector(), seed in 0u64..1000) {
+        let mut arr = *v.as_array();
+        // Deterministic pseudo-shuffle.
+        for i in (1..NUM_RESOURCES).rev() {
+            let j = ((seed.wrapping_mul(i as u64 + 13)) % (i as u64 + 1)) as usize;
+            arr.swap(i, j);
+        }
+        prop_assert_eq!(encode_raw(&v), encode_raw(&ResourceVector::new(arr)));
+    }
+
+    /// The encoding preserves lexicographic order on the sorted,
+    /// quantized coefficient vectors (the "order preserving" claim).
+    #[test]
+    fn quality_preserves_dominance_order(v in unit_vector(), bump in 0usize..NUM_RESOURCES) {
+        let arr = *v.as_array();
+        let mut bigger = arr;
+        bigger[bump] = (bigger[bump] + 0.05).min(1.0);
+        let a = encode_raw(&ResourceVector::new(arr));
+        let b = encode_raw(&ResourceVector::new(bigger));
+        prop_assert!(b >= a, "increasing a coefficient must not lower Q");
+        prop_assert!(encode_raw(&v) <= encode_raw_max());
+    }
+
+    // ---------------------------------------------------------------
+    // Slowdown model
+    // ---------------------------------------------------------------
+
+    /// Slowdown is ≥ 1 and monotone in pressure.
+    #[test]
+    fn slowdown_bounds_and_monotonicity(
+        c in unit_vector(),
+        p in prop::array::uniform10(0.0f64..=2.0),
+        extra in 0.0f64..=0.5,
+    ) {
+        let model = SlowdownModel::default();
+        let pressure = ResourceVector::new(p);
+        let s1 = model.slowdown(&c, &pressure);
+        prop_assert!(s1 >= 1.0);
+        let more = ResourceVector::from_fn(|i| p[i] + extra);
+        let s2 = model.slowdown(&c, &more);
+        prop_assert!(s2 >= s1 - 1e-12);
+    }
+
+    /// Delivered quality is in (0, 1] and anti-monotone in pressure.
+    #[test]
+    fn delivered_quality_bounds(p in prop::array::uniform10(0.0f64..=2.0), extra in 0.0f64..=0.5) {
+        let model = SlowdownModel::default();
+        let q1 = model.delivered_quality(&ResourceVector::new(p));
+        prop_assert!(q1 > 0.0 && q1 <= 1.0);
+        let q2 = model.delivered_quality(&ResourceVector::from_fn(|i| p[i] + extra));
+        prop_assert!(q2 <= q1 + 1e-12);
+    }
+
+    // ---------------------------------------------------------------
+    // Latency model
+    // ---------------------------------------------------------------
+
+    /// p99 latency is finite, positive, and monotone in load and
+    /// slowdown.
+    #[test]
+    fn latency_model_monotone(
+        rps in 100.0f64..100_000.0,
+        cores in 1u32..=16,
+        slowdown in 1.0f64..=4.0,
+    ) {
+        let m = LatencyModel::default();
+        let p = m.p99_latency_us(rps, cores, slowdown);
+        prop_assert!(p.is_finite() && p > 0.0);
+        prop_assert!(m.p99_latency_us(rps * 1.1, cores, slowdown) >= p);
+        prop_assert!(m.p99_latency_us(rps, cores, slowdown + 0.1) >= p);
+        prop_assert!(m.p99_latency_us(rps, cores, 1.0) >= m.isolation_p99_us(rps, cores) - 1e-9);
+    }
+
+    // ---------------------------------------------------------------
+    // Scenario generation
+    // ---------------------------------------------------------------
+
+    /// Any seed/scale produces a well-formed scenario: sorted arrivals,
+    /// valid core counts, unit-range sensitivities.
+    #[test]
+    fn scenarios_are_well_formed(seed in 0u64..500, scale in 0.05f64..0.3) {
+        let config = ScenarioConfig {
+            load_scale: scale,
+            duration: SimDuration::from_mins(12),
+            ..ScenarioConfig::paper(ScenarioKind::HighVariability)
+        };
+        let s = Scenario::generate(config, &RngFactory::new(seed));
+        let mut last = SimTime::ZERO;
+        for j in s.jobs() {
+            prop_assert!(j.arrival >= last);
+            last = j.arrival;
+            prop_assert!((1..=16).contains(&j.cores));
+            prop_assert!(j.sensitivity.is_unit_range());
+            prop_assert!(j.ideal_duration() > SimDuration::ZERO);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Pricing
+    // ---------------------------------------------------------------
+
+    /// Billing is additive over record sets and monotone in duration.
+    #[test]
+    fn billing_is_additive_and_monotone(
+        hours_a in 1u64..20,
+        hours_b in 1u64..20,
+        reserved in proptest::bool::ANY,
+    ) {
+        use hcloud_cloud::{InstanceType, UsageRecord};
+        let rates = Rates::default();
+        let run_len = SimDuration::from_hours(48);
+        let rec = |h: u64| UsageRecord::new(
+            InstanceType::standard(4),
+            reserved,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(h),
+        );
+        for model in [PricingModel::aws(), PricingModel::azure(), PricingModel::gce()] {
+            let a = run_cost(&[rec(hours_a)], &rates, &model, run_len).total();
+            let b = run_cost(&[rec(hours_b)], &rates, &model, run_len).total();
+            let both = run_cost(&[rec(hours_a), rec(hours_b)], &rates, &model, run_len).total();
+            prop_assert!((both - (a + b)).abs() < 1e-9, "billing must be additive");
+            let longer = run_cost(&[rec(hours_a.max(hours_b))], &rates, &model, run_len).total();
+            prop_assert!(longer >= a.min(b) - 1e-9);
+        }
+    }
+
+    /// Reserved per-hour price scales as 1/ratio; the sustained-use
+    /// multiplier never discounts below the full-month floor.
+    #[test]
+    fn pricing_parameters_behave(ratio in 0.01f64..10.0, frac in 0.0f64..=1.0) {
+        let rates = Rates::default();
+        let p = ReservedOnDemandPricing::with_ratio(ratio);
+        let full = hcloud_cloud::InstanceType::full_server();
+        let od = rates.on_demand_hourly(full);
+        prop_assert!((p.reserved_hourly(&rates, full) - od / ratio).abs() < 1e-12);
+        let s = SustainedUsePricing::default();
+        let m = s.effective_multiplier(frac);
+        prop_assert!((0.7..=1.0).contains(&m));
+    }
+}
