@@ -13,8 +13,8 @@
 //! 4. **retention quality gate** — disable the "release poorly-performing
 //!    instances immediately" rule.
 
-use hcloud::{MappingPolicy, RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::{MappingPolicy, StrategyKind};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -24,22 +24,69 @@ fn main() {
     let rates = Rates::default();
     let model = PricingModel::aws();
 
+    // All four ablation grids fan out as one plan up front; each section
+    // below reads its cached runs.
+    let limits = [
+        (0.35, 0.55),
+        (0.50, 0.70),
+        (0.65, 0.85),
+        (0.75, 0.95),
+        (0.30, 0.95),
+    ];
+    let limit_spec = |soft, hard| {
+        RunSpec::of(kind, StrategyKind::HybridMixed)
+            .map_config(move |c| c.with_dynamic_limits(soft, hard))
+    };
+    let policies = [
+        ("dynamic (full)", MappingPolicy::Dynamic),
+        (
+            "drop Q-matching (P6: load<70%)",
+            MappingPolicy::UtilizationLimit(0.7),
+        ),
+        (
+            "drop load-awareness (P2: Q>80%)",
+            MappingPolicy::QualityThreshold(0.8),
+        ),
+        ("drop both (P1: random)", MappingPolicy::Random),
+    ];
+    let quasar_grid = [(240usize, 4usize), (60, 4), (24, 2), (12, 1)];
+    let quasar_spec = |corpus, rank| {
+        RunSpec::of(kind, StrategyKind::HybridMixed).map_config(move |c| {
+            let mut quasar = c.quasar.clone();
+            quasar.corpus_size = corpus;
+            quasar.rank = rank;
+            c.with_quasar(quasar)
+        })
+    };
+    let gates = [("on (q<0.75 released)", 0.75), ("off", 0.0)];
+    let gate_spec = |threshold| {
+        RunSpec::of(kind, StrategyKind::OnDemandMixed)
+            .map_config(move |c| c.with_quality_retention_threshold(threshold))
+    };
+
+    let mut plan = ExperimentPlan::new();
+    for (soft, hard) in limits {
+        plan.push(limit_spec(soft, hard));
+    }
+    for (_, policy) in policies {
+        plan.push(RunSpec::of(kind, StrategyKind::HybridMixed).policy(policy));
+    }
+    for (corpus, rank) in quasar_grid {
+        plan.push(quasar_spec(corpus, rank));
+    }
+    for (_, threshold) in gates {
+        plan.push(gate_spec(threshold));
+    }
+    h.run_plan(plan);
+
     // ------------------------------------------------------------------
     println!("Ablation 1: soft/hard utilization limits (HM, high variability)\n");
     println!("The paper sets the soft limit experimentally at 60-65% and the hard");
     println!("limit near 80%. The defaults (0.65/0.85) sit in the flat optimum:\n");
     let mut t = Table::new(vec!["soft", "hard", "perf", "res util%", "queued", "cost"]);
     let mut json: Vec<Vec<f64>> = Vec::new();
-    for (soft, hard) in [
-        (0.35, 0.55),
-        (0.50, 0.70),
-        (0.65, 0.85),
-        (0.75, 0.95),
-        (0.30, 0.95),
-    ] {
-        let mut config = RunConfig::new(StrategyKind::HybridMixed);
-        config.dynamic_limits = Some((soft, hard));
-        let r = h.run_config(kind, &config);
+    for (soft, hard) in limits {
+        let r = h.run(limit_spec(soft, hard));
         let cost = r.cost(&rates, &model).total();
         t.row(vec![
             format!("{soft:.2}"),
@@ -71,22 +118,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 2: what each ingredient of the dynamic policy buys\n");
     let mut t = Table::new(vec!["policy", "perf", "res util%", "cost"]);
-    for (label, policy) in [
-        ("dynamic (full)", MappingPolicy::Dynamic),
-        (
-            "drop Q-matching (P6: load<70%)",
-            MappingPolicy::UtilizationLimit(0.7),
-        ),
-        (
-            "drop load-awareness (P2: Q>80%)",
-            MappingPolicy::QualityThreshold(0.8),
-        ),
-        ("drop both (P1: random)", MappingPolicy::Random),
-    ] {
-        let r = h.run_config(
-            kind,
-            &RunConfig::new(StrategyKind::HybridMixed).with_policy(policy),
-        );
+    for (label, policy) in policies {
+        let r = h.run(RunSpec::of(kind, StrategyKind::HybridMixed).policy(policy));
         t.row(vec![
             label.into(),
             format!("{:.3}", r.mean_normalized_perf()),
@@ -103,11 +136,8 @@ fn main() {
     println!("Ablation 3: classification fidelity (corpus size × rank)\n");
     let mut t = Table::new(vec!["corpus", "rank", "perf", "lc mean (µs)"]);
     let mut json: Vec<Vec<f64>> = Vec::new();
-    for (corpus, rank) in [(240usize, 4usize), (60, 4), (24, 2), (12, 1)] {
-        let mut config = RunConfig::new(StrategyKind::HybridMixed);
-        config.quasar.corpus_size = corpus;
-        config.quasar.rank = rank;
-        let r = h.run_config(kind, &config);
+    for (corpus, rank) in quasar_grid {
+        let r = h.run(quasar_spec(corpus, rank));
         let lc = r.lc_latency_boxplot().expect("LC jobs");
         t.row(vec![
             format!("{corpus}"),
@@ -134,10 +164,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 4: retention quality gate (OdM, high variability)\n");
     let mut t = Table::new(vec!["gate", "perf", "lc mean (µs)", "imm. released"]);
-    for (label, threshold) in [("on (q<0.75 released)", 0.75), ("off", 0.0)] {
-        let mut config = RunConfig::new(StrategyKind::OnDemandMixed);
-        config.quality_retention_threshold = threshold;
-        let r = h.run_config(kind, &config);
+    for (label, threshold) in gates {
+        let r = h.run(gate_spec(threshold));
         let lc = r.lc_latency_boxplot().expect("LC jobs");
         t.row(vec![
             label.into(),
@@ -149,4 +177,5 @@ fn main() {
     println!("{t}");
     println!("(Section 3.2: \"Only instances that provide predictably high");
     println!(" performance are retained past the completion of their jobs\")");
+    h.report("ablations");
 }

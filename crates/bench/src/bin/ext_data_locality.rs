@@ -13,8 +13,8 @@
 //! dominate the job).
 
 use hcloud::config::DataLocalityModel;
-use hcloud::{RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_workloads::ScenarioKind;
 
 fn main() {
@@ -22,7 +22,28 @@ fn main() {
     let kind = ScenarioKind::HighVariability;
 
     println!("Extension C: data locality across private/public clusters (HM, high variability)\n");
-    let base = h.run_config(kind, &RunConfig::new(StrategyKind::HybridMixed));
+    let data_spec = |frac, gbps, aware| {
+        RunSpec::of(kind, StrategyKind::HybridMixed).map_config(move |c| {
+            c.with_data(DataLocalityModel {
+                private_data_fraction: frac,
+                bandwidth_gbps: gbps,
+                data_aware_placement: aware,
+            })
+        })
+    };
+    let mut plan = ExperimentPlan::new();
+    plan.push(RunSpec::of(kind, StrategyKind::HybridMixed));
+    for frac in [0.0, 0.5, 0.7, 1.0] {
+        for aware in [false, true] {
+            plan.push(data_spec(frac, 10.0, aware));
+        }
+    }
+    for gbps in [1.0, 10.0, 40.0, 100.0] {
+        plan.push(data_spec(0.7, gbps, true));
+    }
+    h.run_plan(plan);
+
+    let base = h.run(RunSpec::of(kind, StrategyKind::HybridMixed));
     println!(
         "same-cluster baseline (the paper's setup): perf {:.3}, no transfers\n",
         base.mean_normalized_perf()
@@ -39,13 +60,7 @@ fn main() {
     let mut json: Vec<Vec<f64>> = Vec::new();
     for frac in [0.0, 0.5, 0.7, 1.0] {
         for aware in [false, true] {
-            let mut config = RunConfig::new(StrategyKind::HybridMixed);
-            config.data = Some(DataLocalityModel {
-                private_data_fraction: frac,
-                bandwidth_gbps: 10.0,
-                data_aware_placement: aware,
-            });
-            let r = h.run_config(kind, &config);
+            let r = h.run(data_spec(frac, 10.0, aware));
             let batch = r.batch_performance_boxplot().expect("batch jobs");
             t.row(vec![
                 format!("{:.0}", frac * 100.0),
@@ -75,13 +90,7 @@ fn main() {
         "batch mean (min)",
     ]);
     for gbps in [1.0, 10.0, 40.0, 100.0] {
-        let mut config = RunConfig::new(StrategyKind::HybridMixed);
-        config.data = Some(DataLocalityModel {
-            private_data_fraction: 0.7,
-            bandwidth_gbps: gbps,
-            data_aware_placement: true,
-        });
-        let r = h.run_config(kind, &config);
+        let r = h.run(data_spec(0.7, gbps, true));
         let batch = r.batch_performance_boxplot().expect("batch jobs");
         t.row(vec![
             format!("{gbps:.0}"),
@@ -106,4 +115,5 @@ fn main() {
         ],
         &json,
     );
+    h.report("ext_data_locality");
 }

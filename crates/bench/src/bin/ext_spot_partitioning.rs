@@ -14,8 +14,8 @@
 //!   weakness is exactly this unpredictability — recover.
 
 use hcloud::config::SpotPolicy;
-use hcloud::{RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -25,8 +25,32 @@ fn main() {
     let rates = Rates::default();
     let model = PricingModel::aws();
 
+    let bids = [0.36, 0.40, 0.45, 0.60, 1.00, 2.00];
+    let isolations = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let spot_spec = |bid| {
+        RunSpec::of(kind, StrategyKind::HybridMixed).map_config(move |c| {
+            c.with_spot(SpotPolicy {
+                bid_multiplier: bid,
+                max_quality: 0.80,
+            })
+        })
+    };
+    let partition_spec =
+        |strategy, iso| RunSpec::of(kind, strategy).map_config(move |c| c.with_partitioning(iso));
+    let mut plan = ExperimentPlan::new();
+    plan.push(RunSpec::of(kind, StrategyKind::HybridMixed));
+    for &bid in &bids {
+        plan.push(spot_spec(bid));
+    }
+    for &iso in &isolations {
+        for strategy in [StrategyKind::OnDemandMixed, StrategyKind::HybridMixed] {
+            plan.push(partition_spec(strategy, iso));
+        }
+    }
+    h.run_plan(plan);
+
     println!("Extension A: spot instances under HM (high variability)\n");
-    let base = h.run_config(kind, &RunConfig::new(StrategyKind::HybridMixed));
+    let base = h.run(RunSpec::of(kind, StrategyKind::HybridMixed));
     let base_cost = base.cost(&rates, &model).total();
     let mut t = Table::new(vec![
         "bid (x od)",
@@ -43,13 +67,8 @@ fn main() {
         "0".into(),
         "0".into(),
     ]);
-    for bid in [0.36, 0.40, 0.45, 0.60, 1.00, 2.00] {
-        let mut config = RunConfig::new(StrategyKind::HybridMixed);
-        config.spot = Some(SpotPolicy {
-            bid_multiplier: bid,
-            max_quality: 0.80,
-        });
-        let r = h.run_config(kind, &config);
+    for &bid in &bids {
+        let r = h.run(spot_spec(bid));
         let cost = r.cost(&rates, &model).total();
         t.row(vec![
             format!("{bid:.2}"),
@@ -84,13 +103,11 @@ fn main() {
         "HM lc mean (µs)",
     ]);
     let mut json: Vec<Vec<f64>> = Vec::new();
-    for iso in [0.0, 0.25, 0.5, 0.75, 1.0] {
+    for &iso in &isolations {
         let mut row = vec![format!("{:.0}%", iso * 100.0)];
         let mut jrow = vec![iso];
         for strategy in [StrategyKind::OnDemandMixed, StrategyKind::HybridMixed] {
-            let mut config = RunConfig::new(strategy);
-            config.cloud.partitioning = iso;
-            let r = h.run_config(kind, &config);
+            let r = h.run(partition_spec(strategy, iso));
             let lc = r.lc_latency_boxplot().expect("LC jobs");
             row.push(format!("{:.3}", r.mean_normalized_perf()));
             row.push(format!("{:.0}", lc.mean));
@@ -111,4 +128,5 @@ fn main() {
         &["isolation", "OdM_perf", "OdM_lc", "HM_perf", "HM_lc"],
         &json,
     );
+    h.report("ext_spot_partitioning");
 }

@@ -8,7 +8,7 @@
 //! occupy whole servers and stay tight. On EC2, a fraction of micro
 //! instances get terminated by the provider's internal scheduler.
 
-use hcloud_bench::{harness, write_json, Table};
+use hcloud_bench::{write_json, ExperimentCtx, Table};
 use hcloud_cloud::{Cloud, CloudConfig, InstanceType, ProviderProfile};
 use hcloud_interference::ResourceVector;
 use hcloud_sim::rng::RngFactory;
@@ -63,7 +63,7 @@ fn completion_minutes(
 }
 
 fn main() {
-    let factory = RngFactory::new(harness::master_seed());
+    let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let sensitivity = AppClass::HadoopRecommender.sensitivity_template();
     println!("Figure 1: Hadoop (Mahout recommender) completion time across instance types\n");
     let mut table = Table::new(vec![

@@ -6,7 +6,7 @@
 //! runs the service for an hour; the reported metric is the
 //! time-averaged p99 request latency.
 
-use hcloud_bench::{harness, write_json, Table};
+use hcloud_bench::{write_json, ExperimentCtx, Table};
 use hcloud_cloud::{Cloud, CloudConfig, InstanceType, ProviderProfile};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::stats::Boxplot;
@@ -54,7 +54,7 @@ fn mean_p99_us(
 }
 
 fn main() {
-    let factory = RngFactory::new(harness::master_seed());
+    let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let latency = figure_latency_model();
     println!("Figure 2: memcached p99 latency across instance types\n");
     let mut table = Table::new(vec![

@@ -4,17 +4,18 @@
 //! resampled series, and the measured Table 2 characteristics of the
 //! generated job streams.
 
-use hcloud_bench::{harness, sparkline, write_json, Table};
+use hcloud_bench::{paper_scenario, sparkline, write_json, ExperimentCtx, Table};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
 fn main() {
+    let ctx = ExperimentCtx::from_env_or_exit();
     println!("Figure 3: the three workload scenarios (required cores over time)\n");
     let step = SimDuration::from_mins(2);
     let mut json_rows: Vec<Vec<f64>> = Vec::new();
     let mut curves: Vec<(ScenarioKind, Vec<f64>)> = Vec::new();
     for kind in ScenarioKind::ALL {
-        let config = harness::scenario_config(kind);
+        let config = ctx.scenario_config(kind);
         let mut series = Vec::new();
         let mut t = SimTime::ZERO;
         while t <= SimTime::ZERO + config.duration {
@@ -46,7 +47,7 @@ fn main() {
     let mut t2 = Table::new(vec!["", "Static", "Low Var", "High Var"]);
     let stats: Vec<_> = ScenarioKind::ALL
         .iter()
-        .map(|&k| harness::paper_scenario(k).stats())
+        .map(|&k| paper_scenario(k).stats())
         .collect();
     t2.row(
         std::iter::once("max:min resources ratio".to_string())
@@ -83,12 +84,7 @@ fn main() {
     );
     let ideal: Vec<String> = ScenarioKind::ALL
         .iter()
-        .map(|&k| {
-            format!(
-                "{:.1}",
-                harness::paper_scenario(k).ideal_completion().as_hours_f64()
-            )
-        })
+        .map(|&k| format!("{:.1}", paper_scenario(k).ideal_completion().as_hours_f64()))
         .collect();
     t2.row(
         std::iter::once("ideal completion time (hr)".to_string())

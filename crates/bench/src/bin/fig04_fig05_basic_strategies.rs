@@ -7,7 +7,7 @@
 //! scenario under SR.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -20,6 +20,18 @@ fn main() {
     ];
     let rates = Rates::default();
     let model = PricingModel::aws();
+
+    // Fan the whole 3x3x2 grid out across the machine up front; the
+    // loops below read the cached results in figure order.
+    let mut plan = ExperimentPlan::new();
+    for kind in ScenarioKind::ALL {
+        for strategy in strategies {
+            for profiling in [true, false] {
+                plan.push(RunSpec::of(kind, strategy).profiling(profiling));
+            }
+        }
+    }
+    h.run_plan(plan);
 
     println!("Figure 4a: batch completion time (minutes)\n");
     let mut t = Table::new(vec![
@@ -37,7 +49,7 @@ fn main() {
         for strategy in strategies {
             for profiling in [true, false] {
                 let b = h
-                    .run(kind, strategy, profiling)
+                    .run(RunSpec::of(kind, strategy).profiling(profiling))
                     .batch_performance_boxplot()
                     .expect("batch jobs present");
                 t.row(vec![
@@ -95,7 +107,7 @@ fn main() {
         for strategy in strategies {
             for profiling in [true, false] {
                 let b = h
-                    .run(kind, strategy, profiling)
+                    .run(RunSpec::of(kind, strategy).profiling(profiling))
                     .lc_latency_boxplot()
                     .expect("LC jobs present");
                 t.row(vec![
@@ -140,7 +152,10 @@ fn main() {
     println!("Figure 5: cost of fully reserved and on-demand systems");
     println!("(normalized to the static scenario under SR)\n");
     let baseline = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &model)
         .total();
     let mut t = Table::new(vec!["scenario", "SR", "OdF", "OdM"]);
@@ -148,7 +163,7 @@ fn main() {
     for kind in ScenarioKind::ALL {
         let costs: Vec<f64> = strategies
             .iter()
-            .map(|&s| h.run(kind, s, true).cost(&rates, &model).total() / baseline)
+            .map(|&s| h.run(RunSpec::of(kind, s)).cost(&rates, &model).total() / baseline)
             .collect();
         t.row(vec![
             kind.name().into(),
@@ -165,19 +180,18 @@ fn main() {
 
     // Headline check from Section 3.4: SR beats OdM ~2.2x on average.
     let sr = h
-        .run(
+        .run(RunSpec::of(
             ScenarioKind::HighVariability,
             StrategyKind::StaticReserved,
-            true,
-        )
+        ))
         .mean_degradation();
     let odm = h
-        .run(
+        .run(RunSpec::of(
             ScenarioKind::HighVariability,
             StrategyKind::OnDemandMixed,
-            true,
-        )
+        ))
         .mean_degradation();
     println!("\nSR vs OdM mean degradation (high variability): {:.2}x vs {:.2}x -> OdM {:.2}x worse (paper: 2.2x)",
         sr, odm, odm / sr);
+    h.report("fig04_fig05");
 }

@@ -6,8 +6,8 @@
 //! (Figure 7) the utilization of reserved resources and total cost
 //! normalized to static-SR.
 
-use hcloud::{MappingPolicy, RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::{MappingPolicy, StrategyKind};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::stats::mean;
 use hcloud_workloads::ScenarioKind;
@@ -17,8 +17,26 @@ fn main() {
     let rates = Rates::default();
     let model = PricingModel::aws();
     let kind = ScenarioKind::HighVariability;
+    let strategies = [StrategyKind::HybridFull, StrategyKind::HybridMixed];
+
+    // One plan: the SR-static cost baseline plus the 2x8 policy grid.
+    let mut plan = ExperimentPlan::new();
+    plan.push(RunSpec::of(
+        ScenarioKind::Static,
+        StrategyKind::StaticReserved,
+    ));
+    for strategy in strategies {
+        for (_, policy) in MappingPolicy::paper_set() {
+            plan.push(RunSpec::of(kind, strategy).policy(policy));
+        }
+    }
+    h.run_plan(plan);
+
     let baseline = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &model)
         .total();
 
@@ -35,10 +53,9 @@ fn main() {
         "cost(xSR-static)",
     ]);
     let mut json: Vec<Vec<f64>> = Vec::new();
-    for strategy in [StrategyKind::HybridFull, StrategyKind::HybridMixed] {
+    for strategy in strategies {
         for (sidx, (label, policy)) in MappingPolicy::paper_set().into_iter().enumerate() {
-            let config = RunConfig::new(strategy).with_policy(policy);
-            let r = h.run_config(kind, &config);
+            let r = h.run(RunSpec::of(kind, strategy).policy(policy));
             let perf_res = mean(&r.normalized_perf(Some(true))).unwrap_or(f64::NAN) * 100.0;
             let perf_od = mean(&r.normalized_perf(Some(false))).unwrap_or(f64::NAN) * 100.0;
             let util = r.mean_reserved_utilization().unwrap_or(0.0) * 100.0;
@@ -77,4 +94,5 @@ fn main() {
         ],
         &json,
     );
+    h.report("fig06_fig07");
 }

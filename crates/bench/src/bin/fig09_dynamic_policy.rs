@@ -5,17 +5,16 @@
 //! estimator — estimated vs measured waits per requested instance size.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{sparkline, write_json, Harness, Table};
+use hcloud_bench::{sparkline, write_json, Harness, RunSpec, Table};
 use hcloud_sim::stats::Cdf;
 use hcloud_workloads::ScenarioKind;
 
 fn main() {
     let mut h = Harness::new();
-    let r = h.run(
+    let r = h.run(RunSpec::of(
         ScenarioKind::HighVariability,
         StrategyKind::HybridMixed,
-        true,
-    );
+    ));
 
     println!("Figure 9 (left): soft utilization limit over time (HM, high variability)\n");
     let series: Vec<f64> = r.soft_limit_trace.iter().map(|&(_, v)| v * 100.0).collect();

@@ -6,7 +6,7 @@
 //! on-demand components, normalized to the static scenario under SR.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -19,6 +19,21 @@ fn main() {
     ];
     let rates = Rates::default();
     let model = PricingModel::aws();
+
+    // One plan covers the 3x3x2 figure grid plus the on-demand and
+    // no-profiling runs the headline checks compare against.
+    let mut plan = ExperimentPlan::new();
+    for kind in ScenarioKind::ALL {
+        for strategy in strategies {
+            for profiling in [true, false] {
+                plan.push(RunSpec::of(kind, strategy).profiling(profiling));
+            }
+        }
+    }
+    for strategy in StrategyKind::ALL {
+        plan.push(RunSpec::of(ScenarioKind::HighVariability, strategy));
+    }
+    h.run_plan(plan);
 
     for (label, latency) in [
         ("Figure 10a: batch completion time (minutes)", false),
@@ -39,7 +54,7 @@ fn main() {
         for kind in ScenarioKind::ALL {
             for strategy in strategies {
                 for profiling in [true, false] {
-                    let r = h.run(kind, strategy, profiling);
+                    let r = h.run(RunSpec::of(kind, strategy).profiling(profiling));
                     let b = if latency {
                         r.lc_latency_boxplot()
                     } else {
@@ -99,7 +114,10 @@ fn main() {
 
     println!("Figure 11: cost comparison SR / HF / HM (normalized to static SR)\n");
     let baseline = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &model)
         .total();
     let mut t = Table::new(vec![
@@ -112,7 +130,7 @@ fn main() {
     let mut json: Vec<Vec<f64>> = Vec::new();
     for kind in ScenarioKind::ALL {
         for strategy in strategies {
-            let c = h.run(kind, strategy, true).cost(&rates, &model);
+            let c = h.run(RunSpec::of(kind, strategy)).cost(&rates, &model);
             t.row(vec![
                 kind.name().into(),
                 strategy.short_name().into(),
@@ -138,19 +156,19 @@ fn main() {
     // Headline checks.
     let kind = ScenarioKind::HighVariability;
     let sr = h
-        .run(kind, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(kind, StrategyKind::StaticReserved))
         .mean_normalized_perf();
     let hf = h
-        .run(kind, StrategyKind::HybridFull, true)
+        .run(RunSpec::of(kind, StrategyKind::HybridFull))
         .mean_normalized_perf();
     let hm = h
-        .run(kind, StrategyKind::HybridMixed, true)
+        .run(RunSpec::of(kind, StrategyKind::HybridMixed))
         .mean_normalized_perf();
     let odf = h
-        .run(kind, StrategyKind::OnDemandFull, true)
+        .run(RunSpec::of(kind, StrategyKind::OnDemandFull))
         .mean_normalized_perf();
     let odm = h
-        .run(kind, StrategyKind::OnDemandMixed, true)
+        .run(RunSpec::of(kind, StrategyKind::OnDemandMixed))
         .mean_normalized_perf();
     println!("\nHeadline checks (high variability):");
     println!(
@@ -162,7 +180,7 @@ fn main() {
         hf / odf, hm / odm);
     let degs: Vec<f64> = StrategyKind::ALL
         .iter()
-        .map(|&s| h.run(kind, s, true).mean_degradation())
+        .map(|&s| h.run(RunSpec::of(kind, s)).mean_degradation())
         .collect();
     println!(
         "  mean degradation factors: SR {:.2}x OdF {:.2}x OdM {:.2}x HF {:.2}x HM {:.2}x",
@@ -173,7 +191,7 @@ fn main() {
         degs[2] / degs[4]
     );
     for s in [StrategyKind::HybridFull, StrategyKind::HybridMixed] {
-        if let Some(u) = h.run(kind, s, true).mean_reserved_utilization() {
+        if let Some(u) = h.run(RunSpec::of(kind, s)).mean_reserved_utilization() {
             println!(
                 "  {} mean reserved utilization {:.0}% (paper: ~80% in steady state)",
                 s,
@@ -182,6 +200,7 @@ fn main() {
         }
     }
     println!("  with/without profiling improvement (degradation ratio): HF {:.2}x, HM {:.2}x (paper: 2.4x / 2.77x)",
-        h.run(kind, StrategyKind::HybridFull, false).mean_degradation() / degs[3],
-        h.run(kind, StrategyKind::HybridMixed, false).mean_degradation() / degs[4]);
+        h.run(RunSpec::of(kind, StrategyKind::HybridFull).profiling(false)).mean_degradation() / degs[3],
+        h.run(RunSpec::of(kind, StrategyKind::HybridMixed).profiling(false)).mean_degradation() / degs[4]);
+    h.report("fig10_fig11");
 }

@@ -7,7 +7,7 @@
 //! under SR at the default 2.74 ratio.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates, ReservedOnDemandPricing};
 use hcloud_workloads::ScenarioKind;
 
@@ -15,8 +15,22 @@ fn main() {
     let mut h = Harness::new();
     let rates = Rates::default();
     let ratios = [0.01, 0.25, 0.5, 1.0, 1.5, 2.0, 2.74, 3.0, 3.5, 4.0];
+
+    // All 15 scenario x strategy simulations fan out once; the ratio
+    // sweep below only re-bills cached usage records.
+    let mut plan = ExperimentPlan::new();
+    for kind in ScenarioKind::ALL {
+        for strategy in StrategyKind::ALL {
+            plan.push(RunSpec::of(kind, strategy));
+        }
+    }
+    h.run_plan(plan);
+
     let baseline = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &PricingModel::aws())
         .total();
 
@@ -30,7 +44,7 @@ fn main() {
             let model = PricingModel::ReservedOnDemand(ReservedOnDemandPricing::with_ratio(ratio));
             let costs: Vec<f64> = StrategyKind::ALL
                 .iter()
-                .map(|&s| h.run(kind, s, true).cost(&rates, &model).total() / baseline)
+                .map(|&s| h.run(RunSpec::of(kind, s)).cost(&rates, &model).total() / baseline)
                 .collect();
             if kind == ScenarioKind::HighVariability && crossover.is_none() && costs[0] <= costs[4]
             {
@@ -63,4 +77,5 @@ fn main() {
         &["scenario", "ratio", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
+    h.report("fig12");
 }

@@ -6,7 +6,7 @@
 //! paper.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
@@ -16,6 +16,16 @@ fn main() {
     let rates = Rates::default();
     let pricing = ReservedOnDemandPricing::default();
     let weeks = [1u64, 5, 10, 15, 18, 20, 25, 30, 40, 50, 52, 60];
+
+    // All 15 scenario x strategy simulations fan out once; the duration
+    // sweep below only re-bills cached usage records.
+    let mut plan = ExperimentPlan::new();
+    for kind in ScenarioKind::ALL {
+        for strategy in StrategyKind::ALL {
+            plan.push(RunSpec::of(kind, strategy));
+        }
+    }
+    h.run_plan(plan);
 
     println!("Figure 13: absolute cost ($1000s) vs deployment duration (weeks)\n");
     let mut json: Vec<Vec<f64>> = Vec::new();
@@ -28,7 +38,7 @@ fn main() {
             let duration = SimDuration::from_hours(w * 7 * 24);
             let mut costs = Vec::new();
             for &s in &StrategyKind::ALL {
-                let r = h.run(kind, s, true);
+                let r = h.run(RunSpec::of(kind, s));
                 let run_len = r.makespan.saturating_since(SimTime::ZERO);
                 let c = commitment_cost(&r.usage_records, &rates, &pricing, run_len, duration);
                 costs.push(c.total() / 1000.0);
@@ -72,4 +82,5 @@ fn main() {
         &["scenario", "weeks", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
+    h.report("fig13");
 }

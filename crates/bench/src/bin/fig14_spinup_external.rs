@@ -5,8 +5,8 @@
 //! sweeps 0–120 s. Right: p95 performance normalized to isolation as the
 //! mean external load sweeps 0–100%.
 
-use hcloud::{RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
 use hcloud_workloads::ScenarioKind;
 
@@ -14,15 +14,39 @@ fn main() {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
 
-    println!("Figure 14a: p95 performance (normalized to SR, %) vs spin-up overhead\n");
+    // Both sweeps as one plan: 6 spin-up points x 5 strategies plus
+    // 6 external-load points x 5 strategies.
     let spinups = [0.0, 15.0, 30.0, 60.0, 90.0, 120.0];
+    let loads = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+    let spinup_spec = |strategy, secs| {
+        RunSpec::of(kind, strategy)
+            .map_config(move |c| c.with_spin_up(SpinUpModel::with_mean_secs(secs)))
+    };
+    let load_spec = |strategy, load| {
+        RunSpec::of(kind, strategy)
+            .map_config(move |c| c.with_external_load(ExternalLoadModel::with_mean(load)))
+    };
+    let mut plan = ExperimentPlan::new();
+    for &secs in &spinups {
+        for strategy in StrategyKind::ALL {
+            plan.push(spinup_spec(strategy, secs));
+        }
+    }
+    for &load in &loads {
+        for strategy in StrategyKind::ALL {
+            plan.push(load_spec(strategy, load));
+        }
+    }
+    h.run_plan(plan);
+
+    println!("Figure 14a: p95 performance (normalized to SR, %) vs spin-up overhead\n");
     let mut t = Table::new(vec!["spin-up (s)", "SR", "OdF", "OdM", "HF", "HM"]);
     let mut json: Vec<Vec<f64>> = Vec::new();
     for &secs in &spinups {
         // SR pays no spin-up; it is the per-sweep baseline.
-        let mut sr_config = RunConfig::new(StrategyKind::StaticReserved);
-        sr_config.cloud.spin_up = SpinUpModel::with_mean_secs(secs);
-        let sr = h.run_config(kind, &sr_config).p95_normalized_perf();
+        let sr = h
+            .run(spinup_spec(StrategyKind::StaticReserved, secs))
+            .p95_normalized_perf();
         let mut row = vec![format!("{secs:.0}"), "100".to_string()];
         let mut jrow = vec![secs, 100.0];
         for strategy in [
@@ -31,9 +55,7 @@ fn main() {
             StrategyKind::HybridFull,
             StrategyKind::HybridMixed,
         ] {
-            let mut config = RunConfig::new(strategy);
-            config.cloud.spin_up = SpinUpModel::with_mean_secs(secs);
-            let p = h.run_config(kind, &config).p95_normalized_perf() / sr * 100.0;
+            let p = h.run(spinup_spec(strategy, secs)).p95_normalized_perf() / sr * 100.0;
             row.push(format!("{p:.0}"));
             jrow.push(p);
         }
@@ -50,16 +72,13 @@ fn main() {
     );
 
     println!("Figure 14b: p95 performance (normalized to isolation, %) vs external load\n");
-    let loads = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
     let mut t = Table::new(vec!["external load %", "SR", "OdF", "OdM", "HF", "HM"]);
     let mut json: Vec<Vec<f64>> = Vec::new();
     for &load in &loads {
         let mut row = vec![format!("{:.0}", load * 100.0)];
         let mut jrow = vec![load * 100.0];
         for strategy in StrategyKind::ALL {
-            let mut config = RunConfig::new(strategy);
-            config.cloud.external = ExternalLoadModel::with_mean(load);
-            let p = h.run_config(kind, &config).p95_normalized_perf() * 100.0;
+            let p = h.run(load_spec(strategy, load)).p95_normalized_perf() * 100.0;
             row.push(format!("{p:.0}"));
             jrow.push(p);
         }
@@ -75,4 +94,5 @@ fn main() {
         &["load_pct", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
+    h.report("fig14");
 }

@@ -5,8 +5,8 @@
 //! overhead before release; the sweep covers 0–500×. Performance is p95
 //! normalized to SR; cost is normalized to static-SR.
 
-use hcloud::{RunConfig, StrategyKind};
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -15,15 +15,40 @@ fn main() {
     let kind = ScenarioKind::HighVariability;
     let rates = Rates::default();
     let model = PricingModel::aws();
+    let retentions = [0.0, 1.0, 10.0, 50.0, 100.0, 250.0, 500.0];
+    let swept = [
+        StrategyKind::OnDemandFull,
+        StrategyKind::OnDemandMixed,
+        StrategyKind::HybridFull,
+        StrategyKind::HybridMixed,
+    ];
+    let retention_spec = |strategy, mult| {
+        RunSpec::of(kind, strategy).map_config(move |c| c.with_retention_mult(mult))
+    };
+
+    let mut plan = ExperimentPlan::new();
+    plan.push(RunSpec::of(
+        ScenarioKind::Static,
+        StrategyKind::StaticReserved,
+    ));
+    plan.push(RunSpec::of(kind, StrategyKind::StaticReserved));
+    for &mult in &retentions {
+        for strategy in swept {
+            plan.push(retention_spec(strategy, mult));
+        }
+    }
+    h.run_plan(plan);
+
     let baseline_cost = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &model)
         .total();
     let sr_p95 = h
-        .run(kind, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(kind, StrategyKind::StaticReserved))
         .p95_normalized_perf();
-
-    let retentions = [0.0, 1.0, 10.0, 50.0, 100.0, 250.0, 500.0];
     println!("Figure 15: sensitivity to retention time (× spin-up overhead)\n");
     let mut perf_t = Table::new(vec!["retention x", "OdF", "OdM", "HF", "HM"]);
     let mut cost_t = Table::new(vec!["retention x", "SR", "OdF", "OdM", "HF", "HM"]);
@@ -32,21 +57,14 @@ fn main() {
         let mut perf_row = vec![format!("{mult:.0}")];
         let mut cost_row = vec![format!("{mult:.0}"), "1.38".to_string()];
         let sr_cost = h
-            .run(kind, StrategyKind::StaticReserved, true)
+            .run(RunSpec::of(kind, StrategyKind::StaticReserved))
             .cost(&rates, &model)
             .total()
             / baseline_cost;
         cost_row[1] = format!("{sr_cost:.2}");
         let mut jrow = vec![mult, 100.0, sr_cost];
-        for strategy in [
-            StrategyKind::OnDemandFull,
-            StrategyKind::OnDemandMixed,
-            StrategyKind::HybridFull,
-            StrategyKind::HybridMixed,
-        ] {
-            let mut config = RunConfig::new(strategy);
-            config.retention_mult = mult;
-            let r = h.run_config(kind, &config);
+        for strategy in swept {
+            let r = h.run(retention_spec(strategy, mult));
             let p = r.p95_normalized_perf() / sr_p95 * 100.0;
             let c = r.cost(&rates, &model).total() / baseline_cost;
             perf_row.push(format!("{p:.0}"));
@@ -81,4 +99,5 @@ fn main() {
         ],
         &json,
     );
+    h.report("fig15");
 }

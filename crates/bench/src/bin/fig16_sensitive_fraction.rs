@@ -3,14 +3,16 @@
 //! (memcached + real-time Spark) sweeps 0–100% on the high-variability
 //! scenario.
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
-use hcloud_bench::{harness, write_json, Table};
+use std::sync::Arc;
+
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
-use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioKind};
 
 fn main() {
-    let factory = RngFactory::new(harness::master_seed());
+    let mut h = Harness::new();
+    let factory = h.factory();
     let rates = Rates::default();
     let model = PricingModel::aws();
     let fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
@@ -20,25 +22,43 @@ fn main() {
     let mut cost_t = Table::new(vec!["sensitive %", "SR", "OdF", "OdM", "HF", "HM"]);
     let mut json: Vec<Vec<f64>> = Vec::new();
 
-    // Cost baseline: the unmodified static scenario under SR.
-    let static_scenario = harness::paper_scenario(ScenarioKind::Static);
-    let baseline_cost = run_scenario(
-        &static_scenario,
-        &RunConfig::new(StrategyKind::StaticReserved),
-        &factory,
-    )
-    .cost(&rates, &model)
-    .total();
+    // One modified scenario per sweep point, all runs in one plan
+    // (plus the unmodified static-SR cost baseline).
+    let scenarios: Vec<Arc<Scenario>> = fractions
+        .iter()
+        .map(|&f| {
+            let mut config = h.ctx().scenario_config(ScenarioKind::HighVariability);
+            config.sensitive_fraction = Some(f);
+            Arc::new(Scenario::generate(config, &factory))
+        })
+        .collect();
+    let mut plan = ExperimentPlan::new();
+    plan.push(RunSpec::of(
+        ScenarioKind::Static,
+        StrategyKind::StaticReserved,
+    ));
+    for scenario in &scenarios {
+        for strategy in StrategyKind::ALL {
+            plan.push(RunSpec::on(Arc::clone(scenario), strategy));
+        }
+    }
+    h.run_plan(plan);
 
-    for &f in &fractions {
-        let mut config = harness::scenario_config(ScenarioKind::HighVariability);
-        config.sensitive_fraction = Some(f);
-        let scenario = Scenario::generate(config, &factory);
+    // Cost baseline: the unmodified static scenario under SR.
+    let baseline_cost = h
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
+        .cost(&rates, &model)
+        .total();
+
+    for (scenario, &f) in scenarios.iter().zip(&fractions) {
         let mut perf_row = vec![format!("{:.0}", f * 100.0)];
         let mut cost_row = vec![format!("{:.0}", f * 100.0)];
         let mut jrow = vec![f * 100.0];
         for strategy in StrategyKind::ALL {
-            let r = run_scenario(&scenario, &RunConfig::new(strategy), &factory);
+            let r = h.run(RunSpec::on(Arc::clone(scenario), strategy));
             let p = r.p95_normalized_perf() * 100.0;
             let c = r.cost(&rates, &model).total() / baseline_cost;
             perf_row.push(format!("{p:.0}"));
@@ -73,4 +93,5 @@ fn main() {
         ],
         &json,
     );
+    h.report("fig16");
 }

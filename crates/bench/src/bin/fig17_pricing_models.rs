@@ -6,7 +6,7 @@
 //! static-SR under the reserved + on-demand model.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{write_json, Harness, Table};
+use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
@@ -18,8 +18,22 @@ fn main() {
         ("od only (Azure)", PricingModel::azure()),
         ("od+discounts (GCE)", PricingModel::gce()),
     ];
+
+    // All 15 simulations fan out once; each pricing model re-bills the
+    // cached usage records.
+    let mut plan = ExperimentPlan::new();
+    for kind in ScenarioKind::ALL {
+        for strategy in StrategyKind::ALL {
+            plan.push(RunSpec::of(kind, strategy));
+        }
+    }
+    h.run_plan(plan);
+
     let baseline = h
-        .run(ScenarioKind::Static, StrategyKind::StaticReserved, true)
+        .run(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ))
         .cost(&rates, &PricingModel::aws())
         .total();
 
@@ -33,7 +47,7 @@ fn main() {
         for (midx, (name, model)) in models.iter().enumerate() {
             let costs: Vec<f64> = StrategyKind::ALL
                 .iter()
-                .map(|&s| h.run(kind, s, true).cost(&rates, model).total() / baseline)
+                .map(|&s| h.run(RunSpec::of(kind, s)).cost(&rates, model).total() / baseline)
                 .collect();
             t.row(
                 std::iter::once(name.to_string())
@@ -50,19 +64,19 @@ fn main() {
         println!("{t}");
         // The paper's quoted comparison: HM vs OdF under Azure and GCE.
         let hm_azure = h
-            .run(kind, StrategyKind::HybridMixed, true)
+            .run(RunSpec::of(kind, StrategyKind::HybridMixed))
             .cost(&rates, &PricingModel::azure())
             .total();
         let odf_azure = h
-            .run(kind, StrategyKind::OnDemandFull, true)
+            .run(RunSpec::of(kind, StrategyKind::OnDemandFull))
             .cost(&rates, &PricingModel::azure())
             .total();
         let hm_gce = h
-            .run(kind, StrategyKind::HybridMixed, true)
+            .run(RunSpec::of(kind, StrategyKind::HybridMixed))
             .cost(&rates, &PricingModel::gce())
             .total();
         let odf_gce = h
-            .run(kind, StrategyKind::OnDemandFull, true)
+            .run(RunSpec::of(kind, StrategyKind::OnDemandFull))
             .cost(&rates, &PricingModel::gce())
             .total();
         println!(
@@ -79,4 +93,5 @@ fn main() {
         &["scenario", "model", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
+    h.report("fig17");
 }

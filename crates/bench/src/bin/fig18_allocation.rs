@@ -3,7 +3,7 @@
 //! on-demand allocations.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{sparkline, write_json, Harness, Table};
+use hcloud_bench::{sparkline, write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
@@ -13,10 +13,16 @@ fn main() {
     let required = h.scenario(kind).required_cores_series();
     let step = SimDuration::from_mins(4);
 
+    let plan: ExperimentPlan = StrategyKind::ALL
+        .iter()
+        .map(|&s| RunSpec::of(kind, s))
+        .collect();
+    h.run_plan(plan);
+
     println!("Figure 18: resource allocation, high-variability scenario\n");
     let mut json: Vec<Vec<f64>> = Vec::new();
     for strategy in StrategyKind::ALL {
-        let r = h.run(kind, strategy, true);
+        let r = h.run(RunSpec::of(kind, strategy));
         let end = r.makespan;
         let mut req = Vec::new();
         let mut res = Vec::new();
@@ -62,7 +68,7 @@ fn main() {
         "released immediately",
     ]);
     for strategy in StrategyKind::ALL {
-        let r = h.run(kind, strategy, true);
+        let r = h.run(RunSpec::of(kind, strategy));
         let avg_od = r
             .od_allocated
             .time_weighted_mean(SimTime::ZERO, r.makespan)
@@ -90,4 +96,5 @@ fn main() {
         &["strategy", "minute", "required", "reserved", "on_demand"],
         &json,
     );
+    h.report("fig18");
 }

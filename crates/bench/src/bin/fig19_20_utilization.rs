@@ -7,8 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use hcloud::{RunConfig, StrategyKind};
-use hcloud_bench::{heatmap_row, write_json, Harness};
+use hcloud::StrategyKind;
+use hcloud_bench::{heatmap_row, write_json, ExperimentPlan, Harness, RunSpec};
 use hcloud_sim::SimTime;
 use hcloud_workloads::ScenarioKind;
 
@@ -23,10 +23,13 @@ fn main() {
     println!("Figures 19-20: per-instance utilization, high-variability scenario");
     println!("(rows: instances, bucketed; columns: time; shade = mean CPU utilization)\n");
 
+    let util_spec =
+        |strategy| RunSpec::of(kind, strategy).map_config(|c| c.with_record_utilization(true));
+    let plan: ExperimentPlan = StrategyKind::ALL.iter().map(|&s| util_spec(s)).collect();
+    h.run_plan(plan);
+
     for strategy in StrategyKind::ALL {
-        let mut config = RunConfig::new(strategy);
-        config.record_utilization = true;
-        let r = h.run_config(kind, &config);
+        let r = h.run(util_spec(strategy));
         let end_min = r.makespan.as_mins_f64().max(1.0);
 
         // Collect samples into (instance, time-bucket) means.
@@ -113,4 +116,5 @@ fn main() {
     println!("(paper: SR's private cluster is mostly idle outside the demand hump;");
     println!(" OdM's many small instances run hot but churn; hybrids keep reserved");
     println!(" rows densely utilized with on-demand rows appearing during spikes)");
+    h.report("fig19_20");
 }

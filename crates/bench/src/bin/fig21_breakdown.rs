@@ -2,7 +2,7 @@
 //! type under HM, split between reserved and on-demand resources.
 
 use hcloud::StrategyKind;
-use hcloud_bench::{sparkline, write_json, Harness};
+use hcloud_bench::{sparkline, write_json, Harness, RunSpec};
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::{AppClass, ScenarioKind};
@@ -23,11 +23,10 @@ const GROUPS: [&str; 3] = ["Hadoop", "Spark", "memcached"];
 fn main() {
     let mut h = Harness::new();
     let r = h
-        .run(
+        .run(RunSpec::of(
             ScenarioKind::LowVariability,
             StrategyKind::HybridMixed,
-            true,
-        )
+        ))
         .clone();
 
     // Build per-(side, group) allocated-core series from job outcomes.

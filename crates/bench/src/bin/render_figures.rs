@@ -14,7 +14,7 @@
 use std::fs;
 
 use hcloud_bench::plot::{save_both, BoxChart, BoxGroup, BoxStats, LineChart, Series};
-use serde_json::Value;
+use hcloud_json::Value;
 
 const STRATEGIES: [&str; 5] = ["SR", "OdF", "OdM", "HF", "HM"];
 const SCENARIOS: [&str; 3] = ["Static", "Low Variability", "High Variability"];
@@ -22,7 +22,7 @@ const SCENARIOS: [&str; 3] = ["Static", "Low Variability", "High Variability"];
 /// Loads `results/<name>.json` written by [`hcloud_bench::write_json`].
 fn load(name: &str) -> Option<Vec<Vec<f64>>> {
     let body = fs::read_to_string(format!("results/{name}.json")).ok()?;
-    let v: Value = serde_json::from_str(&body).ok()?;
+    let v: Value = hcloud_json::parse(&body).ok()?;
     let rows = v.get("rows")?.as_array()?;
     Some(
         rows.iter()

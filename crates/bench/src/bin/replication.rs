@@ -6,16 +6,16 @@
 //! worst-case seed — the reproduction's claims should survive all of
 //! them.
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
-use hcloud_bench::{harness, write_json, Table};
+use hcloud::StrategyKind;
+use hcloud_bench::{write_json, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
-use hcloud_sim::rng::RngFactory;
 use hcloud_sim::stats::OnlineStats;
-use hcloud_workloads::{Scenario, ScenarioKind};
+use hcloud_workloads::ScenarioKind;
 
 const SEEDS: [u64; 10] = [42, 7, 11, 21, 33, 99, 123, 2024, 31337, 271828];
 
 fn main() {
+    let mut h = Harness::new();
     let rates = Rates::default();
     let model = PricingModel::aws();
     println!(
@@ -35,16 +35,19 @@ fn main() {
     let mut worst_hm_within = f64::MIN;
     let mut json: Vec<Vec<f64>> = Vec::new();
 
-    for &seed in &SEEDS {
-        let factory = RngFactory::new(seed);
-        let scenario = Scenario::generate(
-            harness::scenario_config(ScenarioKind::HighVariability),
-            &factory,
-        );
-        let runs: Vec<_> = StrategyKind::ALL
-            .iter()
-            .map(|&s| run_scenario(&scenario, &RunConfig::new(s), &factory))
-            .collect();
+    // All 50 runs (10 seeds x 5 strategies) fan out as one plan.
+    let plan: hcloud_bench::ExperimentPlan = SEEDS
+        .iter()
+        .flat_map(|&seed| {
+            StrategyKind::ALL
+                .iter()
+                .map(move |&s| RunSpec::of(ScenarioKind::HighVariability, s).seed(seed))
+        })
+        .collect();
+    let results = h.run_plan(plan);
+
+    for (sidx, &seed) in SEEDS.iter().enumerate() {
+        let runs = &results[sidx * StrategyKind::ALL.len()..(sidx + 1) * StrategyKind::ALL.len()];
         let mut jrow = vec![seed as f64];
         for (i, r) in runs.iter().enumerate() {
             perf[i].record(r.mean_normalized_perf());
@@ -110,4 +113,5 @@ fn main() {
         &["seed", "SR_deg", "OdF_deg", "OdM_deg", "HF_deg", "HM_deg"],
         &json,
     );
+    h.report("replication");
 }

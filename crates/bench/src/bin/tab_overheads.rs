@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use hcloud::StrategyKind;
-use hcloud_bench::{Harness, Table};
+use hcloud_bench::{ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_interference::{resource_quality, ResourceVector};
 use hcloud_quasar::{ProfilingEnvironment, QuasarConfig, QuasarEngine};
 use hcloud_sim::rng::{RngFactory, SimRng};
@@ -19,6 +19,12 @@ use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, ScenarioKind};
 fn main() {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
+
+    let plan: ExperimentPlan = StrategyKind::ALL
+        .iter()
+        .map(|&s| RunSpec::of(kind, s))
+        .collect();
+    h.run_plan(plan);
 
     println!("Section 5.2: provisioning overheads\n");
     let mut t = Table::new(vec![
@@ -30,7 +36,7 @@ fn main() {
         "resched rate %",
     ]);
     for strategy in StrategyKind::ALL {
-        let r = h.run(kind, strategy, true);
+        let r = h.run(RunSpec::of(kind, strategy));
         t.row(vec![
             strategy.short_name().into(),
             format!("{}", r.counters.profiled),
@@ -102,4 +108,5 @@ fn main() {
     println!("{t}");
     println!("All decision-path operations sit orders of magnitude below the");
     println!("10-20 s spin-up overheads they are compared against in Section 4.2.");
+    h.report("tab_overheads");
 }

@@ -1,0 +1,648 @@
+//! The parallel experiment engine.
+//!
+//! Every point of every figure is an independent, deterministic
+//! simulation: a `(scenario, strategy, config, seed)` tuple fully
+//! determines its [`RunResult`]. This module turns that independence into
+//! throughput. A binary describes its whole sweep as an
+//! [`ExperimentPlan`] — a list of typed [`RunSpec`]s — and the [`Engine`]
+//! fans the runs out across a scoped thread pool
+//! (`std::thread::scope`; no extra dependencies), collecting results
+//! **in plan order**, so the output is bit-identical to sequential
+//! execution regardless of thread count:
+//!
+//! ```text
+//! plan (Vec<RunSpec>) ──► shared scenario table (generated once, deduped)
+//!                      ──► worker pool (HCLOUD_JOBS or available_parallelism)
+//!                      ──► results indexed by plan position  +  telemetry
+//! ```
+//!
+//! Determinism holds because each run draws only from its own
+//! [`RngFactory`] (seeded from the spec) and reads an immutable shared
+//! scenario; workers never share mutable state beyond the work-stealing
+//! index. The collection key is the spec's plan index, assigned before
+//! any thread starts.
+//!
+//! Ambient configuration (`HCLOUD_SEED`, `HCLOUD_FAST`, `HCLOUD_JOBS`)
+//! is parsed once into an [`ExperimentCtx`]; malformed values are a hard
+//! error rather than a silent fallback.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcloud::runner::run_scenario;
+use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
+
+/// The ambient experiment context: master seed, fast (smoke) mode, and
+/// the worker-count override. One typed home for what used to be three
+/// scattered `std::env::var` call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentCtx {
+    /// The master seed every ambient-seeded run derives from
+    /// (`HCLOUD_SEED`, default 42).
+    pub master_seed: u64,
+    /// Fast mode shrinks scenarios for smoke runs (`HCLOUD_FAST=1`).
+    pub fast: bool,
+    /// Explicit worker count (`HCLOUD_JOBS`); `None` uses
+    /// `std::thread::available_parallelism`.
+    pub jobs: Option<usize>,
+}
+
+impl Default for ExperimentCtx {
+    fn default() -> Self {
+        ExperimentCtx {
+            master_seed: 42,
+            fast: false,
+            jobs: None,
+        }
+    }
+}
+
+impl ExperimentCtx {
+    /// A context with the given master seed and the defaults otherwise.
+    pub fn new(master_seed: u64) -> Self {
+        ExperimentCtx {
+            master_seed,
+            ..Default::default()
+        }
+    }
+
+    /// Sets fast (smoke) mode.
+    pub fn with_fast(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self
+    }
+
+    /// Pins the worker count (1 = sequential).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Parses the three ambient variables. Malformed values are an error
+    /// with a message naming the variable, the offending value, and what
+    /// was expected — never a silent fallback.
+    pub fn parse(
+        seed: Option<&str>,
+        fast: Option<&str>,
+        jobs: Option<&str>,
+    ) -> Result<Self, String> {
+        let master_seed = match seed {
+            None => 42,
+            Some(s) => s.trim().parse::<u64>().map_err(|_| {
+                format!("invalid HCLOUD_SEED {s:?}: expected an unsigned 64-bit integer")
+            })?,
+        };
+        let fast = match fast {
+            None | Some("0") => false,
+            Some("1") => true,
+            Some(s) => {
+                return Err(format!(
+                    "invalid HCLOUD_FAST {s:?}: expected 1 (fast smoke mode) or 0"
+                ))
+            }
+        };
+        let jobs = match jobs {
+            None => None,
+            Some(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    return Err(format!(
+                        "invalid HCLOUD_JOBS {s:?}: expected a worker count >= 1"
+                    ))
+                }
+            },
+        };
+        Ok(ExperimentCtx {
+            master_seed,
+            fast,
+            jobs,
+        })
+    }
+
+    /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` from the
+    /// environment.
+    pub fn from_env() -> Result<Self, String> {
+        let var = |name: &str| std::env::var(name).ok();
+        Self::parse(
+            var("HCLOUD_SEED").as_deref(),
+            var("HCLOUD_FAST").as_deref(),
+            var("HCLOUD_JOBS").as_deref(),
+        )
+    }
+
+    /// [`Self::from_env`] for binaries: prints the error and exits 2
+    /// instead of running an experiment the user didn't configure.
+    pub fn from_env_or_exit() -> Self {
+        Self::from_env().unwrap_or_else(|message| {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The scenario configuration for `kind` under this context: paper
+    /// scale normally, a scaled-down variant in fast mode.
+    pub fn scenario_config(&self, kind: ScenarioKind) -> ScenarioConfig {
+        if self.fast {
+            ScenarioConfig::scaled(kind, 0.15, 25)
+        } else {
+            ScenarioConfig::paper(kind)
+        }
+    }
+
+    /// Generates the scenario for `kind` under `seed` (ambient seed if
+    /// `None`) in this context's scale.
+    pub fn scenario(&self, kind: ScenarioKind, seed: Option<u64>) -> Scenario {
+        let seed = seed.unwrap_or(self.master_seed);
+        Scenario::generate(self.scenario_config(kind), &RngFactory::new(seed))
+    }
+
+    /// Worker threads for a plan of `runs` independent simulations.
+    pub fn worker_count(&self, runs: usize) -> usize {
+        let pool = self
+            .jobs
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        pool.min(runs).max(1)
+    }
+}
+
+/// Where a [`RunSpec`] gets its scenario.
+#[derive(Debug, Clone)]
+enum ScenarioSource {
+    /// Generated from the context (deduped across the plan by
+    /// `(kind, seed)`).
+    Kind(ScenarioKind),
+    /// Provided by the caller (custom scale or sweep-generated).
+    Explicit(Arc<Scenario>),
+}
+
+/// One experiment point: scenario, strategy + configuration, seed.
+///
+/// Build with the chained API and submit through an [`ExperimentPlan`]
+/// (or [`crate::Harness::run`] for a single cached run):
+///
+/// ```no_run
+/// use hcloud::StrategyKind;
+/// use hcloud_bench::RunSpec;
+/// use hcloud_workloads::ScenarioKind;
+///
+/// let spec = RunSpec::of(ScenarioKind::HighVariability, StrategyKind::HybridMixed)
+///     .profiling(false)
+///     .seed(7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    scenario: ScenarioSource,
+    config: RunConfig,
+    seed: Option<u64>,
+    label: Option<String>,
+}
+
+impl RunSpec {
+    /// A paper-default run of `strategy` on the generated scenario
+    /// `kind`.
+    pub fn of(kind: ScenarioKind, strategy: StrategyKind) -> RunSpec {
+        RunSpec {
+            scenario: ScenarioSource::Kind(kind),
+            config: RunConfig::new(strategy),
+            seed: None,
+            label: None,
+        }
+    }
+
+    /// A paper-default run of `strategy` on an explicitly provided
+    /// scenario (custom scale, sensitivity sweeps, CLI scenario files).
+    pub fn on(scenario: Arc<Scenario>, strategy: StrategyKind) -> RunSpec {
+        RunSpec {
+            scenario: ScenarioSource::Explicit(scenario),
+            config: RunConfig::new(strategy),
+            seed: None,
+            label: None,
+        }
+    }
+
+    /// Sets whether Quasar profiling information is available.
+    pub fn profiling(mut self, profiling: bool) -> RunSpec {
+        self.config = self.config.with_profiling(profiling);
+        self
+    }
+
+    /// Sets the mapping policy.
+    pub fn policy(mut self, policy: MappingPolicy) -> RunSpec {
+        self.config = self.config.with_policy(policy);
+        self
+    }
+
+    /// Pins this run's master seed (replication sweeps); defaults to the
+    /// context's ambient seed.
+    pub fn seed(mut self, seed: u64) -> RunSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Replaces the whole run configuration (strategy included).
+    pub fn config(mut self, config: RunConfig) -> RunSpec {
+        self.config = config;
+        self
+    }
+
+    /// Applies a [`RunConfig`] builder chain to this spec's
+    /// configuration:
+    /// `spec.map_config(|c| c.with_retention_mult(4.0))`.
+    pub fn map_config(mut self, f: impl FnOnce(RunConfig) -> RunConfig) -> RunSpec {
+        self.config = f(self.config);
+        self
+    }
+
+    /// Attaches a human-readable label for telemetry output.
+    pub fn label(mut self, label: impl Into<String>) -> RunSpec {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The run configuration.
+    pub fn get_config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The strategy under test.
+    pub fn strategy(&self) -> StrategyKind {
+        self.config.strategy
+    }
+
+    /// The scenario kind, when the engine generates the scenario.
+    pub fn scenario_kind(&self) -> Option<ScenarioKind> {
+        match &self.scenario {
+            ScenarioSource::Kind(kind) => Some(*kind),
+            ScenarioSource::Explicit(_) => None,
+        }
+    }
+
+    /// The label shown in telemetry: explicit, or derived.
+    fn display_label(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        let scenario = match &self.scenario {
+            ScenarioSource::Kind(kind) => format!("{kind:?}"),
+            ScenarioSource::Explicit(_) => "custom".to_string(),
+        };
+        match self.seed {
+            Some(seed) => format!("{scenario}/{}/seed{seed}", self.config.strategy),
+            None => format!("{scenario}/{}", self.config.strategy),
+        }
+    }
+
+    /// In-process cache identity: the scenario source, seed, and the full
+    /// configuration (via its `Debug` form, which round-trips every field
+    /// including floats).
+    pub(crate) fn cache_key(&self, ctx: &ExperimentCtx) -> String {
+        let scenario = match &self.scenario {
+            ScenarioSource::Kind(kind) => format!("kind:{kind:?}"),
+            // Pointer identity: only valid in-process, which is exactly
+            // the cache's lifetime. Distinct-but-equal scenarios miss the
+            // cache (costing time, never correctness).
+            ScenarioSource::Explicit(s) => format!("ptr:{:p}", Arc::as_ptr(s)),
+        };
+        format!(
+            "{scenario}|seed:{}|{:?}",
+            self.seed.unwrap_or(ctx.master_seed),
+            self.config
+        )
+    }
+}
+
+/// An ordered list of [`RunSpec`]s submitted as one unit. Plan order is
+/// the result order.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentPlan {
+    specs: Vec<RunSpec>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan.
+    pub fn new() -> ExperimentPlan {
+        ExperimentPlan::default()
+    }
+
+    /// Appends a run.
+    pub fn push(&mut self, spec: RunSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The specs, in plan order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+}
+
+impl From<Vec<RunSpec>> for ExperimentPlan {
+    fn from(specs: Vec<RunSpec>) -> Self {
+        ExperimentPlan { specs }
+    }
+}
+
+impl FromIterator<RunSpec> for ExperimentPlan {
+    fn from_iter<I: IntoIterator<Item = RunSpec>>(iter: I) -> Self {
+        ExperimentPlan {
+            specs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Per-run telemetry: what one simulation cost.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// The spec's label.
+    pub label: String,
+    /// Wall-clock time of this simulation.
+    pub wall: Duration,
+    /// Events its discrete-event loop processed.
+    pub events: usize,
+}
+
+/// Plan-level telemetry: enough to see the fan-out working.
+#[derive(Debug, Clone, Default)]
+pub struct PlanTelemetry {
+    /// Per-run details, in plan order (simulated runs only; cache hits
+    /// don't appear).
+    pub runs: Vec<RunTelemetry>,
+    /// Wall-clock time of the whole plan.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Runs served from the harness cache (always 0 at engine level).
+    pub cache_hits: usize,
+}
+
+impl PlanTelemetry {
+    /// Total simulation time across runs — what a sequential executor
+    /// would have paid.
+    pub fn cpu_time(&self) -> Duration {
+        self.runs.iter().map(|r| r.wall).sum()
+    }
+
+    /// Total events processed across runs.
+    pub fn total_events(&self) -> usize {
+        self.runs.iter().map(|r| r.events).sum()
+    }
+
+    /// Observed parallel speedup: summed per-run time over plan
+    /// wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_time().as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// One summary line (print to stderr so figure output on stdout stays
+    /// byte-identical across worker counts).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} run(s) + {} cached on {} worker(s): {:.2}s wall, {:.2}s simulation ({:.2}x), {} events",
+            self.runs.len(),
+            self.cache_hits,
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.cpu_time().as_secs_f64(),
+            self.speedup(),
+            self.total_events(),
+        )
+    }
+
+    /// Merges another plan's telemetry into this one (session totals).
+    pub fn absorb(&mut self, other: &PlanTelemetry) {
+        self.runs.extend(other.runs.iter().cloned());
+        self.wall += other.wall;
+        self.workers = self.workers.max(other.workers);
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// A completed plan: results in plan order plus telemetry.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// One result per spec, at the spec's plan index.
+    pub results: Vec<RunResult>,
+    /// What it cost.
+    pub telemetry: PlanTelemetry,
+}
+
+/// The execution layer: resolves scenarios, fans runs out, collects
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    ctx: ExperimentCtx,
+}
+
+impl Engine {
+    /// An engine under `ctx`.
+    pub fn new(ctx: ExperimentCtx) -> Engine {
+        Engine { ctx }
+    }
+
+    /// The context.
+    pub fn ctx(&self) -> &ExperimentCtx {
+        &self.ctx
+    }
+
+    /// Generates (once) every scenario the plan needs, keyed by
+    /// `(kind, seed)`. Sequential and deterministic: generation order is
+    /// plan order.
+    fn scenario_table(&self, plan: &ExperimentPlan) -> HashMap<(ScenarioKind, u64), Arc<Scenario>> {
+        let mut table = HashMap::new();
+        for spec in &plan.specs {
+            if let ScenarioSource::Kind(kind) = &spec.scenario {
+                let seed = spec.seed.unwrap_or(self.ctx.master_seed);
+                table
+                    .entry((*kind, seed))
+                    .or_insert_with(|| Arc::new(self.ctx.scenario(*kind, Some(seed))));
+            }
+        }
+        table
+    }
+
+    /// Runs the whole plan, fanning independent simulations across up to
+    /// `ctx.worker_count(plan.len())` scoped threads. Results come back
+    /// in plan order and are bit-identical for any worker count.
+    pub fn run_plan(&self, plan: &ExperimentPlan) -> PlanOutcome {
+        let started = Instant::now();
+        let scenarios = self.scenario_table(plan);
+        let n = plan.len();
+        let workers = self.ctx.worker_count(n);
+
+        let execute = |spec: &RunSpec| -> (RunResult, RunTelemetry) {
+            let seed = spec.seed.unwrap_or(self.ctx.master_seed);
+            let scenario: &Scenario = match &spec.scenario {
+                ScenarioSource::Kind(kind) => &scenarios[&(*kind, seed)],
+                ScenarioSource::Explicit(s) => s,
+            };
+            let factory = RngFactory::new(seed);
+            let run_started = Instant::now();
+            let result = run_scenario(scenario, &spec.config, &factory);
+            let telemetry = RunTelemetry {
+                label: spec.display_label(),
+                wall: run_started.elapsed(),
+                events: result.counters.events_processed,
+            };
+            (result, telemetry)
+        };
+
+        let mut slots: Vec<Option<(RunResult, RunTelemetry)>> = Vec::new();
+        slots.resize_with(n, || None);
+
+        if workers <= 1 {
+            for (slot, spec) in slots.iter_mut().zip(&plan.specs) {
+                *slot = Some(execute(spec));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, execute(&plan.specs[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let local = handle.join().expect("engine worker panicked");
+                    for (i, run) in local {
+                        slots[i] = Some(run);
+                    }
+                }
+            });
+        }
+
+        let mut results = Vec::with_capacity(n);
+        let mut runs = Vec::with_capacity(n);
+        for slot in slots {
+            let (result, telemetry) = slot.expect("every plan index executed");
+            results.push(result);
+            runs.push(telemetry);
+        }
+        PlanOutcome {
+            results,
+            telemetry: PlanTelemetry {
+                runs,
+                wall: started.elapsed(),
+                workers,
+                cache_hits: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_defaults_match_legacy_behaviour() {
+        let ctx = ExperimentCtx::parse(None, None, None).unwrap();
+        assert_eq!(ctx.master_seed, 42);
+        assert!(!ctx.fast);
+        assert_eq!(ctx.jobs, None);
+    }
+
+    #[test]
+    fn ctx_parses_explicit_values() {
+        let ctx = ExperimentCtx::parse(Some("7"), Some("1"), Some("3")).unwrap();
+        assert_eq!(ctx.master_seed, 7);
+        assert!(ctx.fast);
+        assert_eq!(ctx.jobs, Some(3));
+        let ctx = ExperimentCtx::parse(None, Some("0"), None).unwrap();
+        assert!(!ctx.fast);
+    }
+
+    #[test]
+    fn ctx_rejects_malformed_values_loudly() {
+        let e = ExperimentCtx::parse(Some("banana"), None, None).unwrap_err();
+        assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
+        let e = ExperimentCtx::parse(None, Some("yes"), None).unwrap_err();
+        assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
+        let e = ExperimentCtx::parse(None, None, Some("0")).unwrap_err();
+        assert!(e.contains("HCLOUD_JOBS"), "{e}");
+        let e = ExperimentCtx::parse(None, None, Some("many")).unwrap_err();
+        assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
+    }
+
+    #[test]
+    fn worker_count_clamps_to_plan_size() {
+        let ctx = ExperimentCtx::new(1).with_jobs(8);
+        assert_eq!(ctx.worker_count(3), 3);
+        assert_eq!(ctx.worker_count(0), 1);
+        assert_eq!(ctx.worker_count(100), 8);
+    }
+
+    #[test]
+    fn specs_build_and_label() {
+        let spec = RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed)
+            .profiling(false)
+            .seed(9);
+        assert!(!spec.get_config().profiling);
+        assert_eq!(spec.strategy(), StrategyKind::HybridMixed);
+        assert_eq!(spec.scenario_kind(), Some(ScenarioKind::Static));
+        assert!(spec.display_label().contains("seed9"));
+        let labelled = spec.label("custom-label");
+        assert_eq!(labelled.display_label(), "custom-label");
+    }
+
+    #[test]
+    fn cache_keys_distinguish_configs_and_seeds() {
+        let ctx = ExperimentCtx::new(42);
+        let a = RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed);
+        let b = a.clone().profiling(false);
+        let c = a.clone().seed(43);
+        let d = a.clone().map_config(|c| c.with_retention_mult(4.0));
+        let keys: Vec<String> = [&a, &b, &c, &d].iter().map(|s| s.cache_key(&ctx)).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "specs {i} and {j} collide");
+            }
+        }
+        // Ambient seed is explicit in the key, so seed(42) == default.
+        assert_eq!(a.cache_key(&ctx), a.clone().seed(42).cache_key(&ctx));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_and_plan_order() {
+        let mut plan = ExperimentPlan::new();
+        for strategy in [StrategyKind::StaticReserved, StrategyKind::HybridMixed] {
+            for seed in [1u64, 2] {
+                plan.push(RunSpec::of(ScenarioKind::Static, strategy).seed(seed));
+            }
+        }
+        let ctx = ExperimentCtx::new(42).with_fast(true);
+        let seq = Engine::new(ctx.with_jobs(1)).run_plan(&plan);
+        let par = Engine::new(ctx.with_jobs(4)).run_plan(&plan);
+        assert_eq!(seq.results, par.results);
+        assert_eq!(seq.results.len(), 4);
+        assert_eq!(par.telemetry.workers, 4);
+        // Plan order: spec i's strategy at result i.
+        for (spec, result) in plan.specs().iter().zip(&seq.results) {
+            assert_eq!(spec.strategy(), result.strategy);
+        }
+        assert!(seq.telemetry.total_events() > 0);
+    }
+}

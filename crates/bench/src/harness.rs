@@ -1,46 +1,37 @@
-//! Shared experiment plumbing for the figure binaries.
+//! Shared experiment plumbing for the figure binaries: a thin caching
+//! facade over the [`crate::engine`].
+//!
+//! The [`Harness`] owns an [`ExperimentCtx`] (parsed once from
+//! `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS`), a scenario cache, and
+//! a run cache keyed by the full [`RunSpec`] identity. Sweeps that
+//! re-bill or re-aggregate the same simulation (Figures 12, 13, 17) hit
+//! the cache; everything else flows through the parallel engine, so a
+//! figure binary saturates the machine by submitting its grid as one
+//! [`ExperimentPlan`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use hcloud::runner::run_scenario;
-use hcloud::{RunConfig, RunResult, StrategyKind};
+use hcloud::RunResult;
 use hcloud_sim::rng::RngFactory;
-use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
+use hcloud_workloads::{Scenario, ScenarioKind};
 
-/// The master seed, overridable via `HCLOUD_SEED`.
-pub fn master_seed() -> u64 {
-    std::env::var("HCLOUD_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
+use crate::engine::{Engine, ExperimentCtx, ExperimentPlan, PlanTelemetry, RunSpec};
 
-/// Whether fast (smoke-test) mode is on: `HCLOUD_FAST=1`.
-pub fn fast_mode() -> bool {
-    std::env::var("HCLOUD_FAST").is_ok_and(|v| v == "1")
-}
-
-/// The scenario configuration the binaries use: paper scale normally, a
-/// scaled-down variant under `HCLOUD_FAST=1`.
-pub fn scenario_config(kind: ScenarioKind) -> ScenarioConfig {
-    if fast_mode() {
-        ScenarioConfig::scaled(kind, 0.15, 25)
-    } else {
-        ScenarioConfig::paper(kind)
-    }
-}
-
-/// Generates the paper scenario for `kind` under the ambient seed/mode.
+/// Generates the paper scenario for `kind` under the ambient
+/// seed/fast-mode environment (hard error on malformed variables).
 pub fn paper_scenario(kind: ScenarioKind) -> Scenario {
-    Scenario::generate(scenario_config(kind), &RngFactory::new(master_seed()))
+    let ctx = ExperimentCtx::from_env_or_exit();
+    ctx.scenario(kind, None)
 }
 
-/// An experiment harness caching scenarios and runs, so sweeps that
-/// re-bill or re-aggregate the same simulation don't re-run it.
+/// An experiment harness: run cache in front of the parallel engine.
 pub struct Harness {
-    factory: RngFactory,
-    scenarios: HashMap<ScenarioKind, Scenario>,
-    runs: HashMap<(ScenarioKind, StrategyKind, bool), RunResult>,
+    engine: Engine,
+    scenarios: HashMap<ScenarioKind, Arc<Scenario>>,
+    cache: HashMap<String, Arc<RunResult>>,
+    session: PlanTelemetry,
+    cache_hits: usize,
 }
 
 impl Default for Harness {
@@ -50,56 +41,178 @@ impl Default for Harness {
 }
 
 impl Harness {
-    /// Creates a harness under the ambient seed.
+    /// A harness under the ambient environment (exits with a clear
+    /// message on malformed `HCLOUD_*` variables).
     pub fn new() -> Harness {
+        Harness::with_ctx(ExperimentCtx::from_env_or_exit())
+    }
+
+    /// A harness under an explicit context (tests, library callers).
+    pub fn with_ctx(ctx: ExperimentCtx) -> Harness {
         Harness {
-            factory: RngFactory::new(master_seed()),
+            engine: Engine::new(ctx),
             scenarios: HashMap::new(),
-            runs: HashMap::new(),
+            cache: HashMap::new(),
+            session: PlanTelemetry::default(),
+            cache_hits: 0,
         }
     }
 
-    /// The RNG factory used for runs.
-    pub fn factory(&self) -> &RngFactory {
-        &self.factory
+    /// The ambient experiment context.
+    pub fn ctx(&self) -> &ExperimentCtx {
+        self.engine.ctx()
     }
 
-    /// The (cached) scenario for `kind`.
+    /// The RNG factory runs under the ambient seed use.
+    pub fn factory(&self) -> RngFactory {
+        RngFactory::new(self.ctx().master_seed)
+    }
+
+    /// The (cached) ambient-seed scenario for `kind`.
     pub fn scenario(&mut self, kind: ScenarioKind) -> &Scenario {
-        let factory = self.factory;
+        let ctx = *self.engine.ctx();
         self.scenarios
             .entry(kind)
-            .or_insert_with(|| Scenario::generate(scenario_config(kind), &factory))
+            .or_insert_with(|| Arc::new(ctx.scenario(kind, None)))
     }
 
-    /// Runs (or returns the cached run of) `strategy` on `kind` with the
-    /// default configuration.
-    pub fn run(
-        &mut self,
-        kind: ScenarioKind,
-        strategy: StrategyKind,
-        profiling: bool,
-    ) -> &RunResult {
-        let factory = self.factory;
-        if !self.runs.contains_key(&(kind, strategy, profiling)) {
-            let scenario = self.scenario(kind).clone();
-            let mut config = RunConfig::new(strategy);
-            config.profiling = profiling;
-            let result = run_scenario(&scenario, &config, &factory);
-            self.runs.insert((kind, strategy, profiling), result);
+    /// Runs one spec (or returns its cached result). For grids, prefer
+    /// [`Harness::run_plan`], which fans out across all cores.
+    pub fn run(&mut self, spec: RunSpec) -> &RunResult {
+        let key = spec.cache_key(self.engine.ctx());
+        if !self.cache.contains_key(&key) {
+            let outcome = self.engine.run_plan(&ExperimentPlan::from(vec![spec]));
+            self.session.absorb(&outcome.telemetry);
+            let result = outcome.results.into_iter().next().expect("one result");
+            self.cache.insert(key.clone(), Arc::new(result));
+        } else {
+            self.cache_hits += 1;
         }
-        &self.runs[&(kind, strategy, profiling)]
+        self.cache.get(&key).expect("just inserted")
     }
 
-    /// Runs `config` on `kind` without caching (for custom-config sweeps).
-    pub fn run_config(&mut self, kind: ScenarioKind, config: &RunConfig) -> RunResult {
-        let factory = self.factory;
-        let scenario = self.scenario(kind).clone();
-        run_scenario(&scenario, config, &factory)
+    /// Runs a whole plan through the engine, consulting the cache per
+    /// spec. Results come back in plan order, bit-identical for any
+    /// worker count.
+    pub fn run_plan(&mut self, plan: ExperimentPlan) -> Vec<Arc<RunResult>> {
+        let ctx = *self.engine.ctx();
+        let keys: Vec<String> = plan.specs().iter().map(|s| s.cache_key(&ctx)).collect();
+
+        // Dedup within the plan too: identical specs simulate once.
+        let mut missing: Vec<(String, RunSpec)> = Vec::new();
+        for (key, spec) in keys.iter().zip(plan.specs()) {
+            if !self.cache.contains_key(key) && missing.iter().all(|(k, _)| k != key) {
+                missing.push((key.clone(), spec.clone()));
+            }
+        }
+
+        let hits = plan.len() - missing.len();
+        self.cache_hits += hits;
+        if !missing.is_empty() {
+            let sub: ExperimentPlan = missing.iter().map(|(_, s)| s.clone()).collect();
+            let outcome = self.engine.run_plan(&sub);
+            let mut telemetry = outcome.telemetry;
+            telemetry.cache_hits = hits;
+            self.session.absorb(&telemetry);
+            for ((key, _), result) in missing.into_iter().zip(outcome.results) {
+                self.cache.insert(key, Arc::new(result));
+            }
+        }
+
+        keys.iter()
+            .map(|key| Arc::clone(self.cache.get(key).expect("all plan keys resolved")))
+            .collect()
     }
 
-    /// Runs `config` on an explicitly provided scenario.
-    pub fn run_on(&self, scenario: &Scenario, config: &RunConfig) -> RunResult {
-        run_scenario(scenario, config, &self.factory)
+    /// Session telemetry: every simulated run so far, plus cache counts.
+    pub fn telemetry(&self) -> &PlanTelemetry {
+        &self.session
+    }
+
+    /// Cache hits served so far.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Simulations actually executed so far.
+    pub fn cache_misses(&self) -> usize {
+        self.session.runs.len()
+    }
+
+    /// Prints the session telemetry line for `name` to stderr (stderr so
+    /// figure output on stdout stays byte-identical across worker
+    /// counts).
+    pub fn report(&self, name: &str) {
+        eprintln!(
+            "[{name}] engine: {} simulated, {} cached, {} worker(s); {:.2}s wall, {:.2}s simulation ({:.2}x); {} events",
+            self.cache_misses(),
+            self.cache_hits(),
+            self.session.workers.max(1),
+            self.session.wall.as_secs_f64(),
+            self.session.cpu_time().as_secs_f64(),
+            self.session.speedup(),
+            self.session.total_events(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud::StrategyKind;
+
+    fn fast_harness() -> Harness {
+        Harness::with_ctx(ExperimentCtx::new(42).with_fast(true).with_jobs(2))
+    }
+
+    #[test]
+    fn run_caches_identical_specs() {
+        let mut h = fast_harness();
+        let spec = RunSpec::of(ScenarioKind::Static, StrategyKind::StaticReserved);
+        let a = h.run(spec.clone()).makespan;
+        assert_eq!(h.cache_misses(), 1);
+        assert_eq!(h.cache_hits(), 0);
+        let b = h.run(spec).makespan;
+        assert_eq!(a, b);
+        assert_eq!(h.cache_misses(), 1);
+        assert_eq!(h.cache_hits(), 1);
+    }
+
+    #[test]
+    fn plan_results_come_back_in_plan_order_and_hit_cache() {
+        let mut h = fast_harness();
+        let strategies = [
+            StrategyKind::StaticReserved,
+            StrategyKind::OnDemandMixed,
+            StrategyKind::HybridMixed,
+        ];
+        let plan: ExperimentPlan = strategies
+            .iter()
+            .map(|&s| RunSpec::of(ScenarioKind::Static, s))
+            .collect();
+        let results = h.run_plan(plan.clone());
+        assert_eq!(results.len(), 3);
+        for (&s, r) in strategies.iter().zip(&results) {
+            assert_eq!(r.strategy, s);
+        }
+        assert_eq!(h.cache_misses(), 3);
+
+        // Resubmitting is free and identical.
+        let again = h.run_plan(plan);
+        assert_eq!(h.cache_misses(), 3);
+        assert_eq!(h.cache_hits(), 3);
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.as_ref(), b.as_ref());
+        }
+    }
+
+    #[test]
+    fn plan_dedups_identical_specs() {
+        let mut h = fast_harness();
+        let spec = RunSpec::of(ScenarioKind::Static, StrategyKind::OnDemandFull);
+        let results = h.run_plan(ExperimentPlan::from(vec![spec.clone(), spec]));
+        assert_eq!(results.len(), 2);
+        assert_eq!(h.cache_misses(), 1);
+        assert_eq!(results[0].as_ref(), results[1].as_ref());
     }
 }

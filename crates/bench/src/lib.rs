@@ -4,9 +4,12 @@
 //! plus Criterion micro-benchmarks for the Section 5.2 overheads
 //! (`benches/overheads.rs`). This library holds the shared plumbing:
 //!
-//! * [`harness`] — scenario/strategy run helpers with in-process caching
-//!   so sweeps that only re-bill the same run (Figures 12, 13, 17) run
-//!   each simulation once;
+//! * [`engine`] — the parallel experiment engine: typed [`RunSpec`]
+//!   points submitted as an [`ExperimentPlan`], fanned out across a
+//!   scoped thread pool, collected deterministically in plan order;
+//! * [`harness`] — a thin caching facade over the engine, so sweeps that
+//!   only re-bill the same run (Figures 12, 13, 17) run each simulation
+//!   once;
 //! * [`report`] — aligned text tables, ASCII sparklines/heatmaps, and
 //!   JSON series export, so every binary prints the same rows/series the
 //!   paper plots and optionally dumps machine-readable data under
@@ -22,11 +25,18 @@
 //! ```
 //!
 //! Every binary honours `HCLOUD_FAST=1` to shrink scenarios for smoke
-//! runs, and `HCLOUD_SEED=<n>` to change the master seed.
+//! runs, `HCLOUD_SEED=<n>` to change the master seed, and
+//! `HCLOUD_JOBS=<n>` to pin the engine's worker count (default:
+//! `available_parallelism`). Results are bit-identical for any worker
+//! count. Malformed values are a hard error.
 
+pub mod engine;
 pub mod harness;
 pub mod plot;
 pub mod report;
 
+pub use engine::{
+    Engine, ExperimentCtx, ExperimentPlan, PlanOutcome, PlanTelemetry, RunSpec, RunTelemetry,
+};
 pub use harness::{paper_scenario, Harness};
 pub use report::{heatmap_row, sparkline, write_json, Table};

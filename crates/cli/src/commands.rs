@@ -1,21 +1,213 @@
 //! Command implementations.
 
 use std::fs;
+use std::sync::Arc;
 
 use hcloud::config::SpotPolicy;
 use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
+use hcloud_interference::ResourceVector;
+use hcloud_json::{ObjectBuilder, Value};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
-use hcloud_workloads::{JobSpec, Scenario, ScenarioConfig};
+use hcloud_sim::{SimDuration, SimTime};
+use hcloud_workloads::{
+    AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario, ScenarioConfig, ScenarioKind,
+};
 
 use crate::args::{Command, Common, RunOptions, SweepOptions};
 
 /// The on-disk scenario format for `export` / `--scenario-file`.
-#[derive(serde::Serialize, serde::Deserialize)]
 struct ScenarioFile {
     config: ScenarioConfig,
     jobs: Vec<JobSpec>,
+}
+
+/// JSON codec for [`ScenarioFile`]. Times serialize as integer
+/// microseconds (the simulator's native unit), so export → import
+/// round-trips exactly.
+mod scenario_json {
+    use super::*;
+
+    fn kind_name(kind: ScenarioKind) -> &'static str {
+        match kind {
+            ScenarioKind::Static => "static",
+            ScenarioKind::LowVariability => "low",
+            ScenarioKind::HighVariability => "high",
+        }
+    }
+
+    fn kind_from(name: &str) -> Result<ScenarioKind, String> {
+        match name {
+            "static" => Ok(ScenarioKind::Static),
+            "low" => Ok(ScenarioKind::LowVariability),
+            "high" => Ok(ScenarioKind::HighVariability),
+            other => Err(format!("unknown scenario kind '{other}'")),
+        }
+    }
+
+    fn class_name(class: AppClass) -> &'static str {
+        match class {
+            AppClass::HadoopRecommender => "hadoop-recommender",
+            AppClass::HadoopSvm => "hadoop-svm",
+            AppClass::HadoopMatrixFactorization => "hadoop-matrix-factorization",
+            AppClass::SparkBatch => "spark-batch",
+            AppClass::SparkRealtime => "spark-realtime",
+            AppClass::Memcached => "memcached",
+        }
+    }
+
+    fn class_from(name: &str) -> Result<AppClass, String> {
+        AppClass::ALL
+            .into_iter()
+            .find(|&c| class_name(c) == name)
+            .ok_or_else(|| format!("unknown application class '{name}'"))
+    }
+
+    pub fn to_json(file: &ScenarioFile) -> Value {
+        let c = &file.config;
+        let mut config = ObjectBuilder::new()
+            .set("kind", kind_name(c.kind))
+            .set("duration_us", c.duration.as_micros() as f64)
+            .set(
+                "mean_interarrival_us",
+                c.mean_interarrival.as_micros() as f64,
+            )
+            .set("load_scale", c.load_scale)
+            .set(
+                "latency_model",
+                ObjectBuilder::new()
+                    .set("base_service_us", c.latency_model.base_service_us)
+                    .set("target_utilization", c.latency_model.target_utilization)
+                    .set("max_utilization", c.latency_model.max_utilization)
+                    .build(),
+            );
+        if let Some(f) = c.sensitive_fraction {
+            config = config.set("sensitive_fraction", f);
+        }
+        let jobs: Vec<Value> = file
+            .jobs
+            .iter()
+            .map(|j| {
+                let kind = match j.kind {
+                    JobKind::Batch { work_core_secs } => ObjectBuilder::new()
+                        .set("type", "batch")
+                        .set("work_core_secs", work_core_secs)
+                        .build(),
+                    JobKind::LatencyCritical {
+                        offered_rps,
+                        lifetime,
+                    } => ObjectBuilder::new()
+                        .set("type", "latency-critical")
+                        .set("offered_rps", offered_rps)
+                        .set("lifetime_us", lifetime.as_micros() as f64)
+                        .build(),
+                };
+                let sensitivity: Vec<Value> =
+                    j.sensitivity.as_array().iter().map(|&v| v.into()).collect();
+                ObjectBuilder::new()
+                    .set("id", j.id.0 as f64)
+                    .set("class", class_name(j.class))
+                    .set("arrival_us", j.arrival.as_micros() as f64)
+                    .set("kind", kind)
+                    .set("cores", f64::from(j.cores))
+                    .set("sensitivity", sensitivity)
+                    .build()
+            })
+            .collect();
+        ObjectBuilder::new()
+            .set("config", config.build())
+            .set("jobs", jobs)
+            .build()
+    }
+
+    fn required<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+        v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+        required(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("field '{key}' is not an unsigned integer"))
+    }
+
+    fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+        required(v, key)?
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' is not a number"))
+    }
+
+    fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+        required(v, key)?
+            .as_str()
+            .ok_or_else(|| format!("field '{key}' is not a string"))
+    }
+
+    pub fn from_json(v: &Value) -> Result<ScenarioFile, String> {
+        let c = required(v, "config")?;
+        let lm = required(c, "latency_model")?;
+        let config = ScenarioConfig {
+            kind: kind_from(get_str(c, "kind")?)?,
+            duration: SimDuration::from_micros(get_u64(c, "duration_us")?),
+            mean_interarrival: SimDuration::from_micros(get_u64(c, "mean_interarrival_us")?),
+            load_scale: get_f64(c, "load_scale")?,
+            sensitive_fraction: match c.get("sensitive_fraction") {
+                None | Some(Value::Null) => None,
+                Some(f) => Some(
+                    f.as_f64()
+                        .ok_or("field 'sensitive_fraction' is not a number")?,
+                ),
+            },
+            latency_model: LatencyModel {
+                base_service_us: get_f64(lm, "base_service_us")?,
+                target_utilization: get_f64(lm, "target_utilization")?,
+                max_utilization: get_f64(lm, "max_utilization")?,
+            },
+        };
+        let jobs = required(v, "jobs")?
+            .as_array()
+            .ok_or("field 'jobs' is not an array")?
+            .iter()
+            .map(|j| {
+                let k = required(j, "kind")?;
+                let kind = match get_str(k, "type")? {
+                    "batch" => JobKind::Batch {
+                        work_core_secs: get_f64(k, "work_core_secs")?,
+                    },
+                    "latency-critical" => JobKind::LatencyCritical {
+                        offered_rps: get_f64(k, "offered_rps")?,
+                        lifetime: SimDuration::from_micros(get_u64(k, "lifetime_us")?),
+                    },
+                    other => return Err(format!("unknown job kind '{other}'")),
+                };
+                let raw = required(j, "sensitivity")?
+                    .as_array()
+                    .ok_or("field 'sensitivity' is not an array")?;
+                let mut sensitivity = [0.0; hcloud_interference::NUM_RESOURCES];
+                if raw.len() != sensitivity.len() {
+                    return Err(format!(
+                        "sensitivity has {} entries, expected {}",
+                        raw.len(),
+                        sensitivity.len()
+                    ));
+                }
+                for (slot, value) in sensitivity.iter_mut().zip(raw) {
+                    *slot = value.as_f64().ok_or("sensitivity entry is not a number")?;
+                }
+                Ok(JobSpec {
+                    id: JobId(get_u64(j, "id")?),
+                    class: class_from(get_str(j, "class")?)?,
+                    arrival: SimTime::from_micros(get_u64(j, "arrival_us")?),
+                    kind,
+                    cores: u32::try_from(get_u64(j, "cores")?)
+                        .map_err(|_| "field 'cores' out of range".to_string())?,
+                    sensitivity: ResourceVector::new(sensitivity),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ScenarioFile { config, jobs })
+    }
 }
 
 fn build_scenario(common: &Common) -> Scenario {
@@ -107,8 +299,7 @@ pub fn run(command: Command) -> Result<(), String> {
 }
 
 fn compare(common: &Common) -> Result<(), String> {
-    let scenario = build_scenario(common);
-    let factory = RngFactory::new(common.seed);
+    let scenario = Arc::new(build_scenario(common));
     let rates = Rates::default();
     let model = PricingModel::aws();
     println!(
@@ -121,8 +312,16 @@ fn compare(common: &Common) -> Result<(), String> {
         "{:<6} {:>8} {:>12} {:>14} {:>10} {:>10}",
         "strat", "perf %", "degradation", "lc p99 (µs)", "od acq", "cost $"
     );
-    for strategy in StrategyKind::ALL {
-        let r = run_scenario(&scenario, &RunConfig::new(strategy), &factory);
+    // All five strategies fan out across the engine's worker pool.
+    let mut ctx = ExperimentCtx::from_env()?;
+    ctx.master_seed = common.seed;
+    let engine = Engine::new(ctx);
+    let plan: ExperimentPlan = StrategyKind::ALL
+        .iter()
+        .map(|&s| RunSpec::on(Arc::clone(&scenario), s))
+        .collect();
+    let outcome = engine.run_plan(&plan);
+    for (&strategy, r) in StrategyKind::ALL.iter().zip(&outcome.results) {
         let lc = r.lc_latency_boxplot().map(|b| b.mean).unwrap_or(f64::NAN);
         println!(
             "{:<6} {:>8.1} {:>11.2}x {:>14.0} {:>10} {:>10.2}",
@@ -141,17 +340,18 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
     let scenario = match &options.scenario_file {
         Some(path) => {
             let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let file: ScenarioFile =
-                serde_json::from_str(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+            let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+            let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
             Scenario::from_jobs(file.config, file.jobs)
         }
         None => build_scenario(common),
     };
-    let mut config = RunConfig::new(options.strategy).with_policy(options.policy);
-    config.profiling = options.profiling;
-    config.record_decisions = options.explain;
+    let mut config = RunConfig::new(options.strategy)
+        .with_policy(options.policy)
+        .with_profiling(options.profiling)
+        .with_record_decisions(options.explain);
     if let Some(bid) = options.spot_bid {
-        config.spot = Some(SpotPolicy {
+        config = config.with_spot(SpotPolicy {
             bid_multiplier: bid,
             ..SpotPolicy::default()
         });
@@ -188,27 +388,23 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
     if let Some(path) = &options.json_out {
         let rates = Rates::default();
         let cost = r.cost(&rates, &model);
-        let body = serde_json::json!({
-            "strategy": options.strategy.short_name(),
-            "scenario": scenario.kind().name(),
-            "seed": common.seed,
-            "jobs": r.outcomes.len(),
-            "makespan_min": r.makespan.as_mins_f64(),
-            "mean_normalized_perf": r.mean_normalized_perf(),
-            "mean_degradation": r.mean_degradation(),
-            "reserved_cores": r.reserved_cores,
-            "reserved_utilization": r.mean_reserved_utilization(),
-            "od_acquired": r.counters.od_acquired,
-            "spot_acquired": r.counters.spot_acquired,
-            "spot_terminations": r.counters.spot_terminations,
-            "cost_reserved": cost.reserved,
-            "cost_on_demand": cost.on_demand,
-        });
-        fs::write(
-            path,
-            serde_json::to_string_pretty(&body).expect("serializable"),
-        )
-        .map_err(|e| format!("writing {path}: {e}"))?;
+        let body = ObjectBuilder::new()
+            .set("strategy", options.strategy.short_name())
+            .set("scenario", scenario.kind().name())
+            .set("seed", common.seed as f64)
+            .set("jobs", r.outcomes.len() as f64)
+            .set("makespan_min", r.makespan.as_mins_f64())
+            .set("mean_normalized_perf", r.mean_normalized_perf())
+            .set("mean_degradation", r.mean_degradation())
+            .set("reserved_cores", f64::from(r.reserved_cores))
+            .set("reserved_utilization", r.mean_reserved_utilization())
+            .set("od_acquired", r.counters.od_acquired as f64)
+            .set("spot_acquired", r.counters.spot_acquired as f64)
+            .set("spot_terminations", r.counters.spot_terminations as f64)
+            .set("cost_reserved", cost.reserved)
+            .set("cost_on_demand", cost.on_demand)
+            .build();
+        fs::write(path, body.to_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("(wrote {path})");
     }
     Ok(())
@@ -232,24 +428,23 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
         "spinup" => [0.0, 15.0, 30.0, 60.0, 120.0]
             .iter()
             .map(|&s| {
-                let mut c = RunConfig::new(options.strategy);
-                c.cloud.spin_up = SpinUpModel::with_mean_secs(s);
+                let c =
+                    RunConfig::new(options.strategy).with_spin_up(SpinUpModel::with_mean_secs(s));
                 (format!("{s:.0}s"), c, None)
             })
             .collect(),
         "external" => [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&l| {
-                let mut c = RunConfig::new(options.strategy);
-                c.cloud.external = ExternalLoadModel::with_mean(l);
+                let c = RunConfig::new(options.strategy)
+                    .with_external_load(ExternalLoadModel::with_mean(l));
                 (format!("{:.0}%", l * 100.0), c, None)
             })
             .collect(),
         "retention" => [0.0, 1.0, 10.0, 100.0, 500.0]
             .iter()
             .map(|&m| {
-                let mut c = RunConfig::new(options.strategy);
-                c.retention_mult = m;
+                let c = RunConfig::new(options.strategy).with_retention_mult(m);
                 (format!("{m:.0}x"), c, None)
             })
             .collect(),
@@ -296,7 +491,7 @@ fn export(common: &Common, out: &str) -> Result<(), String> {
         config: scenario.config().clone(),
         jobs: scenario.jobs().to_vec(),
     };
-    let body = serde_json::to_string(&file).expect("serializable scenario");
+    let body = scenario_json::to_json(&file).to_string();
     fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {} jobs ({} bytes) to {out}",
@@ -304,4 +499,33 @@ fn export(common: &Common, out: &str) -> Result<(), String> {
         body.len()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_file_round_trips_exactly() {
+        let config = ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.1, 10);
+        let scenario = Scenario::generate(config, &RngFactory::new(7));
+        let file = ScenarioFile {
+            config: scenario.config().clone(),
+            jobs: scenario.jobs().to_vec(),
+        };
+        let body = scenario_json::to_json(&file).to_string();
+        let back =
+            scenario_json::from_json(&hcloud_json::parse(&body).expect("valid")).expect("decodes");
+        assert_eq!(back.config, *scenario.config());
+        assert_eq!(back.jobs, scenario.jobs());
+    }
+
+    #[test]
+    fn malformed_scenario_files_name_the_field() {
+        let err = match scenario_json::from_json(&hcloud_json::parse("{}").expect("valid")) {
+            Err(e) => e,
+            Ok(_) => panic!("empty object must not decode"),
+        };
+        assert!(err.contains("config"), "{err}");
+    }
 }

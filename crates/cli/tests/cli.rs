@@ -82,9 +82,14 @@ fn json_summary_is_valid() {
         path_str,
     ]);
     let body = std::fs::read_to_string(&path).expect("json written");
-    let v: serde_json::Value = serde_json::from_str(&body).expect("valid json");
-    assert_eq!(v["strategy"], "HF");
-    assert!(v["mean_normalized_perf"].as_f64().expect("float") > 0.0);
+    let v = hcloud_json::parse(&body).expect("valid json");
+    assert_eq!(v.get("strategy").and_then(|s| s.as_str()), Some("HF"));
+    assert!(
+        v.get("mean_normalized_perf")
+            .and_then(|p| p.as_f64())
+            .expect("float")
+            > 0.0
+    );
 }
 
 #[test]

@@ -172,6 +172,96 @@ impl RunConfig {
         self
     }
 
+    /// Sets whether Quasar profiling/classification information is
+    /// available (the with/without split of Figures 4 and 10).
+    pub fn with_profiling(mut self, profiling: bool) -> RunConfig {
+        self.profiling = profiling;
+        self
+    }
+
+    /// Sets the idle-instance retention multiple (Figure 15's sweep knob).
+    pub fn with_retention_mult(mut self, retention_mult: f64) -> RunConfig {
+        self.retention_mult = retention_mult;
+        self
+    }
+
+    /// Overrides the dynamic policy's `(starting soft, hard)` utilization
+    /// limits (ablation knob).
+    pub fn with_dynamic_limits(mut self, soft: f64, hard: f64) -> RunConfig {
+        self.dynamic_limits = Some((soft, hard));
+        self
+    }
+
+    /// Replaces the classification-engine configuration (fidelity
+    /// ablations).
+    pub fn with_quasar(mut self, quasar: QuasarConfig) -> RunConfig {
+        self.quasar = quasar;
+        self
+    }
+
+    /// Replaces the cloud substrate configuration wholesale.
+    pub fn with_cloud(mut self, cloud: CloudConfig) -> RunConfig {
+        self.cloud = cloud;
+        self
+    }
+
+    /// Sets the on-demand spin-up overhead model (Figure 14a's knob).
+    pub fn with_spin_up(mut self, spin_up: hcloud_cloud::SpinUpModel) -> RunConfig {
+        self.cloud.spin_up = spin_up;
+        self
+    }
+
+    /// Sets the external-load process on shared servers (Figure 14b's
+    /// knob).
+    pub fn with_external_load(mut self, external: hcloud_cloud::ExternalLoadModel) -> RunConfig {
+        self.cloud.external = external;
+        self
+    }
+
+    /// Sets the degree of shared-resource partitioning (Section 5.5
+    /// extension).
+    pub fn with_partitioning(mut self, isolation: f64) -> RunConfig {
+        self.cloud.partitioning = isolation;
+        self
+    }
+
+    /// Sets the retention quality gate: on-demand instances observed below
+    /// this quality are released immediately (0 disables the gate).
+    pub fn with_quality_retention_threshold(mut self, threshold: f64) -> RunConfig {
+        self.quality_retention_threshold = threshold;
+        self
+    }
+
+    /// Enables spot-instance usage (Section 5.5 extension).
+    pub fn with_spot(mut self, spot: SpotPolicy) -> RunConfig {
+        self.spot = Some(spot);
+        self
+    }
+
+    /// Enables data-locality modeling (Section 5.5 extension).
+    pub fn with_data(mut self, data: DataLocalityModel) -> RunConfig {
+        self.data = Some(data);
+        self
+    }
+
+    /// Records per-instance utilization samples (Figures 19–20).
+    pub fn with_record_utilization(mut self, record: bool) -> RunConfig {
+        self.record_utilization = record;
+        self
+    }
+
+    /// Records the per-job placement audit trail (`--explain`).
+    pub fn with_record_decisions(mut self, record: bool) -> RunConfig {
+        self.record_decisions = record;
+        self
+    }
+
+    /// Overrides the computed reserved-core count.
+    pub fn with_reserved_cores_override(mut self, cores: u32) -> RunConfig {
+        self.reserved_cores_override = Some(cores);
+        self
+    }
+
     /// The reserved cores this strategy provisions for `scenario`:
     /// peak × (1 + overprovisioning) for SR, the steady-state minimum for
     /// the hybrids, zero for the on-demand strategies (Sections 3.1, 4.1).

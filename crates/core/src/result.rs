@@ -73,6 +73,9 @@ pub struct RunCounters {
     pub data_transfers: usize,
     /// Total gigabytes moved across the inter-cluster link.
     pub data_transferred_gb: f64,
+    /// Events processed by the discrete-event loop — the experiment
+    /// engine's per-run work telemetry.
+    pub events_processed: usize,
 }
 
 /// Why a job was placed where it was — the dynamic policy's audit trail.
@@ -153,7 +156,7 @@ pub struct UtilizationSample {
 }
 
 /// Everything a scenario run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The strategy that ran.
     pub strategy: StrategyKind,

@@ -33,8 +33,10 @@ pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactor
     events.schedule(SimTime::ZERO, Event::Tick);
 
     let mut end = SimTime::ZERO;
+    let mut events_processed = 0usize;
     while let Some((t, event)) = events.pop() {
         end = t;
+        events_processed += 1;
         match event {
             Event::Arrival(i) => sched.on_arrival(i, t, &mut events),
             Event::Start(jid) => sched.on_start(jid, t, &mut events),
@@ -49,7 +51,9 @@ pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactor
             }
         }
     }
-    sched.into_result(end)
+    let mut result = sched.into_result(end);
+    result.counters.events_processed = events_processed;
+    result
 }
 
 #[cfg(test)]

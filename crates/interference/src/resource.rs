@@ -82,7 +82,6 @@ impl fmt::Display for Resource {
 ///
 /// Entries are free-form `f64`s; pressure/sensitivity vectors keep them in
 /// `[0, 1]` (see [`ResourceVector::clamped_unit`]).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ResourceVector([f64; NUM_RESOURCES]);
 

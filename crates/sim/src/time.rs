@@ -21,7 +21,6 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_secs(90);
 /// assert_eq!(t.as_secs_f64(), 90.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
@@ -30,7 +29,6 @@ pub struct SimTime(u64);
 /// Like [`SimTime`], a `SimDuration` is integer microseconds. Durations are
 /// closed under addition and saturating subtraction, and may be scaled by
 /// scalars for retention-time policies ("retain 10× spin-up overhead").
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 

@@ -15,7 +15,6 @@ use hcloud_sim::{SimDuration, SimTime};
 use rand::Rng;
 
 /// Unique job identifier within a scenario.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
@@ -26,7 +25,6 @@ impl fmt::Display for JobId {
 }
 
 /// The application classes appearing in the paper's scenarios.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppClass {
     /// Hadoop/Mahout recommender system (the Figure 1 workload).
@@ -178,7 +176,6 @@ impl fmt::Display for AppClass {
 
 /// What kind of work a job performs, and the parameters of its
 /// performance model.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JobKind {
     /// Throughput-bound batch job: `work` core-seconds to grind through.
@@ -198,7 +195,6 @@ pub enum JobKind {
 }
 
 /// A fully specified job.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Unique id within the scenario.

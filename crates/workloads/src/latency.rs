@@ -18,7 +18,6 @@
 //! under-allocation pushes ρ near 1.
 
 /// The latency model parameters.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Mean request service time in microseconds on an uncontended core.

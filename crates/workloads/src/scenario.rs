@@ -25,7 +25,6 @@ use crate::job::{AppClass, JobId, JobKind, JobSpec};
 use crate::latency::LatencyModel;
 
 /// Which of the paper's three scenarios to generate.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioKind {
     /// Minimal load variability; ~854 cores in steady state.
@@ -144,7 +143,6 @@ impl ScenarioKind {
 }
 
 /// Configuration for scenario generation.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Which scenario.

@@ -101,3 +101,34 @@ fn outcomes_are_internally_consistent() {
         }
     }
 }
+
+#[test]
+fn engine_results_are_identical_for_any_worker_count() {
+    // The acceptance bar for the parallel experiment engine: the same
+    // plan, run with 1 worker and with 4, produces bit-identical results
+    // for every strategy (HCLOUD_JOBS must never change the science).
+    use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
+
+    let plan = || -> ExperimentPlan {
+        StrategyKind::ALL
+            .iter()
+            .map(|&s| RunSpec::of(ScenarioKind::HighVariability, s))
+            .collect()
+    };
+    let run_with = |jobs: usize| {
+        let ctx = ExperimentCtx::new(11).with_fast(true).with_jobs(jobs);
+        Engine::new(ctx).run_plan(&plan()).results
+    };
+
+    let sequential = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(sequential.len(), StrategyKind::ALL.len());
+    for ((&strategy, a), b) in StrategyKind::ALL.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(a.strategy, strategy, "plan order broken for {strategy}");
+        assert_eq!(a, b, "{strategy} differs between 1 and 4 workers");
+        assert!(
+            a.counters.events_processed > 0,
+            "{strategy} telemetry missing"
+        );
+    }
+}

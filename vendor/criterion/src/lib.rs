@@ -1,0 +1,149 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal benchmarking harness with the same spelling as the real
+//! crate: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistical analysis or HTML report: each benchmark warms
+//! up briefly, then runs a timed batch sized to a fixed measurement window
+//! and prints the mean time per iteration. That is enough to track the
+//! paper's Section 5.2 decision-overhead magnitudes release to release.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs produced by `iter_batched` setup are grouped.
+/// Accepted for API compatibility; this harness always times the routine
+/// per call and excludes the setup either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { measured: None }
+    }
+
+    /// Times `routine`, excluding nothing: the whole closure body is the
+    /// measured unit.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), target));
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut routine_time = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            routine_time += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (routine_time.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.measured = Some((total, target));
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        match b.measured {
+            Some((elapsed, iters)) => {
+                let ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+                let (value, unit) = if ns < 1_000.0 {
+                    (ns, "ns")
+                } else if ns < 1_000_000.0 {
+                    (ns / 1_000.0, "µs")
+                } else {
+                    (ns / 1_000_000.0, "ms")
+                };
+                println!("{id:<40} {value:>10.2} {unit}/iter  ({iters} iters)");
+            }
+            None => println!("{id:<40} (no measurement: bencher never invoked)"),
+        }
+        self
+    }
+}
+
+/// Groups benchmark functions (`fn(&mut Criterion)`) under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

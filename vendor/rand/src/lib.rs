@@ -1,0 +1,323 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the trait surface it needs instead of the real crate: the
+//! [`RngCore`] / [`SeedableRng`] core traits, the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and the [`distributions::Standard`]
+//! uniform distribution for primitives. Generators themselves live in
+//! `hcloud-sim` (`SimRng` is a full xoshiro256**); this crate only supplies
+//! the trait vocabulary so that code written against `rand` 0.8 compiles
+//! unchanged.
+//!
+//! Conversions match rand 0.8 where it matters for statistics:
+//! `gen::<f64>()` is the standard 53-bit uniform in `[0, 1)`, integer
+//! ranges are unbiased to within `2^-64`, and `seed_from_u64` uses the
+//! SplitMix64 expansion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations. The deterministic generators in
+/// this workspace never fail, so this is a placeholder that satisfies the
+/// `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw uniform words and bytes.
+pub trait RngCore {
+    /// Returns the next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with uniform bytes, reporting failure (never fails for
+    /// deterministic generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// SplitMix64: the seed-expansion step recommended by the xoshiro authors,
+/// used by `seed_from_u64`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it into the seed bytes
+    /// via SplitMix64 (little-endian words, as rand 0.8 does).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions over primitives. Only [`Standard`] (uniform
+    //! over a type's natural domain; `[0, 1)` for floats) is provided.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard uniform distribution: full range for integers,
+    /// fair coin for `bool`, 53-bit (24-bit) uniform `[0, 1)` for `f64`
+    /// (`f32`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int! {
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    }
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() >> 31 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform bits scaled into [0, 1), exactly rand 0.8's
+            // Standard conversion.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range. Panics if the range is
+    /// empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let x = rng.next_u64() as u128 % span;
+                (self.start as i128 + x as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let x = rng.next_u64() as u128 % span;
+                (start as i128 + x as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = Standard.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let u: f64 = Standard.sample(rng);
+        start + u * (end - start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f32 = Standard.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience extension over [`RngCore`]: typed draws and ranges.
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    //! The traits, for glob import.
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Counter(9);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_bounds() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = Counter(11);
+        for _ in 0..1000 {
+            let x = rng.gen_range(2.5f64..7.5);
+            assert!((2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct ByteRng([u8; 8]);
+        impl SeedableRng for ByteRng {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                ByteRng(seed)
+            }
+        }
+        assert_eq!(ByteRng::seed_from_u64(42).0, ByteRng::seed_from_u64(42).0);
+        assert_ne!(ByteRng::seed_from_u64(42).0, ByteRng::seed_from_u64(43).0);
+    }
+}
