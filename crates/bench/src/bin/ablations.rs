@@ -18,7 +18,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
     let rates = Rates::default();
@@ -177,5 +177,5 @@ fn main() {
     println!("{t}");
     println!("(Section 3.2: \"Only instances that provide predictably high");
     println!(" performance are retained past the completion of their jobs\")");
-    h.report("ablations");
+    h.finish("ablations")
 }

@@ -17,7 +17,7 @@ use hcloud::StrategyKind;
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
 
@@ -115,5 +115,5 @@ fn main() {
         ],
         &json,
     );
-    h.report("ext_data_locality");
+    h.finish("ext_data_locality")
 }

@@ -19,7 +19,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
     let rates = Rates::default();
@@ -128,5 +128,5 @@ fn main() {
         &["isolation", "OdM_perf", "OdM_lc", "HM_perf", "HM_lc"],
         &json,
     );
-    h.report("ext_spot_partitioning");
+    h.finish("ext_spot_partitioning")
 }

@@ -62,7 +62,7 @@ fn completion_minutes(
     Some(elapsed / 60.0)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let sensitivity = AppClass::HadoopRecommender.sensitivity_template();
     println!("Figure 1: Hadoop (Mahout recommender) completion time across instance types\n");
@@ -125,4 +125,5 @@ fn main() {
         ],
         &json,
     );
+    hcloud_bench::artifacts::exit_code()
 }

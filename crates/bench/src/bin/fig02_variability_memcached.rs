@@ -53,7 +53,7 @@ fn mean_p99_us(
     sum / n as f64
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let latency = figure_latency_model();
     println!("Figure 2: memcached p99 latency across instance types\n");
@@ -107,4 +107,5 @@ fn main() {
         &["provider", "type", "p5", "p25", "mean", "p75", "p95"],
         &json,
     );
+    hcloud_bench::artifacts::exit_code()
 }

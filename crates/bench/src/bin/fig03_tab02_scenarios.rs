@@ -8,7 +8,7 @@ use hcloud_bench::{paper_scenario, sparkline, write_json, ExperimentCtx, Table};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = ExperimentCtx::from_env_or_exit();
     println!("Figure 3: the three workload scenarios (required cores over time)\n");
     let step = SimDuration::from_mins(2);
@@ -93,4 +93,5 @@ fn main() {
     );
     println!("{t2}");
     println!("(paper: ratios 1.1x/1.5x/6.2x, jobs 4.2x/3.6x/4.1x, cores 1.4x/1.4x/1.5x, ideal ~2.1/2.0/2.0 hr)");
+    hcloud_bench::artifacts::exit_code()
 }

@@ -11,7 +11,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let strategies = [
         StrategyKind::StaticReserved,
@@ -193,5 +193,5 @@ fn main() {
         .mean_degradation();
     println!("\nSR vs OdM mean degradation (high variability): {:.2}x vs {:.2}x -> OdM {:.2}x worse (paper: 2.2x)",
         sr, odm, odm / sr);
-    h.report("fig04_fig05");
+    h.finish("fig04_fig05")
 }

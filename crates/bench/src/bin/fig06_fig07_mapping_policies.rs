@@ -12,7 +12,7 @@ use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::stats::mean;
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let rates = Rates::default();
     let model = PricingModel::aws();
@@ -94,5 +94,5 @@ fn main() {
         ],
         &json,
     );
-    h.report("fig06_fig07");
+    h.finish("fig06_fig07")
 }

@@ -9,7 +9,7 @@ use hcloud_bench::{sparkline, write_json, Harness, RunSpec, Table};
 use hcloud_sim::stats::Cdf;
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let r = h.run(RunSpec::of(
         ScenarioKind::HighVariability,
@@ -87,4 +87,5 @@ fn main() {
         ],
         &json,
     );
+    h.finish("fig09")
 }

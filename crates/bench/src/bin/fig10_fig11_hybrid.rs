@@ -10,7 +10,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let strategies = [
         StrategyKind::StaticReserved,
@@ -202,5 +202,5 @@ fn main() {
     println!("  with/without profiling improvement (degradation ratio): HF {:.2}x, HM {:.2}x (paper: 2.4x / 2.77x)",
         h.run(RunSpec::of(kind, StrategyKind::HybridFull).profiling(false)).mean_degradation() / degs[3],
         h.run(RunSpec::of(kind, StrategyKind::HybridMixed).profiling(false)).mean_degradation() / degs[4]);
-    h.report("fig10_fig11");
+    h.finish("fig10_fig11")
 }

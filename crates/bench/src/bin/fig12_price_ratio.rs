@@ -11,7 +11,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates, ReservedOnDemandPricing};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let rates = Rates::default();
     let ratios = [0.01, 0.25, 0.5, 1.0, 1.5, 2.0, 2.74, 3.0, 3.5, 4.0];
@@ -77,5 +77,5 @@ fn main() {
         &["scenario", "ratio", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
-    h.report("fig12");
+    h.finish("fig12")
 }

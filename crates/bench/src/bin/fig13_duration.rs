@@ -11,7 +11,7 @@ use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let rates = Rates::default();
     let pricing = ReservedOnDemandPricing::default();
@@ -82,5 +82,5 @@ fn main() {
         &["scenario", "weeks", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
-    h.report("fig13");
+    h.finish("fig13")
 }

@@ -10,7 +10,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
 
@@ -94,5 +94,5 @@ fn main() {
         &["load_pct", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
-    h.report("fig14");
+    h.finish("fig14")
 }

@@ -10,7 +10,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
     let rates = Rates::default();
@@ -99,5 +99,5 @@ fn main() {
         ],
         &json,
     );
-    h.report("fig15");
+    h.finish("fig15")
 }

@@ -10,7 +10,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::{Scenario, ScenarioKind};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let factory = h.factory();
     let rates = Rates::default();
@@ -93,5 +93,5 @@ fn main() {
         ],
         &json,
     );
-    h.report("fig16");
+    h.finish("fig16")
 }

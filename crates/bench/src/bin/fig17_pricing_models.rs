@@ -10,7 +10,7 @@ use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let rates = Rates::default();
     let models = [
@@ -93,5 +93,5 @@ fn main() {
         &["scenario", "model", "SR", "OdF", "OdM", "HF", "HM"],
         &json,
     );
-    h.report("fig17");
+    h.finish("fig17")
 }

@@ -7,7 +7,7 @@ use hcloud_bench::{sparkline, write_json, ExperimentPlan, Harness, RunSpec, Tabl
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
     let required = h.scenario(kind).required_cores_series();
@@ -96,5 +96,5 @@ fn main() {
         &["strategy", "minute", "required", "reserved", "on_demand"],
         &json,
     );
-    h.report("fig18");
+    h.finish("fig18")
 }

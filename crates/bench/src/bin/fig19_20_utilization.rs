@@ -17,7 +17,7 @@ use hcloud_workloads::ScenarioKind;
 const TIME_BUCKETS: usize = 60;
 const ROW_BUCKETS: usize = 16;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
     println!("Figures 19-20: per-instance utilization, high-variability scenario");
@@ -116,5 +116,5 @@ fn main() {
     println!("(paper: SR's private cluster is mostly idle outside the demand hump;");
     println!(" OdM's many small instances run hot but churn; hybrids keep reserved");
     println!(" rows densely utilized with on-demand rows appearing during spikes)");
-    h.report("fig19_20");
+    h.finish("fig19_20")
 }

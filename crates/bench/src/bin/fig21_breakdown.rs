@@ -20,7 +20,7 @@ fn group(class: AppClass) -> usize {
 
 const GROUPS: [&str; 3] = ["Hadoop", "Spark", "memcached"];
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let r = h
         .run(RunSpec::of(
@@ -91,4 +91,5 @@ fn main() {
         ],
         &json,
     );
+    h.finish("fig21")
 }

@@ -164,7 +164,7 @@ fn per_scenario_sweep(
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     fig03();
     boxfig(
         "fig04a_batch",
@@ -227,4 +227,5 @@ fn main() {
         "p95 perf, normalized to isolation (%)",
     );
     eprintln!("done; see results/figures/");
+    hcloud_bench::artifacts::exit_code()
 }

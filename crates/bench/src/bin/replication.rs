@@ -14,7 +14,7 @@ use hcloud_workloads::ScenarioKind;
 
 const SEEDS: [u64; 10] = [42, 7, 11, 21, 33, 99, 123, 2024, 31337, 271828];
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let rates = Rates::default();
     let model = PricingModel::aws();
@@ -113,5 +113,5 @@ fn main() {
         &["seed", "SR_deg", "OdF_deg", "OdM_deg", "HF_deg", "HM_deg"],
         &json,
     );
-    h.report("replication");
+    h.finish("replication")
 }

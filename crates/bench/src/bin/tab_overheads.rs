@@ -16,7 +16,7 @@ use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::SimTime;
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, ScenarioKind};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut h = Harness::new();
     let kind = ScenarioKind::HighVariability;
 
@@ -108,5 +108,5 @@ fn main() {
     println!("{t}");
     println!("All decision-path operations sit orders of magnitude below the");
     println!("10-20 s spin-up overheads they are compared against in Section 4.2.");
-    h.report("tab_overheads");
+    h.finish("tab_overheads")
 }

@@ -22,18 +22,25 @@
 //! index. The collection key is the spec's plan index, assigned before
 //! any thread starts.
 //!
-//! Ambient configuration (`HCLOUD_SEED`, `HCLOUD_FAST`, `HCLOUD_JOBS`)
-//! is parsed once into an [`ExperimentCtx`]; malformed values are a hard
-//! error rather than a silent fallback.
+//! Ambient configuration (`HCLOUD_SEED`, `HCLOUD_FAST`, `HCLOUD_JOBS`,
+//! `HCLOUD_TRACE`) is parsed once into an [`ExperimentCtx`]; malformed
+//! values are a hard error rather than a silent fallback.
+//!
+//! With `HCLOUD_TRACE=full` every simulated run carries an enabled
+//! [`Tracer`] and the outcome includes one [`RunTrace`] per plan index —
+//! the structured event stream the harness writes under
+//! `results/traces/`. Traces are stamped with sim time only, so they are
+//! bit-identical for any `HCLOUD_JOBS` value.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hcloud::runner::run_scenario;
+use hcloud::runner::{run_scenario, run_scenario_traced};
 use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
 use hcloud_sim::rng::RngFactory;
+use hcloud_telemetry::{MetricsRegistry, RunMeta, TraceEvent, TraceMode, Tracer};
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
 /// The ambient experiment context: master seed, fast (smoke) mode, and
@@ -49,6 +56,10 @@ pub struct ExperimentCtx {
     /// Explicit worker count (`HCLOUD_JOBS`); `None` uses
     /// `std::thread::available_parallelism`.
     pub jobs: Option<usize>,
+    /// Telemetry mode (`HCLOUD_TRACE`): `off` (default), `summary`
+    /// (phase spans on stderr), or `full` (spans + per-run flight
+    /// recorder).
+    pub trace: TraceMode,
 }
 
 impl Default for ExperimentCtx {
@@ -57,6 +68,7 @@ impl Default for ExperimentCtx {
             master_seed: 42,
             fast: false,
             jobs: None,
+            trace: TraceMode::Off,
         }
     }
 }
@@ -82,13 +94,20 @@ impl ExperimentCtx {
         self
     }
 
-    /// Parses the three ambient variables. Malformed values are an error
+    /// Sets the telemetry mode.
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Parses the four ambient variables. Malformed values are an error
     /// with a message naming the variable, the offending value, and what
     /// was expected — never a silent fallback.
     pub fn parse(
         seed: Option<&str>,
         fast: Option<&str>,
         jobs: Option<&str>,
+        trace: Option<&str>,
     ) -> Result<Self, String> {
         let master_seed = match seed {
             None => 42,
@@ -116,21 +135,24 @@ impl ExperimentCtx {
                 }
             },
         };
+        let trace = TraceMode::parse(trace)?;
         Ok(ExperimentCtx {
             master_seed,
             fast,
             jobs,
+            trace,
         })
     }
 
-    /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` from the
-    /// environment.
+    /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
+    /// `HCLOUD_TRACE` from the environment.
     pub fn from_env() -> Result<Self, String> {
         let var = |name: &str| std::env::var(name).ok();
         Self::parse(
             var("HCLOUD_SEED").as_deref(),
             var("HCLOUD_FAST").as_deref(),
             var("HCLOUD_JOBS").as_deref(),
+            var("HCLOUD_TRACE").as_deref(),
         )
     }
 
@@ -296,6 +318,20 @@ impl RunSpec {
         }
     }
 
+    /// The flight-recorder identity of this run under `ctx`.
+    pub(crate) fn run_meta(&self, ctx: &ExperimentCtx) -> RunMeta {
+        let scenario = match &self.scenario {
+            ScenarioSource::Kind(kind) => format!("{kind:?}"),
+            ScenarioSource::Explicit(_) => "custom".to_string(),
+        };
+        RunMeta {
+            label: self.display_label(),
+            scenario,
+            strategy: self.config.strategy.to_string(),
+            seed: self.seed.unwrap_or(ctx.master_seed),
+        }
+    }
+
     /// In-process cache identity: the scenario source, seed, and the full
     /// configuration (via its `Debug` form, which round-trips every field
     /// including floats).
@@ -375,6 +411,16 @@ pub struct RunTelemetry {
     pub events: usize,
 }
 
+/// One run's recorded trace: identity plus the sim-time-ordered event
+/// stream. Produced only under [`TraceMode::Full`].
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// The run's flight-recorder identity (header line of its file).
+    pub meta: RunMeta,
+    /// The structured events, in sim-time order.
+    pub events: Vec<TraceEvent>,
+}
+
 /// Plan-level telemetry: enough to see the fan-out working.
 #[derive(Debug, Clone, Default)]
 pub struct PlanTelemetry {
@@ -383,6 +429,9 @@ pub struct PlanTelemetry {
     pub runs: Vec<RunTelemetry>,
     /// Wall-clock time of the whole plan.
     pub wall: Duration,
+    /// Wall-clock time spent generating shared scenarios (the
+    /// `scenario-gen` span).
+    pub scenario_wall: Duration,
     /// Worker threads used.
     pub workers: usize,
     /// Runs served from the harness cache (always 0 at engine level).
@@ -407,18 +456,41 @@ impl PlanTelemetry {
         self.cpu_time().as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
     }
 
+    /// The plan's cost, restated as a structured [`MetricsRegistry`]:
+    /// counters for run / cache / event totals, gauges for the pool
+    /// shape and per-phase wall-clock, and a streaming histogram of
+    /// per-run simulation time.
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("runs_simulated", self.runs.len() as u64);
+        reg.counter_add("cache_hits", self.cache_hits as u64);
+        reg.counter_add("events_processed", self.total_events() as u64);
+        reg.gauge_set("workers", self.workers as f64);
+        reg.gauge_set("plan_wall_s", self.wall.as_secs_f64());
+        reg.gauge_set("scenario_gen_s", self.scenario_wall.as_secs_f64());
+        for run in &self.runs {
+            reg.observe("run_wall_s", run.wall.as_secs_f64());
+        }
+        reg
+    }
+
     /// One summary line (print to stderr so figure output on stdout stays
-    /// byte-identical across worker counts).
+    /// byte-identical across worker counts). Reads from
+    /// [`Self::registry`], so the line and any serialized snapshot can
+    /// never disagree.
     pub fn summary(&self) -> String {
+        let reg = self.registry();
+        let wall = reg.gauge("plan_wall_s").unwrap_or(0.0);
+        let cpu = reg.histogram("run_wall_s").map_or(0.0, |h| h.sum());
         format!(
             "{} run(s) + {} cached on {} worker(s): {:.2}s wall, {:.2}s simulation ({:.2}x), {} events",
-            self.runs.len(),
-            self.cache_hits,
-            self.workers,
-            self.wall.as_secs_f64(),
-            self.cpu_time().as_secs_f64(),
-            self.speedup(),
-            self.total_events(),
+            reg.counter("runs_simulated"),
+            reg.counter("cache_hits"),
+            reg.gauge("workers").unwrap_or(0.0) as usize,
+            wall,
+            cpu,
+            cpu / wall.max(1e-9),
+            reg.counter("events_processed"),
         )
     }
 
@@ -426,6 +498,7 @@ impl PlanTelemetry {
     pub fn absorb(&mut self, other: &PlanTelemetry) {
         self.runs.extend(other.runs.iter().cloned());
         self.wall += other.wall;
+        self.scenario_wall += other.scenario_wall;
         self.workers = self.workers.max(other.workers);
         self.cache_hits += other.cache_hits;
     }
@@ -436,6 +509,9 @@ impl PlanTelemetry {
 pub struct PlanOutcome {
     /// One result per spec, at the spec's plan index.
     pub results: Vec<RunResult>,
+    /// One trace per spec under [`TraceMode::Full`] (plan-index aligned;
+    /// all `None` otherwise).
+    pub traces: Vec<Option<RunTrace>>,
     /// What it cost.
     pub telemetry: PlanTelemetry,
 }
@@ -480,10 +556,12 @@ impl Engine {
     pub fn run_plan(&self, plan: &ExperimentPlan) -> PlanOutcome {
         let started = Instant::now();
         let scenarios = self.scenario_table(plan);
+        let scenario_wall = started.elapsed();
         let n = plan.len();
         let workers = self.ctx.worker_count(n);
+        let tracing = self.ctx.trace.records_events();
 
-        let execute = |spec: &RunSpec| -> (RunResult, RunTelemetry) {
+        let execute = |spec: &RunSpec| -> (RunResult, RunTelemetry, Option<RunTrace>) {
             let seed = spec.seed.unwrap_or(self.ctx.master_seed);
             let scenario: &Scenario = match &spec.scenario {
                 ScenarioSource::Kind(kind) => &scenarios[&(*kind, seed)],
@@ -491,16 +569,26 @@ impl Engine {
             };
             let factory = RngFactory::new(seed);
             let run_started = Instant::now();
-            let result = run_scenario(scenario, &spec.config, &factory);
+            let (result, trace) = if tracing {
+                let tracer = Tracer::enabled();
+                let result = run_scenario_traced(scenario, &spec.config, &factory, &tracer);
+                let trace = RunTrace {
+                    meta: spec.run_meta(&self.ctx),
+                    events: tracer.take(),
+                };
+                (result, Some(trace))
+            } else {
+                (run_scenario(scenario, &spec.config, &factory), None)
+            };
             let telemetry = RunTelemetry {
                 label: spec.display_label(),
                 wall: run_started.elapsed(),
                 events: result.counters.events_processed,
             };
-            (result, telemetry)
+            (result, telemetry, trace)
         };
 
-        let mut slots: Vec<Option<(RunResult, RunTelemetry)>> = Vec::new();
+        let mut slots: Vec<Option<(RunResult, RunTelemetry, Option<RunTrace>)>> = Vec::new();
         slots.resize_with(n, || None);
 
         if workers <= 1 {
@@ -536,16 +624,20 @@ impl Engine {
 
         let mut results = Vec::with_capacity(n);
         let mut runs = Vec::with_capacity(n);
+        let mut traces = Vec::with_capacity(n);
         for slot in slots {
-            let (result, telemetry) = slot.expect("every plan index executed");
+            let (result, telemetry, trace) = slot.expect("every plan index executed");
             results.push(result);
             runs.push(telemetry);
+            traces.push(trace);
         }
         PlanOutcome {
             results,
+            traces,
             telemetry: PlanTelemetry {
                 runs,
                 wall: started.elapsed(),
+                scenario_wall,
                 workers,
                 cache_hits: 0,
             },
@@ -559,32 +651,39 @@ mod tests {
 
     #[test]
     fn ctx_defaults_match_legacy_behaviour() {
-        let ctx = ExperimentCtx::parse(None, None, None).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, None).unwrap();
         assert_eq!(ctx.master_seed, 42);
         assert!(!ctx.fast);
         assert_eq!(ctx.jobs, None);
+        assert_eq!(ctx.trace, TraceMode::Off);
     }
 
     #[test]
     fn ctx_parses_explicit_values() {
-        let ctx = ExperimentCtx::parse(Some("7"), Some("1"), Some("3")).unwrap();
+        let ctx = ExperimentCtx::parse(Some("7"), Some("1"), Some("3"), Some("full")).unwrap();
         assert_eq!(ctx.master_seed, 7);
         assert!(ctx.fast);
         assert_eq!(ctx.jobs, Some(3));
-        let ctx = ExperimentCtx::parse(None, Some("0"), None).unwrap();
+        assert_eq!(ctx.trace, TraceMode::Full);
+        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary")).unwrap();
         assert!(!ctx.fast);
+        assert_eq!(ctx.trace, TraceMode::Summary);
+        let ctx = ExperimentCtx::parse(None, None, None, Some("off")).unwrap();
+        assert_eq!(ctx.trace, TraceMode::Off);
     }
 
     #[test]
     fn ctx_rejects_malformed_values_loudly() {
-        let e = ExperimentCtx::parse(Some("banana"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(Some("banana"), None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
-        let e = ExperimentCtx::parse(None, Some("yes"), None).unwrap_err();
+        let e = ExperimentCtx::parse(None, Some("yes"), None, None).unwrap_err();
         assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("0")).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("0"), None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("many")).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("many"), None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
+        let e = ExperimentCtx::parse(None, None, None, Some("loud")).unwrap_err();
+        assert!(e.contains("HCLOUD_TRACE") && e.contains("loud"), "{e}");
     }
 
     #[test]
@@ -644,5 +743,55 @@ mod tests {
             assert_eq!(spec.strategy(), result.strategy);
         }
         assert!(seq.telemetry.total_events() > 0);
+        // Off mode records no traces.
+        assert!(seq.traces.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn full_trace_mode_records_every_run() {
+        let mut plan = ExperimentPlan::new();
+        plan.push(RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed).seed(3));
+        plan.push(RunSpec::of(ScenarioKind::Static, StrategyKind::StaticReserved).seed(3));
+        let ctx = ExperimentCtx::new(42)
+            .with_fast(true)
+            .with_trace(TraceMode::Full);
+        let outcome = Engine::new(ctx.with_jobs(1)).run_plan(&plan);
+        assert_eq!(outcome.traces.len(), 2);
+        for (spec, trace) in plan.specs().iter().zip(&outcome.traces) {
+            let trace = trace.as_ref().expect("full mode traces every run");
+            assert!(!trace.events.is_empty());
+            assert_eq!(trace.meta.seed, 3);
+            assert_eq!(trace.meta.scenario, "Static");
+            assert_eq!(trace.meta.label, spec.display_label());
+        }
+        // Tracing never perturbs results.
+        let plain =
+            Engine::new(ExperimentCtx::new(42).with_fast(true).with_jobs(1)).run_plan(&plan);
+        assert_eq!(plain.results, outcome.results);
+    }
+
+    #[test]
+    fn registry_restates_the_summary() {
+        let mut plan = ExperimentPlan::new();
+        plan.push(RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::StaticReserved,
+        ));
+        let ctx = ExperimentCtx::new(42).with_fast(true).with_jobs(1);
+        let outcome = Engine::new(ctx).run_plan(&plan);
+        let reg = outcome.telemetry.registry();
+        assert_eq!(reg.counter("runs_simulated"), 1);
+        assert_eq!(reg.counter("cache_hits"), 0);
+        assert_eq!(
+            reg.counter("events_processed") as usize,
+            outcome.telemetry.total_events()
+        );
+        assert_eq!(reg.gauge("workers"), Some(1.0));
+        assert_eq!(reg.histogram("run_wall_s").unwrap().count(), 1);
+        let summary = outcome.telemetry.summary();
+        assert!(
+            summary.starts_with("1 run(s) + 0 cached on 1 worker(s):"),
+            "{summary}"
+        );
     }
 }

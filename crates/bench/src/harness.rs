@@ -10,13 +10,16 @@
 //! [`ExperimentPlan`].
 
 use std::collections::HashMap;
+use std::process::ExitCode;
 use std::sync::Arc;
 
 use hcloud::RunResult;
 use hcloud_sim::rng::RngFactory;
+use hcloud_telemetry::FlightRecorder;
 use hcloud_workloads::{Scenario, ScenarioKind};
 
-use crate::engine::{Engine, ExperimentCtx, ExperimentPlan, PlanTelemetry, RunSpec};
+use crate::artifacts;
+use crate::engine::{Engine, ExperimentCtx, ExperimentPlan, PlanTelemetry, RunSpec, RunTrace};
 
 /// Generates the paper scenario for `kind` under the ambient
 /// seed/fast-mode environment (hard error on malformed variables).
@@ -32,6 +35,7 @@ pub struct Harness {
     cache: HashMap<String, Arc<RunResult>>,
     session: PlanTelemetry,
     cache_hits: usize,
+    traces: Vec<RunTrace>,
 }
 
 impl Default for Harness {
@@ -55,6 +59,7 @@ impl Harness {
             cache: HashMap::new(),
             session: PlanTelemetry::default(),
             cache_hits: 0,
+            traces: Vec::new(),
         }
     }
 
@@ -83,6 +88,7 @@ impl Harness {
         if !self.cache.contains_key(&key) {
             let outcome = self.engine.run_plan(&ExperimentPlan::from(vec![spec]));
             self.session.absorb(&outcome.telemetry);
+            self.traces.extend(outcome.traces.into_iter().flatten());
             let result = outcome.results.into_iter().next().expect("one result");
             self.cache.insert(key.clone(), Arc::new(result));
         } else {
@@ -114,6 +120,7 @@ impl Harness {
             let mut telemetry = outcome.telemetry;
             telemetry.cache_hits = hits;
             self.session.absorb(&telemetry);
+            self.traces.extend(outcome.traces.into_iter().flatten());
             for ((key, _), result) in missing.into_iter().zip(outcome.results) {
                 self.cache.insert(key, Arc::new(result));
             }
@@ -139,6 +146,12 @@ impl Harness {
         self.session.runs.len()
     }
 
+    /// Traces recorded so far this session (non-empty only under
+    /// `HCLOUD_TRACE=full`), in submission order.
+    pub fn traces(&self) -> &[RunTrace] {
+        &self.traces
+    }
+
     /// Prints the session telemetry line for `name` to stderr (stderr so
     /// figure output on stdout stays byte-identical across worker
     /// counts).
@@ -153,6 +166,42 @@ impl Harness {
             self.session.speedup(),
             self.session.total_events(),
         );
+    }
+
+    /// End-of-binary bookkeeping: flushes recorded traces to the flight
+    /// recorder (`HCLOUD_TRACE=full`), prints the per-phase spans
+    /// (`summary` and up) and the session telemetry line, and returns
+    /// the exit code — nonzero when any artifact write failed.
+    pub fn finish(&self, name: &str) -> ExitCode {
+        if self.ctx().trace.records_events() {
+            let recorder = FlightRecorder::default_dir();
+            let mut written = 0usize;
+            for trace in &self.traces {
+                match recorder.write(&trace.meta, &trace.events) {
+                    Ok(_) => written += 1,
+                    Err(e) => artifacts::artifact_failure(
+                        format!("write {}", recorder.path_for(&trace.meta).display()),
+                        e,
+                    ),
+                }
+            }
+            if written > 0 {
+                eprintln!(
+                    "[{name}] (wrote {written} trace(s) under {})",
+                    recorder.dir().display()
+                );
+            }
+        }
+        if self.ctx().trace.reports_spans() {
+            eprintln!(
+                "[{name}] phases: scenario-gen {:.2}s, sim {:.2}s, report {:.2}s",
+                self.session.scenario_wall.as_secs_f64(),
+                self.session.cpu_time().as_secs_f64(),
+                artifacts::report_span().as_secs_f64(),
+            );
+        }
+        self.report(name);
+        artifacts::exit_code()
     }
 }
 

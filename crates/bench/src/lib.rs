@@ -28,8 +28,14 @@
 //! runs, `HCLOUD_SEED=<n>` to change the master seed, and
 //! `HCLOUD_JOBS=<n>` to pin the engine's worker count (default:
 //! `available_parallelism`). Results are bit-identical for any worker
-//! count. Malformed values are a hard error.
+//! count. `HCLOUD_TRACE=summary` adds per-phase spans to the stderr
+//! telemetry; `HCLOUD_TRACE=full` additionally records every simulated
+//! run as a structured JSONL trace under `results/traces/` (replay with
+//! `hcloud-cli trace`). Traces are stamped with sim time only, so they
+//! too are bit-identical for any worker count. Malformed values are a
+//! hard error.
 
+pub mod artifacts;
 pub mod engine;
 pub mod harness;
 pub mod plot;
@@ -37,6 +43,7 @@ pub mod report;
 
 pub use engine::{
     Engine, ExperimentCtx, ExperimentPlan, PlanOutcome, PlanTelemetry, RunSpec, RunTelemetry,
+    RunTrace,
 };
 pub use harness::{paper_scenario, Harness};
 pub use report::{heatmap_row, sparkline, write_json, Table};

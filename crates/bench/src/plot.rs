@@ -493,21 +493,30 @@ impl BoxChart {
 }
 
 /// Writes a chart under `results/figures/<name>_<mode>.svg` for both
-/// themes. Errors are reported, not fatal.
-pub fn save_both(name: &str, render: impl Fn(&Theme) -> String) {
+/// themes. Returns whether every write succeeded; failures are reported
+/// through [`crate::artifacts`] and latch a nonzero process exit (via
+/// [`crate::Harness::finish`]) while the figure still prints to stdout.
+pub fn save_both(name: &str, render: impl Fn(&Theme) -> String) -> bool {
+    let started = std::time::Instant::now();
     let dir = std::path::Path::new("results/figures");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
+        crate::artifacts::artifact_failure(format!("create {}", dir.display()), e);
+        crate::artifacts::add_report_span(started.elapsed());
+        return false;
     }
+    let mut ok = true;
     for theme in [&LIGHT, &DARK] {
         let path = dir.join(format!("{name}_{}.svg", theme.suffix));
-        if let Err(e) = std::fs::write(&path, render(theme)) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
-        } else {
-            eprintln!("(wrote {})", path.display());
+        match std::fs::write(&path, render(theme)) {
+            Err(e) => {
+                crate::artifacts::artifact_failure(format!("write {}", path.display()), e);
+                ok = false;
+            }
+            Ok(()) => crate::artifacts::artifact_written(&path),
         }
     }
+    crate::artifacts::add_report_span(started.elapsed());
+    ok
 }
 
 #[cfg(test)]

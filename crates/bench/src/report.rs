@@ -3,6 +3,9 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
+
+use crate::artifacts;
 
 /// A simple aligned text table.
 ///
@@ -105,13 +108,17 @@ pub fn heatmap_row(values: &[f64]) -> String {
 }
 
 /// Writes `(x, series...)` data as JSON under `results/<name>.json`,
-/// creating the directory if needed. Errors are reported, not fatal —
-/// figures still print to stdout.
-pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<f64>]) {
+/// creating the directory if needed. Returns whether the write
+/// succeeded; failures are reported through [`crate::artifacts`] and
+/// latch a nonzero process exit (via [`crate::Harness::finish`]) while
+/// the figure still prints to stdout.
+pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<f64>]) -> bool {
+    let started = Instant::now();
     let dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
-        return;
+        artifacts::artifact_failure("create results/", e);
+        artifacts::add_report_span(started.elapsed());
+        return false;
     }
     let mut body = String::from("{\n");
     let _ = writeln!(
@@ -141,11 +148,18 @@ pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<f64>]) {
     }
     body.push_str("  ]\n}\n");
     let path = dir.join(format!("{name}.json"));
-    if let Err(e) = fs::write(&path, body) {
-        eprintln!("warning: cannot write {}: {e}", path.display());
-    } else {
-        eprintln!("(wrote {})", path.display());
-    }
+    let ok = match fs::write(&path, body) {
+        Err(e) => {
+            artifacts::artifact_failure(format!("write {}", path.display()), e);
+            false
+        }
+        Ok(()) => {
+            artifacts::artifact_written(&path);
+            true
+        }
+    };
+    artifacts::add_report_span(started.elapsed());
+    ok
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ commands:
   sweep     sweep one knob across its range for one strategy
   export    generate a scenario and write it to JSON
   advise    recommend the cheapest strategy meeting a performance floor
+  trace     replay a recorded JSONL trace as a readable timeline
 
 common options:
   --scenario static|low|high   scenario kind          [high]
@@ -39,7 +40,11 @@ export options:
 
 advise options:
   --weeks <u64>                planned deployment     [26]
-  --perf-floor <f64>           min mean performance   [0.85]";
+  --perf-floor <f64>           min mean performance   [0.85]
+
+trace options:
+  --file <path>                trace to replay (results/traces/*.jsonl)
+  --limit <n>                  show at most n events";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +59,17 @@ pub enum Command {
     Export(Common, String),
     /// `advise`: recommend a strategy for a deployment plan.
     Advise(Common, crate::advise::AdviseOptions),
+    /// `trace`: replay a recorded JSONL trace as a readable timeline.
+    Trace(TraceOptions),
+}
+
+/// Options for `trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOptions {
+    /// The JSONL trace file to replay.
+    pub file: String,
+    /// Show at most this many events.
+    pub limit: Option<usize>,
 }
 
 /// Options shared by every command.
@@ -169,6 +185,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut sweep_knob: Option<String> = None;
     let mut export_out = "scenario.json".to_string();
     let mut advise = crate::advise::AdviseOptions::default();
+    let mut trace_file: Option<String> = None;
+    let mut trace_limit: Option<usize> = None;
 
     let mut i = 0;
     while i < rest.len() {
@@ -200,6 +218,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--weeks" => advise.weeks = parse_num("--weeks", value)?,
             "--perf-floor" => advise.perf_floor = parse_num("--perf-floor", value)?,
             "--out" => export_out = value.ok_or("--out needs a value")?.clone(),
+            "--file" => trace_file = Some(value.ok_or("--file needs a value")?.clone()),
+            "--limit" => trace_limit = Some(parse_num("--limit", value)?),
             "--no-profiling" => {
                 run.profiling = false;
                 consumed = 1;
@@ -235,6 +255,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--perf-floor must be in [0, 1]".into());
             }
             Ok(Command::Advise(common, advise))
+        }
+        "trace" => {
+            let file = trace_file.ok_or("trace needs --file")?;
+            Ok(Command::Trace(TraceOptions {
+                file,
+                limit: trace_limit,
+            }))
         }
         "help" | "--help" | "-h" => Err("help requested".into()),
         other => Err(format!("unknown command '{other}'")),
@@ -312,6 +339,25 @@ mod tests {
         assert_eq!(a.weeks, 30);
         assert_eq!(a.perf_floor, 0.9);
         assert!(parse(&v(&["advise", "--perf-floor", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        let c = parse(&v(&["trace", "--file", "results/traces/x.jsonl"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Trace(TraceOptions {
+                file: "results/traces/x.jsonl".into(),
+                limit: None,
+            })
+        );
+        let c = parse(&v(&["trace", "--file", "t.jsonl", "--limit", "25"])).unwrap();
+        let Command::Trace(t) = c else {
+            panic!("expected trace");
+        };
+        assert_eq!(t.limit, Some(25));
+        assert!(parse(&v(&["trace"])).is_err(), "trace needs --file");
+        assert!(parse(&v(&["trace", "--file", "t", "--limit", "x"])).is_err());
     }
 
     #[test]

@@ -282,6 +282,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Run(common, options) => run_one(&common, &options),
         Command::Sweep(common, options) => sweep(&common, &options),
         Command::Export(common, out) => export(&common, &out),
+        Command::Trace(options) => trace(&options),
         Command::Advise(common, options) => {
             let scenario = build_scenario(&common);
             println!(
@@ -296,6 +297,17 @@ pub fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Replays a flight-recorder JSONL file (written by the figure binaries
+/// under `HCLOUD_TRACE=full`) as a human-readable timeline.
+fn trace(options: &crate::args::TraceOptions) -> Result<(), String> {
+    let text = fs::read_to_string(&options.file)
+        .map_err(|e| format!("cannot read {}: {e}", options.file))?;
+    let timeline = hcloud_telemetry::render_timeline(&text, options.limit)
+        .map_err(|e| format!("{}: {e}", options.file))?;
+    print!("{timeline}");
+    Ok(())
 }
 
 fn compare(common: &Common) -> Result<(), String> {

@@ -15,6 +15,7 @@ use std::fmt;
 use hcloud_interference::{ResourceVector, SlowdownModel};
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::{SimDuration, SimTime};
+use hcloud_telemetry::{trace_event, TraceKind, Tracer};
 
 use crate::external::ExternalLoadModel;
 use crate::instance_type::InstanceType;
@@ -25,6 +26,13 @@ use crate::spot::SpotMarket;
 /// Opaque handle to an instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// The numeric handle, for telemetry and diagnostics.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl fmt::Display for InstanceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -152,6 +160,7 @@ pub struct Cloud {
     factory: RngFactory,
     spin_rng: SimRng,
     instances: Vec<Instance>,
+    tracer: Tracer,
 }
 
 impl Cloud {
@@ -160,6 +169,12 @@ impl Cloud {
     /// The provider profile's variability multipliers are applied to the
     /// external-load model once, here.
     pub fn new(config: CloudConfig, factory: RngFactory) -> Self {
+        Cloud::with_tracer(config, factory, Tracer::disabled())
+    }
+
+    /// Like [`Cloud::new`], but instance-lifecycle events (spin-up,
+    /// release) are recorded into `tracer`.
+    pub fn with_tracer(config: CloudConfig, factory: RngFactory, tracer: Tracer) -> Self {
         let external = config.provider.shape_external(&config.external);
         let spin_rng = factory.stream("cloud.spin_up");
         Cloud {
@@ -168,6 +183,7 @@ impl Cloud {
             factory,
             spin_rng,
             instances: Vec::new(),
+            tracer,
         }
     }
 
@@ -199,7 +215,19 @@ impl Cloud {
     /// from [`Instance::ready_at`], after a sampled spin-up overhead.
     pub fn acquire(&mut self, itype: InstanceType, now: SimTime) -> InstanceId {
         let overhead = self.config.spin_up.sample(itype, &mut self.spin_rng);
-        self.push_instance(itype, false, false, now, now + overhead, None)
+        let id = self.push_instance(itype, false, false, now, now + overhead, None);
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::InstanceSpinUp {
+                instance: id.0,
+                itype: itype.to_string(),
+                vcpus: itype.vcpus(),
+                spot: false,
+                spin_up_us: overhead.as_micros(),
+            }
+        );
+        id
     }
 
     /// Acquires one **spot** instance of `itype` at a bid of
@@ -223,7 +251,19 @@ impl Cloud {
             ready,
             SimDuration::from_hours(12),
         );
-        self.push_instance(itype, false, true, now, ready, terminates)
+        let id = self.push_instance(itype, false, true, now, ready, terminates);
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::InstanceSpinUp {
+                instance: id.0,
+                itype: itype.to_string(),
+                vcpus: itype.vcpus(),
+                spot: true,
+                spin_up_us: overhead.as_micros(),
+            }
+        );
+        id
     }
 
     fn push_instance(
@@ -258,6 +298,11 @@ impl Cloud {
         let inst = &mut self.instances[id.0 as usize];
         assert!(inst.released_at.is_none(), "instance {id} released twice");
         inst.released_at = Some(now.max(inst.requested_at));
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::InstanceReleased { instance: id.0 }
+        );
     }
 
     /// Looks up an instance.

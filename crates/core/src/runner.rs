@@ -8,11 +8,15 @@
 use hcloud_sim::event::EventQueue;
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::SimTime;
+use hcloud_telemetry::{trace_event, TraceKind, Tracer};
 use hcloud_workloads::Scenario;
 
 use crate::config::RunConfig;
 use crate::result::RunResult;
 use crate::scheduler::{Event, Scheduler};
+
+/// How often the event loop emits a `progress` trace event.
+const PROGRESS_EVERY: usize = 4096;
 
 /// Runs `scenario` under `config`. Deterministic in `factory`.
 ///
@@ -20,7 +24,19 @@ use crate::scheduler::{Event, Scheduler};
 /// returned makespan covers stragglers (OdM's high-variability run takes
 /// ~48% longer than SR's, Section 5.4).
 pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactory) -> RunResult {
-    let mut sched = Scheduler::new(scenario, config, factory);
+    run_scenario_traced(scenario, config, factory, &Tracer::disabled())
+}
+
+/// [`run_scenario`] with structured tracing: every instrumented decision in
+/// the scheduler, cloud and event loop lands in `tracer`, stamped with sim
+/// time. With a disabled tracer this is exactly `run_scenario`.
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    config: &RunConfig,
+    factory: &RngFactory,
+    tracer: &Tracer,
+) -> RunResult {
+    let mut sched = Scheduler::with_tracer(scenario, config, factory, tracer.clone());
     let mut events: EventQueue<Event> = EventQueue::new();
     for (i, job) in scenario.jobs().iter().enumerate() {
         events.schedule(job.arrival, Event::Arrival(i));
@@ -50,7 +66,26 @@ pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactor
                 }
             }
         }
+        if events_processed.is_multiple_of(PROGRESS_EVERY) {
+            trace_event!(
+                tracer,
+                t,
+                TraceKind::Progress {
+                    events_processed: events_processed as u64,
+                    queue_depth: events.len(),
+                }
+            );
+        }
     }
+    trace_event!(
+        tracer,
+        end,
+        TraceKind::RunEnd {
+            events_processed: events_processed as u64,
+            scheduled_total: events.scheduled_total(),
+            max_queue_depth: events.max_depth(),
+        }
+    );
     let mut result = sched.into_result(end);
     result.counters.events_processed = events_processed;
     result
@@ -172,6 +207,27 @@ mod tests {
             with.mean_normalized_perf(),
             without.mean_normalized_perf()
         );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        let config = RunConfig::new(StrategyKind::HybridMixed);
+        let plain = run_scenario(&scenario, &config, &RngFactory::new(7));
+        let tracer = Tracer::enabled();
+        let traced = run_scenario_traced(&scenario, &config, &RngFactory::new(7), &tracer);
+        assert_eq!(plain, traced, "tracer must not change simulation outcomes");
+        let events = tracer.take();
+        assert!(!events.is_empty(), "enabled tracer records the run");
+        assert!(
+            matches!(events.last().unwrap().kind, TraceKind::RunEnd { .. }),
+            "run ends with a run-end event"
+        );
+        let mut last = hcloud_sim::SimTime::ZERO;
+        for ev in &events {
+            assert!(ev.at >= last, "trace is sim-time ordered");
+            last = ev.at;
+        }
     }
 
     #[test]

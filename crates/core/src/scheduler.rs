@@ -26,6 +26,7 @@ use hcloud_sim::event::EventQueue;
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::{SimDuration, SimTime};
+use hcloud_telemetry::{trace_event, TraceKind, Tracer};
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario};
 
 use crate::config::RunConfig;
@@ -146,13 +147,33 @@ pub struct Scheduler<'a> {
     counters: RunCounters,
     decisions: Vec<PlacementDecision>,
     last_finish: SimTime,
+    tracer: Tracer,
+    /// Which side of the dynamic limits the last traced decision saw:
+    /// 0 below soft, 1 between, 2 above hard. Only consulted when tracing.
+    last_band: u8,
 }
+
+/// Wire names for the utilization bands of a `limit-crossing` event.
+const BAND_NAMES: [&str; 3] = ["below-soft", "between-limits", "above-hard"];
 
 impl<'a> Scheduler<'a> {
     /// Builds the scheduler: provisions reserved capacity and seeds the
     /// classification engine.
     pub fn new(scenario: &'a Scenario, config: &'a RunConfig, factory: &RngFactory) -> Self {
-        let mut cloud = Cloud::new(config.cloud.clone(), factory.child("cloud"));
+        Scheduler::with_tracer(scenario, config, factory, Tracer::disabled())
+    }
+
+    /// Like [`Scheduler::new`], but every instrumented decision (placement,
+    /// limit crossings, queueing, QoS actions, instance lifecycle) is
+    /// recorded into `tracer`.
+    pub fn with_tracer(
+        scenario: &'a Scenario,
+        config: &'a RunConfig,
+        factory: &RngFactory,
+        tracer: Tracer,
+    ) -> Self {
+        let mut cloud =
+            Cloud::with_tracer(config.cloud.clone(), factory.child("cloud"), tracer.clone());
         let reserved_cores = config.reserved_cores(scenario);
         let reserved_servers =
             (reserved_cores as f64 / InstanceType::full_server().vcpus() as f64).ceil() as usize;
@@ -201,6 +222,8 @@ impl<'a> Scheduler<'a> {
             counters: RunCounters::default(),
             decisions: Vec::new(),
             last_finish: SimTime::ZERO,
+            tracer,
+            last_band: 0,
         }
     }
 
@@ -286,7 +309,7 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        if self.config.record_decisions {
+        if self.config.record_decisions || self.tracer.is_enabled() {
             let spot = placement == Placement::OnDemand
                 && self.spot_eligible(&self.scenario.jobs()[idx], &est);
             let util = self.reserved_utilization();
@@ -309,13 +332,62 @@ impl<'a> Scheduler<'a> {
             } else {
                 PlacementReason::FixedByStrategy
             };
-            self.decisions.push(PlacementDecision {
-                job: self.scenario.jobs()[idx].id,
-                at: now,
-                estimated_quality: est.quality,
-                reserved_utilization: util,
-                reason,
-            });
+            if self.config.record_decisions {
+                self.decisions.push(PlacementDecision {
+                    job: self.scenario.jobs()[idx].id,
+                    at: now,
+                    estimated_quality: est.quality,
+                    reserved_utilization: util,
+                    reason,
+                });
+            }
+            if self.tracer.is_enabled() {
+                // The Q90-vs-QT comparison the dynamic policy makes: Q90 of
+                // the on-demand type this job would get, against the job's
+                // quality target. NaN (=> null) when no monitor is consulted.
+                let q90 = if self.config.strategy.is_hybrid() {
+                    let spec = &self.scenario.jobs()[idx];
+                    self.monitor.q90(self.od_itype_for(&est, spec.class))
+                } else {
+                    f64::NAN
+                };
+                self.tracer.record(
+                    now,
+                    TraceKind::Decision {
+                        job: self.scenario.jobs()[idx].id.0,
+                        placement: match placement {
+                            Placement::Reserved => "reserved",
+                            Placement::OnDemand => "on-demand",
+                            Placement::OnDemandLarge => "on-demand-large",
+                            Placement::Queue => "queue",
+                        },
+                        reason: reason.to_string(),
+                        quality_target: est.quality,
+                        utilization: util,
+                        q90,
+                    },
+                );
+                let band = if util < self.limits.soft() {
+                    0
+                } else if util < self.limits.hard() {
+                    1
+                } else {
+                    2
+                };
+                if band != self.last_band {
+                    self.tracer.record(
+                        now,
+                        TraceKind::LimitCrossing {
+                            from: BAND_NAMES[self.last_band as usize],
+                            to: BAND_NAMES[band as usize],
+                            utilization: util,
+                            soft: self.limits.soft(),
+                            hard: self.limits.hard(),
+                        },
+                    );
+                    self.last_band = band;
+                }
+            }
         }
         match placement {
             Placement::Reserved => {
@@ -348,11 +420,7 @@ impl<'a> Scheduler<'a> {
             StrategyKind::OnDemandFull | StrategyKind::OnDemandMixed => Placement::OnDemand,
             StrategyKind::HybridFull | StrategyKind::HybridMixed => {
                 let spec = &self.scenario.jobs()[idx];
-                let od_itype = if self.config.strategy.on_demand_full_only() {
-                    InstanceType::full_server()
-                } else {
-                    self.dedicated_itype(est, spec.class)
-                };
+                let od_itype = self.od_itype_for(est, spec.class);
                 let ctx = MappingContext {
                     reserved_utilization: self.reserved_utilization(),
                     job_quality: est.quality,
@@ -370,6 +438,16 @@ impl<'a> Scheduler<'a> {
                 };
                 self.config.policy.decide(&ctx, &mut self.mapping_rng)
             }
+        }
+    }
+
+    /// The on-demand instance type this job would be offered: a full
+    /// server for full-only strategies, a per-job-sized instance otherwise.
+    fn od_itype_for(&self, est: &JobEstimate, class: AppClass) -> InstanceType {
+        if self.config.strategy.on_demand_full_only() {
+            InstanceType::full_server()
+        } else {
+            self.dedicated_itype(est, class)
         }
     }
 
@@ -670,6 +748,14 @@ impl<'a> Scheduler<'a> {
             return;
         }
         let victims: Vec<JobId> = self.instances[inst_idx].jobs.clone();
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::SpotTerminated {
+                instance: self.instances[inst_idx].cloud_id.raw(),
+                evicted: victims.len(),
+            }
+        );
         for jid in &victims {
             let Some(job) = self.running.get(jid) else {
                 continue;
@@ -784,6 +870,16 @@ impl<'a> Scheduler<'a> {
     fn enqueue(&mut self, spec_idx: usize, est: &JobEstimate, now: SimTime) {
         self.counters.queued_jobs += 1;
         let estimated_wait = self.queue_est.estimate_wait(est.cores, self.queue.len());
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::QueueEnter {
+                job: self.scenario.jobs()[spec_idx].id.0,
+                cores: est.cores,
+                depth: self.queue.len(),
+                estimated_wait_us: estimated_wait.map(|d| d.as_micros()),
+            }
+        );
         self.queue.push_back(QueuedJob {
             spec_idx,
             cores: est.cores,
@@ -813,6 +909,17 @@ impl<'a> Scheduler<'a> {
                     estimated: qj.estimated_wait,
                     actual: wait,
                 });
+                trace_event!(
+                    self.tracer,
+                    now,
+                    TraceKind::QueueExit {
+                        job: self.scenario.jobs()[qj.spec_idx].id.0,
+                        cores: qj.cores,
+                        estimated_wait_us: qj.estimated_wait.map(|d| d.as_micros()),
+                        actual_wait_us: wait.as_micros(),
+                        relieved: false,
+                    }
+                );
                 self.queue.remove(i);
             } else {
                 i += 1;
@@ -847,6 +954,17 @@ impl<'a> Scheduler<'a> {
                     estimated: qj.estimated_wait,
                     actual: now.saturating_since(qj.enqueued),
                 });
+                trace_event!(
+                    self.tracer,
+                    now,
+                    TraceKind::QueueExit {
+                        job: self.scenario.jobs()[qj.spec_idx].id.0,
+                        cores: qj.cores,
+                        estimated_wait_us: qj.estimated_wait.map(|d| d.as_micros()),
+                        actual_wait_us: now.saturating_since(qj.enqueued).as_micros(),
+                        relieved: true,
+                    }
+                );
                 self.place_od_pool(qj.spec_idx, &est, now, events);
             } else {
                 i += 1;
@@ -1071,6 +1189,13 @@ impl<'a> Scheduler<'a> {
         if inst.released || inst.retention_token != token || !inst.jobs.is_empty() {
             return;
         }
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::RetentionExpired {
+                instance: inst.cloud_id.raw(),
+            }
+        );
         self.release_instance(inst_idx, now);
     }
 
@@ -1232,6 +1357,15 @@ impl<'a> Scheduler<'a> {
                             self.reserved_busy.record_delta(now, grow as f64);
                         }
                         self.running.get_mut(&jid).expect("running").cores += grow;
+                        trace_event!(
+                            self.tracer,
+                            now,
+                            TraceKind::LocalBoost {
+                                job: jid.0,
+                                extra_cores: grow,
+                                cores: cores + grow,
+                            }
+                        );
                     }
                 }
                 let job = self.running.get_mut(&jid).expect("running");
@@ -1248,6 +1382,18 @@ impl<'a> Scheduler<'a> {
                 let badly = p99 > 6.0 * job.isolation_p99;
                 if badly {
                     job.qos_bad_ticks += 1;
+                    let bad_ticks = job.qos_bad_ticks;
+                    let threshold = 6.0 * job.isolation_p99;
+                    trace_event!(
+                        self.tracer,
+                        now,
+                        TraceKind::QosViolation {
+                            job: jid.0,
+                            p99,
+                            threshold,
+                            bad_ticks,
+                        }
+                    );
                 } else {
                     job.qos_bad_ticks = 0;
                 }
@@ -1269,6 +1415,14 @@ impl<'a> Scheduler<'a> {
             let job = &self.running[&jid];
             (job.cores, job.instance)
         };
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::Reschedule {
+                job: jid.0,
+                from_instance: self.instances[old_inst].cloud_id.raw(),
+            }
+        );
         // Free the old slot.
         {
             let inst = &mut self.instances[old_inst];

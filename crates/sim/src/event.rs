@@ -60,6 +60,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
+    max_depth: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,6 +76,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            max_depth: 0,
         }
     }
 
@@ -100,6 +102,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.max_depth = self.max_depth.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
@@ -124,6 +127,16 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// High-water mark of pending events — how deep the queue ever got.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
     }
 }
 
@@ -184,6 +197,21 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn tracks_scheduling_statistics() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.max_depth(), 0);
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.max_depth(), 2);
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.scheduled_total(), 3, "total counts every schedule");
+        assert_eq!(q.max_depth(), 2, "high-water mark survives drains");
     }
 
     #[test]

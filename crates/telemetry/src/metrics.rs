@@ -1,0 +1,279 @@
+//! Counters, gauges, and streaming histograms.
+//!
+//! The registry is deliberately simple: `BTreeMap`-backed so that
+//! iteration (and therefore any serialized snapshot) is deterministic, and
+//! percentile queries delegate to [`hcloud_sim::stats::percentile`] so a
+//! histogram quantile agrees bit-for-bit with the simulator's own
+//! estimators on the same sample.
+
+use std::collections::BTreeMap;
+
+use hcloud_json::{ObjectBuilder, Value};
+use hcloud_sim::stats::percentile;
+
+/// Retained-sample cap before the histogram starts decimating.
+const SAMPLE_CAP: usize = 4096;
+
+/// A histogram that can absorb an unbounded stream in bounded memory.
+///
+/// Exact moments (count / sum / min / max) are always maintained. For
+/// quantiles it retains every observation until [`SAMPLE_CAP`], then
+/// *deterministically* decimates: keep every second retained sample and
+/// double the sampling stride. No randomness, no wall clock — two
+/// histograms fed the same stream are always identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+    stride: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    pub fn new() -> Self {
+        StreamingHistogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Vec::new(),
+            stride: 1,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if self.count.is_multiple_of(self.stride) {
+            self.samples.push(value);
+            if self.samples.len() >= SAMPLE_CAP {
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Quantile over the retained sample, via `hcloud_sim::stats`. Exact
+    /// (agrees with `percentile` over the full stream) until the stream
+    /// exceeds [`SAMPLE_CAP`] observations; an even decimation thereafter.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.samples, p)
+    }
+
+    /// Number of retained quantile samples.
+    pub fn retained(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// A process- or session-scoped bag of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, StreamingHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to (and create, if absent) a monotonically increasing counter.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current counter value; absent counters read zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to the latest observed value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one observation into a named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&StreamingHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Deterministic JSON snapshot of everything in the registry.
+    pub fn snapshot(&self) -> Value {
+        let mut counters = ObjectBuilder::new();
+        for (k, v) in &self.counters {
+            counters = counters.set(k, *v);
+        }
+        let mut gauges = ObjectBuilder::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.set(k, *v);
+        }
+        let mut histograms = ObjectBuilder::new();
+        for (k, h) in &self.histograms {
+            histograms = histograms.set(
+                k,
+                ObjectBuilder::new()
+                    .set("count", h.count())
+                    .set("mean", h.mean().unwrap_or(f64::NAN))
+                    .set("min", h.min().unwrap_or(f64::NAN))
+                    .set("max", h.max().unwrap_or(f64::NAN))
+                    .set("p50", h.percentile(50.0).unwrap_or(f64::NAN))
+                    .set("p99", h.percentile(99.0).unwrap_or(f64::NAN))
+                    .build(),
+            );
+        }
+        ObjectBuilder::new()
+            .set("counters", counters.build())
+            .set("gauges", gauges.build())
+            .set("histograms", histograms.build())
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::rng::SimRng;
+    use rand::Rng;
+
+    #[test]
+    fn counter_semantics() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("runs"), 0, "absent counters read zero");
+        reg.counter_add("runs", 1);
+        reg.counter_add("runs", 41);
+        assert_eq!(reg.counter("runs"), 42);
+    }
+
+    #[test]
+    fn gauge_semantics() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.gauge("util"), None);
+        reg.gauge_set("util", 0.5);
+        reg.gauge_set("util", 0.8);
+        assert_eq!(reg.gauge("util"), Some(0.8), "gauges keep the last value");
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut reg = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            reg.observe("wait", v);
+        }
+        let h = reg.histogram("wait").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(3.0));
+        assert_eq!(reg.histogram("missing"), None);
+    }
+
+    #[test]
+    fn percentiles_agree_with_sim_stats_on_fixed_seed() {
+        // Below the decimation cap, the histogram quantile must equal the
+        // `hcloud-sim::stats` percentile over the identical sample.
+        let mut rng = SimRng::from_seed_u64(0xfeed);
+        let values: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>() * 250.0).collect();
+        let mut h = StreamingHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), percentile(&values, p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn decimation_is_bounded_and_deterministic() {
+        let feed = |n: u64| {
+            let mut h = StreamingHistogram::new();
+            for i in 0..n {
+                h.record(i as f64);
+            }
+            h
+        };
+        let h = feed(100_000);
+        assert_eq!(h.count(), 100_000);
+        assert!(h.retained() < SAMPLE_CAP, "memory stays bounded");
+        assert_eq!(h, feed(100_000), "same stream, identical state");
+        // The decimated quantile still tracks the true one closely on a
+        // uniform ramp.
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((p50 - 50_000.0).abs() < 1_000.0, "p50 ≈ 50k, got {p50}");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("b", 2);
+        reg.counter_add("a", 1);
+        reg.gauge_set("g", 1.5);
+        reg.observe("h", 4.0);
+        let text = reg.snapshot().to_string();
+        assert!(text.contains("\"a\":1"));
+        assert!(
+            text.find("\"a\":1").unwrap() < text.find("\"b\":2").unwrap(),
+            "BTreeMap order: keys sorted"
+        );
+        assert_eq!(text, reg.clone().snapshot().to_string());
+    }
+}

@@ -1,0 +1,169 @@
+//! Replay a JSONL trace into a human-readable timeline.
+//!
+//! This is the read side of the flight recorder, behind
+//! `hcloud-cli trace`. It is deliberately schema-light: known fields get
+//! friendly formatting, unknown events degrade to `key=value` pairs, so a
+//! newer trace still replays on an older binary.
+
+use hcloud_json::Value;
+
+/// Render a full JSONL trace (header line + event lines) as a timeline.
+///
+/// `limit` caps the number of event lines shown (the tail is summarized);
+/// `None` shows everything.
+pub fn render_timeline(jsonl: &str, limit: Option<usize>) -> Result<String, String> {
+    let mut lines = jsonl
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or("empty trace file")?;
+    let header =
+        hcloud_json::parse(header_line).map_err(|e| format!("line 1: not a JSON object: {e}"))?;
+
+    let mut out = String::new();
+    let label = header.get("run").and_then(Value::as_str).unwrap_or("?");
+    let scenario = header
+        .get("scenario")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let strategy = header
+        .get("strategy")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    let seed = header.get("seed").and_then(Value::as_u64).unwrap_or(0);
+    let schema = header.get("schema").and_then(Value::as_u64).unwrap_or(0);
+    out.push_str(&format!(
+        "run {label} — scenario {scenario}, strategy {strategy}, seed {seed} (schema v{schema})\n"
+    ));
+
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    let mut last_t_us = 0u64;
+    for (idx, line) in lines {
+        let ev = hcloud_json::parse(line)
+            .map_err(|e| format!("line {}: not a JSON object: {e}", idx + 1))?;
+        total += 1;
+        if let Some(t) = ev.get("t_us").and_then(Value::as_u64) {
+            last_t_us = t;
+        }
+        if limit.is_some_and(|cap| shown >= cap) {
+            continue;
+        }
+        out.push_str(&render_event(&ev));
+        out.push('\n');
+        shown += 1;
+    }
+    if shown < total {
+        out.push_str(&format!("… {} more event(s) not shown\n", total - shown));
+    }
+    out.push_str(&format!(
+        "{} event(s), trace span {:.3}s of simulated time\n",
+        total,
+        last_t_us as f64 / 1e6
+    ));
+    Ok(out)
+}
+
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.007199254740992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:.4}")
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Null => "-".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => fmt_num(*n),
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// One event as a fixed-layout timeline line:
+/// `+<sim seconds>  <event name>  key=value ...`.
+fn render_event(ev: &Value) -> String {
+    let t_us = ev.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+    let name = ev.get("ev").and_then(Value::as_str).unwrap_or("?");
+    let mut line = format!(
+        "{:>12}  {:<18}",
+        format!("+{:.3}s", t_us as f64 / 1e6),
+        name
+    );
+    if let Value::Object(pairs) = ev {
+        for (k, v) in pairs {
+            if k == "t_us" || k == "ev" {
+                continue;
+            }
+            line.push_str(&format!(" {k}={}", fmt_value(v)));
+        }
+    }
+    line.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{render_jsonl, RunMeta};
+    use crate::trace::{TraceEvent, TraceKind};
+    use hcloud_sim::SimTime;
+
+    fn sample() -> String {
+        let meta = RunMeta {
+            label: "demo/HM/seed7".into(),
+            scenario: "demo".into(),
+            strategy: "HM".into(),
+            seed: 7,
+        };
+        let events = vec![
+            TraceEvent::new(
+                SimTime::from_micros(1_500_000),
+                TraceKind::Decision {
+                    job: 3,
+                    placement: "on-demand",
+                    reason: "on-demand-good-enough".into(),
+                    quality_target: 0.9,
+                    utilization: 0.71,
+                    q90: 0.93,
+                },
+            ),
+            TraceEvent::new(
+                SimTime::from_secs(2),
+                TraceKind::InstanceReleased { instance: 4 },
+            ),
+        ];
+        render_jsonl(&meta, &events)
+    }
+
+    #[test]
+    fn replays_header_and_events() {
+        let text = render_timeline(&sample(), None).unwrap();
+        assert!(text.starts_with("run demo/HM/seed7 — scenario demo, strategy HM, seed 7"));
+        assert!(text.contains("+1.500s"));
+        assert!(text.contains("decision"));
+        assert!(text.contains("reason=on-demand-good-enough"));
+        assert!(text.contains("instance-released"));
+        assert!(text.contains("instance=4"));
+        assert!(text.contains("2 event(s), trace span 2.000s"));
+    }
+
+    #[test]
+    fn limit_truncates_but_still_counts() {
+        let text = render_timeline(&sample(), Some(1)).unwrap();
+        assert!(text.contains("decision"));
+        assert!(!text.contains("instance-released"));
+        assert!(text.contains("… 1 more event(s) not shown"));
+        assert!(text.contains("2 event(s)"));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(render_timeline("", None).is_err());
+        let mut bad = sample();
+        bad.push_str("not json\n");
+        let err = render_timeline(&bad, None).unwrap_err();
+        assert!(err.contains("line"), "error carries a line number: {err}");
+    }
+}
