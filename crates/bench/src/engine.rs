@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use hcloud::runner::{run_scenario, run_scenario_traced};
 use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
+use hcloud_faults::{FaultPlan, FaultPlanId};
 use hcloud_sim::rng::RngFactory;
 use hcloud_telemetry::{MetricsRegistry, RunMeta, TraceEvent, TraceMode, Tracer};
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
@@ -60,6 +61,10 @@ pub struct ExperimentCtx {
     /// (phase spans on stderr), or `full` (spans + per-run flight
     /// recorder).
     pub trace: TraceMode,
+    /// Ambient fault plan (`HCLOUD_FAULTS`): `off` (default) or a
+    /// built-in plan name. Applied to every run whose spec does not set
+    /// its own plan.
+    pub faults: FaultPlanId,
 }
 
 impl Default for ExperimentCtx {
@@ -69,6 +74,7 @@ impl Default for ExperimentCtx {
             fast: false,
             jobs: None,
             trace: TraceMode::Off,
+            faults: FaultPlanId::Off,
         }
     }
 }
@@ -100,7 +106,13 @@ impl ExperimentCtx {
         self
     }
 
-    /// Parses the four ambient variables. Malformed values are an error
+    /// Sets the ambient fault plan.
+    pub fn with_faults(mut self, faults: FaultPlanId) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Parses the five ambient variables. Malformed values are an error
     /// with a message naming the variable, the offending value, and what
     /// was expected — never a silent fallback.
     pub fn parse(
@@ -108,6 +120,7 @@ impl ExperimentCtx {
         fast: Option<&str>,
         jobs: Option<&str>,
         trace: Option<&str>,
+        faults: Option<&str>,
     ) -> Result<Self, String> {
         let master_seed = match seed {
             None => 42,
@@ -136,16 +149,18 @@ impl ExperimentCtx {
             },
         };
         let trace = TraceMode::parse(trace)?;
+        let faults = FaultPlanId::parse(faults)?;
         Ok(ExperimentCtx {
             master_seed,
             fast,
             jobs,
             trace,
+            faults,
         })
     }
 
     /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
-    /// `HCLOUD_TRACE` from the environment.
+    /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` from the environment.
     pub fn from_env() -> Result<Self, String> {
         let var = |name: &str| std::env::var(name).ok();
         Self::parse(
@@ -153,6 +168,7 @@ impl ExperimentCtx {
             var("HCLOUD_FAST").as_deref(),
             var("HCLOUD_JOBS").as_deref(),
             var("HCLOUD_TRACE").as_deref(),
+            var("HCLOUD_FAULTS").as_deref(),
         )
     }
 
@@ -279,6 +295,13 @@ impl RunSpec {
         self
     }
 
+    /// Sets this run's fault plan explicitly (overriding the ambient
+    /// `HCLOUD_FAULTS` plan).
+    pub fn faults(mut self, faults: FaultPlan) -> RunSpec {
+        self.config = self.config.with_faults(faults);
+        self
+    }
+
     /// Attaches a human-readable label for telemetry output.
     pub fn label(mut self, label: impl Into<String>) -> RunSpec {
         self.label = Some(label.into());
@@ -332,9 +355,20 @@ impl RunSpec {
         }
     }
 
+    /// The configuration this spec actually runs under `ctx`: the spec's
+    /// own, with the ambient `HCLOUD_FAULTS` plan layered onto runs that
+    /// did not set one themselves.
+    pub(crate) fn effective_config(&self, ctx: &ExperimentCtx) -> RunConfig {
+        if ctx.faults != FaultPlanId::Off && self.config.faults.is_off() {
+            self.config.clone().with_faults(ctx.faults.plan())
+        } else {
+            self.config.clone()
+        }
+    }
+
     /// In-process cache identity: the scenario source, seed, and the full
-    /// configuration (via its `Debug` form, which round-trips every field
-    /// including floats).
+    /// effective configuration (via its `Debug` form, which round-trips
+    /// every field including floats).
     pub(crate) fn cache_key(&self, ctx: &ExperimentCtx) -> String {
         let scenario = match &self.scenario {
             ScenarioSource::Kind(kind) => format!("kind:{kind:?}"),
@@ -346,7 +380,7 @@ impl RunSpec {
         format!(
             "{scenario}|seed:{}|{:?}",
             self.seed.unwrap_or(ctx.master_seed),
-            self.config
+            self.effective_config(ctx)
         )
     }
 }
@@ -568,17 +602,18 @@ impl Engine {
                 ScenarioSource::Explicit(s) => s,
             };
             let factory = RngFactory::new(seed);
+            let config = spec.effective_config(&self.ctx);
             let run_started = Instant::now();
             let (result, trace) = if tracing {
                 let tracer = Tracer::enabled();
-                let result = run_scenario_traced(scenario, &spec.config, &factory, &tracer);
+                let result = run_scenario_traced(scenario, &config, &factory, &tracer);
                 let trace = RunTrace {
                     meta: spec.run_meta(&self.ctx),
                     events: tracer.take(),
                 };
                 (result, Some(trace))
             } else {
-                (run_scenario(scenario, &spec.config, &factory), None)
+                (run_scenario(scenario, &config, &factory), None)
             };
             let telemetry = RunTelemetry {
                 label: spec.display_label(),
@@ -651,39 +686,67 @@ mod tests {
 
     #[test]
     fn ctx_defaults_match_legacy_behaviour() {
-        let ctx = ExperimentCtx::parse(None, None, None, None).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, None, None).unwrap();
         assert_eq!(ctx.master_seed, 42);
         assert!(!ctx.fast);
         assert_eq!(ctx.jobs, None);
         assert_eq!(ctx.trace, TraceMode::Off);
+        assert_eq!(ctx.faults, FaultPlanId::Off);
     }
 
     #[test]
     fn ctx_parses_explicit_values() {
-        let ctx = ExperimentCtx::parse(Some("7"), Some("1"), Some("3"), Some("full")).unwrap();
+        let ctx = ExperimentCtx::parse(
+            Some("7"),
+            Some("1"),
+            Some("3"),
+            Some("full"),
+            Some("full-chaos"),
+        )
+        .unwrap();
         assert_eq!(ctx.master_seed, 7);
         assert!(ctx.fast);
         assert_eq!(ctx.jobs, Some(3));
         assert_eq!(ctx.trace, TraceMode::Full);
-        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary")).unwrap();
+        assert_eq!(ctx.faults, FaultPlanId::FullChaos);
+        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None).unwrap();
         assert!(!ctx.fast);
         assert_eq!(ctx.trace, TraceMode::Summary);
-        let ctx = ExperimentCtx::parse(None, None, None, Some("off")).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, Some("off"), Some("off")).unwrap();
         assert_eq!(ctx.trace, TraceMode::Off);
+        assert_eq!(ctx.faults, FaultPlanId::Off);
     }
 
     #[test]
     fn ctx_rejects_malformed_values_loudly() {
-        let e = ExperimentCtx::parse(Some("banana"), None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(Some("banana"), None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
-        let e = ExperimentCtx::parse(None, Some("yes"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("0"), None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("0"), None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("many"), None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("many"), None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, Some("loud")).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None).unwrap_err();
         assert!(e.contains("HCLOUD_TRACE") && e.contains("loud"), "{e}");
+        let e = ExperimentCtx::parse(None, None, None, None, Some("mayhem")).unwrap_err();
+        assert!(e.contains("HCLOUD_FAULTS") && e.contains("mayhem"), "{e}");
+    }
+
+    #[test]
+    fn ambient_fault_plan_changes_cache_key_but_respects_explicit_plans() {
+        let off = ExperimentCtx::new(42);
+        let chaotic = ExperimentCtx::new(42).with_faults(FaultPlanId::FullChaos);
+        let spec = RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed);
+        assert_ne!(spec.cache_key(&off), spec.cache_key(&chaotic));
+        assert!(spec.effective_config(&off).faults.is_off());
+        assert!(!spec.effective_config(&chaotic).faults.is_off());
+        // A spec-level plan wins over the ambient one.
+        let pinned = spec.clone().faults(FaultPlanId::FlakySpinups.plan());
+        assert_eq!(
+            pinned.effective_config(&chaotic).faults.name,
+            "flaky-spinups"
+        );
     }
 
     #[test]

@@ -32,8 +32,11 @@
 //! telemetry; `HCLOUD_TRACE=full` additionally records every simulated
 //! run as a structured JSONL trace under `results/traces/` (replay with
 //! `hcloud-cli trace`). Traces are stamped with sim time only, so they
-//! too are bit-identical for any worker count. Malformed values are a
-//! hard error.
+//! too are bit-identical for any worker count.
+//! `HCLOUD_FAULTS=<plan>` overlays a deterministic fault-injection plan
+//! (`hcloud-cli faults` lists the built-ins) onto every run that does
+//! not set its own; the default `off` injects nothing and consumes no
+//! randomness. Malformed values are a hard error.
 
 pub mod artifacts;
 pub mod engine;

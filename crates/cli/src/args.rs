@@ -14,6 +14,7 @@ commands:
   export    generate a scenario and write it to JSON
   advise    recommend the cheapest strategy meeting a performance floor
   trace     replay a recorded JSONL trace as a readable timeline
+  faults    list the built-in fault-injection plans (HCLOUD_FAULTS)
 
 common options:
   --scenario static|low|high   scenario kind          [high]
@@ -61,6 +62,8 @@ pub enum Command {
     Advise(Common, crate::advise::AdviseOptions),
     /// `trace`: replay a recorded JSONL trace as a readable timeline.
     Trace(TraceOptions),
+    /// `faults`: list the built-in fault-injection plans.
+    Faults,
 }
 
 /// Options for `trace`.
@@ -263,6 +266,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 limit: trace_limit,
             }))
         }
+        "faults" => Ok(Command::Faults),
         "help" | "--help" | "-h" => Err("help requested".into()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -358,6 +362,11 @@ mod tests {
         assert_eq!(t.limit, Some(25));
         assert!(parse(&v(&["trace"])).is_err(), "trace needs --file");
         assert!(parse(&v(&["trace", "--file", "t", "--limit", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_faults() {
+        assert_eq!(parse(&v(&["faults"])).unwrap(), Command::Faults);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use hcloud::config::SpotPolicy;
 use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
 use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
+use hcloud_faults::FaultPlanId;
 use hcloud_interference::ResourceVector;
 use hcloud_json::{ObjectBuilder, Value};
 use hcloud_pricing::{PricingModel, Rates};
@@ -283,6 +284,10 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Sweep(common, options) => sweep(&common, &options),
         Command::Export(common, out) => export(&common, &out),
         Command::Trace(options) => trace(&options),
+        Command::Faults => {
+            faults();
+            Ok(())
+        }
         Command::Advise(common, options) => {
             let scenario = build_scenario(&common);
             println!(
@@ -308,6 +313,58 @@ fn trace(options: &crate::args::TraceOptions) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", options.file))?;
     print!("{timeline}");
     Ok(())
+}
+
+/// Lists the built-in fault-injection plans (`HCLOUD_FAULTS` values)
+/// with the fault classes each one enables.
+fn faults() {
+    println!("built-in fault plans (set HCLOUD_FAULTS=<name>):\n");
+    for id in FaultPlanId::ALL {
+        println!("  {:<16} {}", id.name(), id.description());
+        let plan = id.plan();
+        if plan.is_off() {
+            continue;
+        }
+        if let Some(s) = plan.storms {
+            println!(
+                "    - preemption storms: ~every {:.0} min, {:.0} min long",
+                s.mean_interval.as_secs_f64() / 60.0,
+                s.duration.as_secs_f64() / 60.0
+            );
+        }
+        if let Some(s) = plan.spin_up {
+            println!(
+                "    - spin-up faults: {:.0}% spikes (x{:.0}), {:.0}% timeouts ({:.0} s)",
+                s.spike_prob * 100.0,
+                s.spike_factor,
+                s.timeout_prob * 100.0,
+                s.timeout.as_secs_f64()
+            );
+        }
+        if let Some(s) = plan.capacity {
+            println!(
+                "    - out-of-capacity errors: {:.0}% of acquisitions",
+                s.error_prob * 100.0
+            );
+        }
+        if let Some(s) = plan.degradation {
+            println!(
+                "    - stragglers: {:.0}% of instances degrade to {:.1}x slowdown",
+                s.prob * 100.0,
+                s.slowdown
+            );
+        }
+        if let Some(s) = plan.monitor {
+            println!(
+                "    - monitor dropouts: ~every {:.0} min, {:.0} min long",
+                s.mean_interval.as_secs_f64() / 60.0,
+                s.duration.as_secs_f64() / 60.0
+            );
+        }
+    }
+    println!("\nplans are deterministic: every schedule derives from the master");
+    println!("seed via its own RNG stream, so HCLOUD_FAULTS=off is byte-identical");
+    println!("to earlier builds and faulted runs reproduce for any HCLOUD_JOBS.");
 }
 
 fn compare(common: &Common) -> Result<(), String> {

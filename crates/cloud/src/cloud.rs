@@ -12,6 +12,7 @@
 
 use std::fmt;
 
+use hcloud_faults::{AcquireFault, FaultInjector};
 use hcloud_interference::{ResourceVector, SlowdownModel};
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::{SimDuration, SimTime};
@@ -73,6 +74,9 @@ pub struct Instance {
     /// When the spot market outbids this instance (spot instances only).
     terminates_at: Option<SimTime>,
     server_seed: u64,
+    /// Injected straggler fate: `(onset, slowdown factor)` if this
+    /// instance degrades.
+    perf_fault: Option<(SimTime, f64)>,
 }
 
 impl Instance {
@@ -116,6 +120,23 @@ impl Instance {
     pub fn terminates_at(&self) -> Option<SimTime> {
         self.terminates_at
     }
+    /// The injected straggler fate `(onset, slowdown factor)`, if any.
+    pub fn performance_fault(&self) -> Option<(SimTime, f64)> {
+        self.perf_fault
+    }
+}
+
+/// Why an acquisition attempt failed (fault injection only — without an
+/// active fault plan, acquisition never fails).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcquireFailure {
+    /// The provider transiently rejected the request.
+    OutOfCapacity,
+    /// The spin-up hung; the caller wasted `waited` before giving up.
+    SpinUpTimeout {
+        /// Wall time lost on the abandoned attempt.
+        waited: SimDuration,
+    },
 }
 
 /// A billing-relevant usage interval, consumed by `hcloud-pricing`.
@@ -161,6 +182,7 @@ pub struct Cloud {
     spin_rng: SimRng,
     instances: Vec<Instance>,
     tracer: Tracer,
+    injector: FaultInjector,
 }
 
 impl Cloud {
@@ -175,6 +197,19 @@ impl Cloud {
     /// Like [`Cloud::new`], but instance-lifecycle events (spin-up,
     /// release) are recorded into `tracer`.
     pub fn with_tracer(config: CloudConfig, factory: RngFactory, tracer: Tracer) -> Self {
+        Cloud::with_instruments(config, factory, tracer, FaultInjector::disabled())
+    }
+
+    /// Like [`Cloud::with_tracer`], but acquisitions, spin-ups, spot
+    /// terminations and delivered quality are additionally subject to the
+    /// given fault injector. A disabled injector consumes no randomness
+    /// and leaves every code path byte-identical to [`Cloud::new`].
+    pub fn with_instruments(
+        config: CloudConfig,
+        factory: RngFactory,
+        tracer: Tracer,
+        injector: FaultInjector,
+    ) -> Self {
         let external = config.provider.shape_external(&config.external);
         let spin_rng = factory.stream("cloud.spin_up");
         Cloud {
@@ -184,7 +219,13 @@ impl Cloud {
             spin_rng,
             instances: Vec::new(),
             tracer,
+            injector,
         }
+    }
+
+    /// The fault injector driving this cloud (disabled by default).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// The configuration this cloud was built with.
@@ -213,8 +254,45 @@ impl Cloud {
 
     /// Acquires one on-demand instance of `itype`. The instance is usable
     /// from [`Instance::ready_at`], after a sampled spin-up overhead.
+    ///
+    /// This path never fails: acquisition-level faults (capacity errors,
+    /// timeouts) only apply through [`Cloud::try_acquire`]. Schedulers use
+    /// it as the forced final fallback after a bounded retry loop, so a
+    /// hostile fault plan can delay work but never live-lock the run.
     pub fn acquire(&mut self, itype: InstanceType, now: SimTime) -> InstanceId {
-        let overhead = self.config.spin_up.sample(itype, &mut self.spin_rng);
+        self.spin_up_on_demand(itype, now, 1.0)
+    }
+
+    /// Acquires one on-demand instance, subject to fault injection.
+    ///
+    /// With an active fault plan, the attempt may be rejected outright
+    /// ([`AcquireFailure::OutOfCapacity`]), hang and get abandoned
+    /// ([`AcquireFailure::SpinUpTimeout`]), or succeed with a spiked
+    /// spin-up. Without one, this is exactly [`Cloud::acquire`].
+    pub fn try_acquire(
+        &mut self,
+        itype: InstanceType,
+        now: SimTime,
+    ) -> Result<InstanceId, AcquireFailure> {
+        match self.injector.next_acquire_fault() {
+            Some(AcquireFault::OutOfCapacity) => Err(AcquireFailure::OutOfCapacity),
+            Some(AcquireFault::SpinUpTimeout(waited)) => {
+                Err(AcquireFailure::SpinUpTimeout { waited })
+            }
+            Some(AcquireFault::SpinUpSpike(factor)) => {
+                Ok(self.spin_up_on_demand(itype, now, factor))
+            }
+            None => Ok(self.spin_up_on_demand(itype, now, 1.0)),
+        }
+    }
+
+    /// Samples spin-up (spiked by `spike` when > 1), creates the instance
+    /// and records its lifecycle events.
+    fn spin_up_on_demand(&mut self, itype: InstanceType, now: SimTime, spike: f64) -> InstanceId {
+        let mut overhead = self.config.spin_up.sample(itype, &mut self.spin_rng);
+        if spike > 1.0 {
+            overhead = overhead.mul_f64(spike);
+        }
         let id = self.push_instance(itype, false, false, now, now + overhead, None);
         trace_event!(
             self.tracer,
@@ -227,6 +305,17 @@ impl Cloud {
                 spin_up_us: overhead.as_micros(),
             }
         );
+        if spike > 1.0 {
+            trace_event!(
+                self.tracer,
+                now,
+                TraceKind::FaultSpinUpSpike {
+                    instance: id.0,
+                    factor: spike,
+                    spin_up_us: overhead.as_micros(),
+                }
+            );
+        }
         id
     }
 
@@ -244,13 +333,20 @@ impl Cloud {
         assert!(bid_multiplier > 0.0, "spot bid must be positive");
         let overhead = self.config.spin_up.sample(itype, &mut self.spin_rng);
         let ready = now + overhead;
-        let terminates = self.config.spot.first_termination(
+        let market = self.config.spot.first_termination(
             &self.factory,
             itype,
             bid_multiplier,
             ready,
             SimDuration::from_hours(12),
         );
+        // A correlated preemption storm revokes the instance even if the
+        // market alone would have let it live.
+        let storm = self.injector.storm_termination(ready);
+        let terminates = match (market, storm) {
+            (Some(m), Some(s)) => Some(m.min(s)),
+            (m, s) => m.or(s),
+        };
         let id = self.push_instance(itype, false, true, now, ready, terminates);
         trace_event!(
             self.tracer,
@@ -263,6 +359,18 @@ impl Cloud {
                 spin_up_us: overhead.as_micros(),
             }
         );
+        if let Some(s) = storm {
+            if market.is_none_or(|m| s < m) {
+                trace_event!(
+                    self.tracer,
+                    now,
+                    TraceKind::FaultStormPreemption {
+                        instance: id.0,
+                        termination_us: s.as_micros(),
+                    }
+                );
+            }
+        }
         id
     }
 
@@ -276,6 +384,24 @@ impl Cloud {
         terminates_at: Option<SimTime>,
     ) -> InstanceId {
         let id = InstanceId(self.instances.len() as u64);
+        // Straggler fate is drawn per instance (pure in the id), but only
+        // rented capacity degrades — the reserved pool is owned hardware.
+        let perf_fault = if reserved {
+            None
+        } else {
+            self.injector.degradation(id.0, ready_at)
+        };
+        if let Some((onset, factor)) = perf_fault {
+            trace_event!(
+                self.tracer,
+                requested_at,
+                TraceKind::FaultDegradation {
+                    instance: id.0,
+                    onset_us: onset.as_micros(),
+                    factor,
+                }
+            );
+        }
         self.instances.push(Instance {
             id,
             itype,
@@ -286,6 +412,7 @@ impl Cloud {
             released_at: None,
             terminates_at,
             server_seed: id.0,
+            perf_fault,
         });
         id
     }
@@ -354,9 +481,22 @@ impl Cloud {
     /// The resource quality `q ∈ (0, 1]` instance `id` delivers at `t`
     /// considering external interference only (co-scheduled jobs are the
     /// scheduler's own knowledge and are added by the caller).
+    ///
+    /// A degraded (straggler) instance delivers proportionally less once
+    /// its onset time passes, so the QoS monitor sees the fault through
+    /// the same signal as ordinary interference.
     pub fn delivered_quality(&self, id: InstanceId, t: SimTime) -> f64 {
         let pressure = self.external_pressure(id, t);
-        self.config.slowdown.delivered_quality(&pressure)
+        self.config.slowdown.delivered_quality(&pressure) / self.fault_slowdown(id, t)
+    }
+
+    /// The injected straggler slowdown on `id` at `t`: `1.0` for healthy
+    /// instances, the degradation factor once onset has passed.
+    pub fn fault_slowdown(&self, id: InstanceId, t: SimTime) -> f64 {
+        match self.instance(id).perf_fault {
+            Some((onset, factor)) if t >= onset => factor,
+            _ => 1.0,
+        }
     }
 
     /// Number of instances still held at `now`.

@@ -30,7 +30,7 @@ pub mod provider;
 pub mod spinup;
 pub mod spot;
 
-pub use cloud::{Cloud, CloudConfig, Instance, InstanceId, UsageRecord};
+pub use cloud::{AcquireFailure, Cloud, CloudConfig, Instance, InstanceId, UsageRecord};
 pub use external::ExternalLoadModel;
 pub use instance_type::{Family, InstanceType};
 pub use provider::ProviderProfile;

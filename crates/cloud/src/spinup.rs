@@ -123,7 +123,7 @@ mod tests {
         let m = SpinUpModel::default();
         let xs = samples(&m, InstanceType::full_server(), 20_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let p95 = percentile(&xs, 95.0).unwrap();
+        let p95 = percentile(&xs, 95.0).expect("20k samples are non-empty");
         // "typically 12-19 seconds ... 95th percentile is 2 minutes"
         assert!((12.0..25.0).contains(&mean), "mean spin-up {mean}");
         assert!((80.0..150.0).contains(&p95), "p95 spin-up {p95}");

@@ -1,6 +1,7 @@
 //! Run configuration: everything one experiment varies.
 
 use hcloud_cloud::CloudConfig;
+use hcloud_faults::FaultPlan;
 use hcloud_quasar::QuasarConfig;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::Scenario;
@@ -134,6 +135,11 @@ pub struct RunConfig {
     /// Record a per-job placement audit trail in the result (off by
     /// default; sweeps don't need the memory).
     pub record_decisions: bool,
+    /// Fault-injection plan (preemption storms, spin-up faults, capacity
+    /// errors, stragglers, monitor dropouts). The off plan injects
+    /// nothing and consumes no randomness, reproducing fault-free runs
+    /// byte-for-byte.
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -157,6 +163,7 @@ impl RunConfig {
             dynamic_limits: None,
             data: None,
             record_decisions: false,
+            faults: FaultPlan::off(),
         }
     }
 
@@ -253,6 +260,12 @@ impl RunConfig {
     /// Records the per-job placement audit trail (`--explain`).
     pub fn with_record_decisions(mut self, record: bool) -> RunConfig {
         self.record_decisions = record;
+        self
+    }
+
+    /// Sets the fault-injection plan (resilience studies).
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunConfig {
+        self.faults = faults;
         self
     }
 

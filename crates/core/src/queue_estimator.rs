@@ -134,7 +134,7 @@ mod tests {
         for k in 0..50u64 {
             e.record_release(4, SimTime::from_secs(k * 2));
         }
-        let est = e.estimate_wait(4, 0).unwrap();
+        let est = e.estimate_wait(4, 0).expect("50 releases recorded");
         assert!((1.9..2.5).contains(&est.as_secs_f64()), "estimate {est}");
     }
 
@@ -144,8 +144,8 @@ mod tests {
         for k in 0..50u64 {
             e.record_release(4, SimTime::from_secs(k));
         }
-        let alone = e.estimate_wait(4, 0).unwrap();
-        let behind = e.estimate_wait(4, 3).unwrap();
+        let alone = e.estimate_wait(4, 0).expect("50 releases recorded");
+        let behind = e.estimate_wait(4, 3).expect("50 releases recorded");
         assert_eq!(behind.as_micros(), alone.as_micros() * 4);
     }
 
@@ -179,8 +179,12 @@ mod tests {
             t += SimDuration::from_secs(gap);
             e.record_release(4, t);
         }
-        let q50 = e.release_interval_quantile(4, 0.5).unwrap();
-        let q99 = e.release_interval_quantile(4, 0.99).unwrap();
+        let q50 = e
+            .release_interval_quantile(4, 0.5)
+            .expect("100 releases recorded");
+        let q99 = e
+            .release_interval_quantile(4, 0.99)
+            .expect("100 releases recorded");
         assert!(q50.as_secs_f64() <= 1.5);
         assert!(q99.as_secs_f64() >= 9.0);
     }

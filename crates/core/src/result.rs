@@ -76,6 +76,29 @@ pub struct RunCounters {
     /// Events processed by the discrete-event loop — the experiment
     /// engine's per-run work telemetry.
     pub events_processed: usize,
+    /// Spin-up attempts abandoned after exceeding the hard timeout
+    /// (fault injection).
+    pub spinup_timeouts: usize,
+    /// Transient out-of-capacity errors on acquisition (fault injection).
+    pub capacity_errors: usize,
+    /// Acquisition attempts retried after an injected failure.
+    pub acquire_retries: usize,
+    /// Acquisitions that fell back to the standard family after repeated
+    /// failures on an optimized family.
+    pub family_fallbacks: usize,
+    /// Spot terminations caused by an injected preemption storm (as
+    /// opposed to the regular price path).
+    pub storm_preemptions: usize,
+    /// Acquired instances carrying an injected performance fault.
+    pub degraded_instances: usize,
+    /// Monitor ticks skipped because the QoS signal was dropped.
+    pub monitor_dropout_ticks: usize,
+    /// Times the dynamic policy degraded to the static soft-limit rule
+    /// because the monitor signal dropped out.
+    pub policy_fallbacks: usize,
+    /// Batch work (core-seconds) lost to preemptions: progress since the
+    /// last checkpoint tick that had to be redone.
+    pub work_lost_core_secs: f64,
 }
 
 /// Why a job was placed where it was — the dynamic policy's audit trail.
@@ -356,14 +379,26 @@ mod tests {
             outcome(0, 0.9, true, false),
             outcome(1, 0.8, true, true),
         ]);
-        assert_eq!(r.batch_performance_boxplot().unwrap().count, 1);
-        assert_eq!(r.lc_latency_boxplot().unwrap().count, 1);
+        assert_eq!(
+            r.batch_performance_boxplot()
+                .expect("one batch outcome present")
+                .count,
+            1
+        );
+        assert_eq!(
+            r.lc_latency_boxplot()
+                .expect("one LC outcome present")
+                .count,
+            1
+        );
     }
 
     #[test]
     fn reserved_utilization_uses_busy_fraction() {
         let r = result(vec![]);
-        let u = r.mean_reserved_utilization().unwrap();
+        let u = r
+            .mean_reserved_utilization()
+            .expect("fixture provisions reserved cores");
         assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
     }
 

@@ -220,7 +220,10 @@ mod tests {
         let events = tracer.take();
         assert!(!events.is_empty(), "enabled tracer records the run");
         assert!(
-            matches!(events.last().unwrap().kind, TraceKind::RunEnd { .. }),
+            matches!(
+                events.last().expect("tracer recorded events").kind,
+                TraceKind::RunEnd { .. }
+            ),
             "run ends with a run-end event"
         );
         let mut last = hcloud_sim::SimTime::ZERO;

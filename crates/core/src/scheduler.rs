@@ -19,7 +19,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use hcloud_cloud::{Cloud, Family, InstanceId, InstanceType};
+use hcloud_cloud::{AcquireFailure, Cloud, Family, InstanceId, InstanceType};
+use hcloud_faults::FaultInjector;
 use hcloud_interference::{Resource, ResourceVector};
 use hcloud_quasar::{JobEstimate, ProfilingEnvironment, QuasarEngine};
 use hcloud_sim::event::EventQueue;
@@ -118,6 +119,20 @@ struct QueuedJob {
     est_sensitivity: ResourceVector,
     enqueued: SimTime,
     estimated_wait: Option<SimDuration>,
+    carry: Option<Carryover>,
+}
+
+/// State a preempted job carries into its re-admission, so the new life
+/// resumes where the old one checkpointed instead of restarting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Carryover {
+    /// Batch work still owed (as of the last checkpoint tick).
+    remaining_work: f64,
+    /// Queueing delay already accumulated in previous lives.
+    queue_delay: SimDuration,
+    /// Highest finish-projection version the old life issued; the new
+    /// life must start above it so stale `Finish` events stay stale.
+    finish_version: u64,
 }
 
 /// The scheduler state for one scenario run.
@@ -151,7 +166,15 @@ pub struct Scheduler<'a> {
     /// Which side of the dynamic limits the last traced decision saw:
     /// 0 below soft, 1 between, 2 above hard. Only consulted when tracing.
     last_band: u8,
+    /// Whether the QoS monitor signal is currently dropped out (fault
+    /// injection); while `true`, the dynamic policy degrades to the
+    /// static soft-limit rule.
+    monitor_dropped: bool,
 }
+
+/// Acquisition attempts before giving up on fault-aware retries and
+/// forcing a plain (never-failing) acquisition.
+const MAX_ACQUIRE_ATTEMPTS: u32 = 6;
 
 /// Wire names for the utilization bands of a `limit-crossing` event.
 const BAND_NAMES: [&str; 3] = ["below-soft", "between-limits", "above-hard"];
@@ -172,8 +195,13 @@ impl<'a> Scheduler<'a> {
         factory: &RngFactory,
         tracer: Tracer,
     ) -> Self {
-        let mut cloud =
-            Cloud::with_tracer(config.cloud.clone(), factory.child("cloud"), tracer.clone());
+        let injector = FaultInjector::new(config.faults.clone(), factory.child("faults"));
+        let mut cloud = Cloud::with_instruments(
+            config.cloud.clone(),
+            factory.child("cloud"),
+            tracer.clone(),
+            injector,
+        );
         let reserved_cores = config.reserved_cores(scenario);
         let reserved_servers =
             (reserved_cores as f64 / InstanceType::full_server().vcpus() as f64).ceil() as usize;
@@ -224,6 +252,7 @@ impl<'a> Scheduler<'a> {
             last_finish: SimTime::ZERO,
             tracer,
             last_band: 0,
+            monitor_dropped: false,
         }
     }
 
@@ -276,10 +305,24 @@ impl<'a> Scheduler<'a> {
 
     /// Handles a job arrival.
     pub fn on_arrival(&mut self, idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
+        let est = self.estimate(&self.scenario.jobs()[idx]);
+        self.admit(idx, &est, now, None, events);
+    }
+
+    /// The single admission path: every job — fresh arrival or preemption
+    /// victim being requeued — goes through the same placement decision,
+    /// tracing and dispatch. `carry` is `Some` for re-admissions.
+    fn admit(
+        &mut self,
+        idx: usize,
+        est: &JobEstimate,
+        now: SimTime,
+        carry: Option<Carryover>,
+        events: &mut EventQueue<Event>,
+    ) {
         let spec = &self.scenario.jobs()[idx];
         let class = spec.class;
-        let est = self.estimate(&self.scenario.jobs()[idx]);
-        let mut placement = self.decide_placement(idx, &est, now);
+        let mut placement = self.decide_placement(idx, est, now);
         let mut data_override = false;
         // Data-aware mitigation: when the transfer would dominate the
         // job, prefer the side where the data lives (if the policy's
@@ -311,7 +354,8 @@ impl<'a> Scheduler<'a> {
         }
         if self.config.record_decisions || self.tracer.is_enabled() {
             let spot = placement == Placement::OnDemand
-                && self.spot_eligible(&self.scenario.jobs()[idx], &est);
+                && carry.is_none()
+                && self.spot_eligible(&self.scenario.jobs()[idx], est);
             let util = self.reserved_utilization();
             let reason = if data_override {
                 PlacementReason::DataLocality
@@ -347,7 +391,7 @@ impl<'a> Scheduler<'a> {
                 // quality target. NaN (=> null) when no monitor is consulted.
                 let q90 = if self.config.strategy.is_hybrid() {
                     let spec = &self.scenario.jobs()[idx];
-                    self.monitor.q90(self.od_itype_for(&est, spec.class))
+                    self.monitor.q90(self.od_itype_for(est, spec.class))
                 } else {
                     f64::NAN
                 };
@@ -391,24 +435,24 @@ impl<'a> Scheduler<'a> {
         }
         match placement {
             Placement::Reserved => {
-                if !self.try_place_reserved(idx, &est, now, SimDuration::ZERO, events) {
-                    self.enqueue(idx, &est, now);
+                if !self.try_place_reserved(idx, est, now, SimDuration::ZERO, carry, events) {
+                    self.enqueue(idx, est, now, carry);
                 }
             }
             Placement::OnDemand => {
                 if self.config.strategy.on_demand_full_only()
                     || self.config.strategy == StrategyKind::StaticReserved
                 {
-                    self.place_od_pool(idx, &est, now, events);
+                    self.place_od_pool(idx, est, now, carry, events);
                 } else {
-                    self.place_od_dedicated(idx, &est, class, now, events);
+                    self.place_od_dedicated(idx, est, class, now, carry, events);
                 }
             }
             Placement::OnDemandLarge => {
-                self.place_od_pool(idx, &est, now, events);
+                self.place_od_pool(idx, est, now, carry, events);
             }
             Placement::Queue => {
-                self.enqueue(idx, &est, now);
+                self.enqueue(idx, est, now, carry);
             }
         }
     }
@@ -436,7 +480,17 @@ impl<'a> Scheduler<'a> {
                     limits: &self.limits,
                     queue_estimator: &self.queue_est,
                 };
-                self.config.policy.decide(&ctx, &mut self.mapping_rng)
+                // Graceful degradation: while the QoS monitor signal is
+                // dropped out, the dynamic policy cannot trust its Q90
+                // data, so it falls back to the static soft-limit rule.
+                let policy = if self.monitor_dropped
+                    && self.config.policy == crate::mapping::MappingPolicy::Dynamic
+                {
+                    crate::mapping::MappingPolicy::UtilizationLimit(self.limits.soft())
+                } else {
+                    self.config.policy
+                };
+                policy.decide(&ctx, &mut self.mapping_rng)
             }
         }
     }
@@ -467,13 +521,14 @@ impl<'a> Scheduler<'a> {
         est: &JobEstimate,
         now: SimTime,
         queue_delay: SimDuration,
+        carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) -> bool {
         let cores = est.cores;
         let candidate = self.best_pool_instance(true, cores, &est.sensitivity, est.quality, now);
         match candidate.acceptable.or(candidate.fallback) {
             Some(inst_idx) => {
-                self.assign(idx, est, inst_idx, now, queue_delay, events);
+                self.assign(idx, est, inst_idx, now, queue_delay, carry, events);
                 true
             }
             None => false,
@@ -556,6 +611,7 @@ impl<'a> Scheduler<'a> {
         idx: usize,
         est: &JobEstimate,
         now: SimTime,
+        carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
         let cores = est.cores;
@@ -566,7 +622,7 @@ impl<'a> Scheduler<'a> {
             Some(i) => i,
             None => self.acquire(InstanceType::full_server(), now),
         };
-        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, events);
+        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, carry, events);
     }
 
     /// The instance type a mixed-size strategy requests for this job:
@@ -600,10 +656,13 @@ impl<'a> Scheduler<'a> {
         est: &JobEstimate,
         class: AppClass,
         now: SimTime,
+        carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
         let itype = self.dedicated_itype(est, class);
-        let spot_ok = self.spot_eligible(&self.scenario.jobs()[idx], est);
+        // Preemption victims never ride spot again: re-admitting them onto
+        // another doomed instance at the same instant would loop forever.
+        let spot_ok = carry.is_none() && self.spot_eligible(&self.scenario.jobs()[idx], est);
         // Hybrids: free cores on an already-held full-server on-demand
         // instance (e.g. one acquired by the hard-limit escape hatch) are
         // paid for whether used or not, and deliver full-server quality;
@@ -613,7 +672,7 @@ impl<'a> Scheduler<'a> {
             let pool =
                 self.best_pool_instance(false, est.cores, &est.sensitivity, est.quality, now);
             if let Some(i) = pool.acceptable {
-                self.assign(idx, est, i, now, SimDuration::ZERO, events);
+                self.assign(idx, est, i, now, SimDuration::ZERO, carry, events);
                 return;
             }
         }
@@ -662,14 +721,88 @@ impl<'a> Scheduler<'a> {
             }
             None => self.acquire(itype, now),
         };
-        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, events);
+        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, carry, events);
     }
 
-    /// Acquires a fresh on-demand instance.
+    /// Acquires a fresh on-demand instance, retrying with exponential
+    /// backoff when fault injection makes the attempt fail. Repeated
+    /// failures on an optimized family fall back to the widely-available
+    /// standard family; after [`MAX_ACQUIRE_ATTEMPTS`] the acquisition is
+    /// forced through the never-failing path so placement always
+    /// terminates. Without an active fault plan the first attempt always
+    /// succeeds and this is identical to a plain acquisition.
     fn acquire(&mut self, itype: InstanceType, now: SimTime) -> usize {
-        let id = self.cloud.acquire(itype, now);
+        let mut itype = itype;
+        // Failed attempts push the instance's effective request time out:
+        // the caller only learns about the failure after waiting for it.
+        let mut delay = SimDuration::ZERO;
+        let mut acquired = None;
+        for attempt in 0..MAX_ACQUIRE_ATTEMPTS {
+            match self.cloud.try_acquire(itype, now + delay) {
+                Ok(id) => {
+                    acquired = Some(id);
+                    break;
+                }
+                Err(failure) => {
+                    self.counters.acquire_retries += 1;
+                    match failure {
+                        AcquireFailure::OutOfCapacity => {
+                            self.counters.capacity_errors += 1;
+                            trace_event!(
+                                self.tracer,
+                                now + delay,
+                                TraceKind::FaultOutOfCapacity {
+                                    vcpus: itype.vcpus(),
+                                    attempt,
+                                }
+                            );
+                        }
+                        AcquireFailure::SpinUpTimeout { waited } => {
+                            self.counters.spinup_timeouts += 1;
+                            trace_event!(
+                                self.tracer,
+                                now + delay,
+                                TraceKind::FaultSpinUpTimeout {
+                                    vcpus: itype.vcpus(),
+                                    attempt,
+                                    waited_us: waited.as_micros(),
+                                }
+                            );
+                            delay += waited;
+                        }
+                    }
+                    let backoff = SimDuration::from_secs_f64(2.0 * 2f64.powi(attempt as i32));
+                    delay += backoff;
+                    trace_event!(
+                        self.tracer,
+                        now + delay,
+                        TraceKind::RecoveryRetry {
+                            attempt,
+                            backoff_us: backoff.as_micros(),
+                        }
+                    );
+                    // Two strikes on an optimized family: assume the
+                    // shortage is family-specific and fall back.
+                    if attempt >= 1 && itype.family() != Family::Standard {
+                        itype = InstanceType::standard(itype.vcpus());
+                        self.counters.family_fallbacks += 1;
+                        trace_event!(
+                            self.tracer,
+                            now + delay,
+                            TraceKind::RecoveryFamilyFallback {
+                                vcpus: itype.vcpus(),
+                            }
+                        );
+                    }
+                }
+            }
+        }
+        let id = acquired.unwrap_or_else(|| self.cloud.acquire(itype, now + delay));
         let ready_at = self.cloud.instance(id).ready_at();
         self.counters.od_acquired += 1;
+        if self.cloud.instance(id).performance_fault().is_some() {
+            self.counters.degraded_instances += 1;
+        }
         self.od_allocated.record_delta(now, itype.vcpus() as f64);
         self.instances.push(SchedInstance {
             cloud_id: id,
@@ -700,6 +833,9 @@ impl<'a> Scheduler<'a> {
         let ready_at = inst.ready_at();
         let terminates_at = inst.terminates_at();
         self.counters.spot_acquired += 1;
+        if inst.performance_fault().is_some() {
+            self.counters.degraded_instances += 1;
+        }
         self.od_allocated.record_delta(now, itype.vcpus() as f64);
         self.instances.push(SchedInstance {
             cloud_id: id,
@@ -735,9 +871,10 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// The spot market outbid an instance: release it and evacuate its
-    /// jobs onto regular on-demand capacity (progress since the last
-    /// monitor tick is lost — the checkpointing granularity).
+    /// The spot market (or an injected preemption storm) outbid an
+    /// instance: release it and requeue its jobs through the regular
+    /// admission path, carrying their remaining work (progress since the
+    /// last monitor tick is lost — the checkpointing granularity).
     pub fn on_spot_termination(
         &mut self,
         inst_idx: usize,
@@ -756,52 +893,69 @@ impl<'a> Scheduler<'a> {
                 evicted: victims.len(),
             }
         );
+        if self.cloud.fault_injector().in_storm(now) {
+            self.counters.storm_preemptions += 1;
+        }
+        // Detach every victim, accounting for the work its preemption
+        // destroys, before releasing the instance — re-admission must
+        // never pack onto the dying host.
+        let mut displaced = Vec::with_capacity(victims.len());
         for jid in &victims {
             let Some(job) = self.running.get(jid) else {
                 continue;
             };
             self.counters.spot_terminations += 1;
             let cores = job.cores;
-            let spec_idx = job.spec_idx;
-            // Free the dying instance's bookkeeping.
+            let spec = &self.scenario.jobs()[job.spec_idx];
+            // Work done since the last checkpoint tick is redone from
+            // the checkpoint: it was real core-time, now lost.
+            let lost = if job.started && matches!(spec.kind, JobKind::Batch { .. }) {
+                let eff = cores.min(spec.cores).max(1) as f64;
+                let slowdown = self.current_slowdown(*jid, now);
+                now.saturating_since(job.last_progress).as_secs_f64() * eff / slowdown
+            } else {
+                0.0
+            };
+            self.counters.work_lost_core_secs += lost;
+            trace_event!(
+                self.tracer,
+                now,
+                TraceKind::RecoveryRequeue {
+                    job: jid.0,
+                    work_lost_core_secs: lost,
+                }
+            );
             let inst = &mut self.instances[inst_idx];
             inst.used_cores = inst.used_cores.saturating_sub(cores);
             inst.jobs.retain(|j| j != jid);
-            // Re-place on regular on-demand capacity with the same shape.
-            let spec = &self.scenario.jobs()[spec_idx];
+            let job = self.running.remove(jid).expect("victim is running");
+            displaced.push(job);
+        }
+        self.release_instance(inst_idx, now);
+        // Requeue through the same admission path as a fresh arrival
+        // (spot-ineligible: `carry` is set), so a preempted job is never
+        // silently dropped — it is placed, queued, or escaped exactly
+        // like any other job.
+        for job in displaced {
+            let spec = &self.scenario.jobs()[job.spec_idx];
             let est = JobEstimate {
                 sensitivity: spec.sensitivity,
                 quality: 0.0,
-                cores,
+                cores: job.cores,
             };
-            let itype = self.dedicated_itype(&est, spec.class);
-            let new_idx = self.acquire(itype, now);
-            let inst = &mut self.instances[new_idx];
-            inst.used_cores += cores.min(inst.itype.vcpus());
-            inst.jobs.push(*jid);
-            inst.retention_token += 1;
-            let ready = inst.ready_at;
-            let job = self.running.get_mut(jid).expect("running");
-            job.instance = new_idx;
-            job.rescheduled = true;
-            if let JobKind::Batch { .. } = self.scenario.jobs()[job.spec_idx].kind {
-                // Re-project the finish once the replacement is up.
-                job.last_progress = ready.max(now);
-                job.finish_version += 1;
-                let eff = job
-                    .cores
-                    .min(self.scenario.jobs()[job.spec_idx].cores)
-                    .max(1) as f64;
-                let finish = ready.max(now) + SimDuration::from_secs_f64(job.remaining_work / eff);
-                events.schedule(finish, Event::Finish(*jid, job.finish_version));
-            } else {
-                job.last_progress = ready.max(now);
-            }
+            let carry = Carryover {
+                remaining_work: job.remaining_work,
+                queue_delay: job.queue_delay,
+                finish_version: job.finish_version,
+            };
+            self.admit(job.spec_idx, &est, now, Some(carry), events);
         }
-        self.release_instance(inst_idx, now);
     }
 
-    /// Binds a job to an instance and schedules its start.
+    /// Binds a job to an instance and schedules its start. `carry` (set
+    /// for re-admitted preemption victims) resumes the job from its last
+    /// checkpoint instead of restarting it.
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         &mut self,
         spec_idx: usize,
@@ -809,6 +963,7 @@ impl<'a> Scheduler<'a> {
         inst_idx: usize,
         now: SimTime,
         queue_delay: SimDuration,
+        carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
         let spec = &self.scenario.jobs()[spec_idx];
@@ -840,9 +995,10 @@ impl<'a> Scheduler<'a> {
                 .isolation_p99_us(offered_rps, spec.cores.max(1)),
             JobKind::Batch { .. } => 0.0,
         };
-        let remaining_work = match spec.kind {
-            JobKind::Batch { work_core_secs } => work_core_secs,
-            JobKind::LatencyCritical { .. } => 0.0,
+        let remaining_work = match (spec.kind, carry) {
+            (JobKind::Batch { .. }, Some(c)) => c.remaining_work,
+            (JobKind::Batch { work_core_secs }, None) => work_core_secs,
+            (JobKind::LatencyCritical { .. }, _) => 0.0,
         };
         self.running.insert(
             spec.id,
@@ -852,22 +1008,30 @@ impl<'a> Scheduler<'a> {
                 cores,
                 started: false,
                 start_at,
-                queue_delay,
+                queue_delay: queue_delay + carry.map_or(SimDuration::ZERO, |c| c.queue_delay),
                 remaining_work,
                 last_progress: start_at,
-                finish_version: 0,
+                // Resume above the old life's projection versions so its
+                // stale Finish events are ignored.
+                finish_version: carry.map_or(0, |c| c.finish_version),
                 lat_weighted_sum: 0.0,
                 lat_weight: 0.0,
                 isolation_p99,
                 qos_bad_ticks: 0,
-                rescheduled: false,
+                rescheduled: carry.is_some(),
             },
         );
         events.schedule(start_at, Event::Start(spec.id));
     }
 
     /// Adds a job to the reserved queue.
-    fn enqueue(&mut self, spec_idx: usize, est: &JobEstimate, now: SimTime) {
+    fn enqueue(
+        &mut self,
+        spec_idx: usize,
+        est: &JobEstimate,
+        now: SimTime,
+        carry: Option<Carryover>,
+    ) {
         self.counters.queued_jobs += 1;
         let estimated_wait = self.queue_est.estimate_wait(est.cores, self.queue.len());
         trace_event!(
@@ -887,6 +1051,7 @@ impl<'a> Scheduler<'a> {
             est_sensitivity: est.sensitivity,
             enqueued: now,
             estimated_wait,
+            carry,
         });
     }
 
@@ -902,7 +1067,7 @@ impl<'a> Scheduler<'a> {
                 cores: qj.cores,
             };
             let wait = now.saturating_since(qj.enqueued);
-            if self.try_place_reserved(qj.spec_idx, &est, now, wait, events) {
+            if self.try_place_reserved(qj.spec_idx, &est, now, wait, qj.carry, events) {
                 self.queue_est.record_wait(qj.cores, wait);
                 self.wait_samples.push(WaitSample {
                     size: qj.cores,
@@ -965,7 +1130,7 @@ impl<'a> Scheduler<'a> {
                         relieved: true,
                     }
                 );
-                self.place_od_pool(qj.spec_idx, &est, now, events);
+                self.place_od_pool(qj.spec_idx, &est, now, qj.carry, events);
             } else {
                 i += 1;
             }
@@ -1008,14 +1173,18 @@ impl<'a> Scheduler<'a> {
         external.add(&self.internal_pressure(job.instance, Some(jid)))
     }
 
-    /// The multiplicative slowdown `jid` currently suffers.
+    /// The multiplicative slowdown `jid` currently suffers: interference
+    /// from external tenants and co-scheduled jobs, times any injected
+    /// performance fault on the host (1.0 without an active fault plan).
     pub fn current_slowdown(&self, jid: JobId, now: SimTime) -> f64 {
         let job = &self.running[&jid];
         let spec = &self.scenario.jobs()[job.spec_idx];
         let pressure = self.pressure_on(jid, now);
+        let host = self.instances[job.instance].cloud_id;
         self.cloud
             .slowdown_model()
             .slowdown(&spec.sensitivity, &pressure)
+            * self.cloud.fault_slowdown(host, now)
     }
 
     // ------------------------------------------------------------------
@@ -1028,6 +1197,11 @@ impl<'a> Scheduler<'a> {
             return;
         };
         if job.started {
+            return;
+        }
+        if now < job.start_at {
+            // A stale Start from a pre-preemption life of this job id;
+            // the re-admitted job's own Start is still in flight.
             return;
         }
         job.started = true;
@@ -1219,13 +1393,42 @@ impl<'a> Scheduler<'a> {
     /// Periodic monitoring: quality sampling, progress re-projection,
     /// QoS actions, feedback loops.
     pub fn on_tick(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
-        // 1. Sample delivered quality of active on-demand instances.
-        for inst in &self.instances {
-            if inst.reserved || inst.released || inst.ready_at > now {
-                continue;
+        // 0. Fault injection: while the monitor signal is dropped out, no
+        // quality samples arrive and the dynamic policy degrades to the
+        // static soft-limit rule (see `decide_placement`).
+        let dropped = self.cloud.fault_injector().monitor_dropped(now);
+        if dropped != self.monitor_dropped {
+            self.monitor_dropped = dropped;
+            trace_event!(
+                self.tracer,
+                now,
+                TraceKind::FaultMonitorDropout { active: dropped }
+            );
+            if self.config.policy == crate::mapping::MappingPolicy::Dynamic
+                && self.config.strategy.is_hybrid()
+            {
+                if dropped {
+                    self.counters.policy_fallbacks += 1;
+                }
+                trace_event!(
+                    self.tracer,
+                    now,
+                    TraceKind::RecoveryPolicyFallback { active: dropped }
+                );
             }
-            let q = self.cloud.delivered_quality(inst.cloud_id, now);
-            self.monitor.record(inst.itype, q);
+        }
+
+        // 1. Sample delivered quality of active on-demand instances.
+        if dropped {
+            self.counters.monitor_dropout_ticks += 1;
+        } else {
+            for inst in &self.instances {
+                if inst.reserved || inst.released || inst.ready_at > now {
+                    continue;
+                }
+                let q = self.cloud.delivered_quality(inst.cloud_id, now);
+                self.monitor.record(inst.itype, q);
+            }
         }
 
         // 2. Update running jobs.
@@ -1643,10 +1846,18 @@ mod tests {
         // Force both jobs onto separate od pool instances.
         let e0 = sched.estimate(&scenario.jobs()[0]);
         let e1 = sched.estimate(&scenario.jobs()[1]);
-        sched.place_od_pool(0, &e0, SimTime::ZERO, &mut events);
+        sched.place_od_pool(0, &e0, SimTime::ZERO, None, &mut events);
         let first_pool = sched.instances.len() - 1;
         let idx = sched.acquire(InstanceType::full_server(), SimTime::ZERO);
-        sched.assign(1, &e1, idx, SimTime::ZERO, SimDuration::ZERO, &mut events);
+        sched.assign(
+            1,
+            &e1,
+            idx,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            None,
+            &mut events,
+        );
         sched.on_start(JobId(0), SimTime::from_secs(30), &mut events);
         sched.on_start(JobId(1), SimTime::from_secs(30), &mut events);
         assert!(sched.instances[first_pool].used_cores > 0);

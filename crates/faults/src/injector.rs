@@ -1,0 +1,337 @@
+//! The per-run fault sampling engine.
+
+use hcloud_sim::dist::{Exponential, Sample};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::plan::FaultPlan;
+
+/// How far ahead storm and dropout windows are precomputed. Far beyond any
+/// scenario the harness runs (the longest paper scenario is hours).
+const WINDOW_HORIZON: SimDuration = SimDuration::from_hours(24 * 7);
+
+/// Hard cap on precomputed windows, bounding memory under extreme
+/// intensities.
+const MAX_WINDOWS: usize = 100_000;
+
+/// A fault injected into a single instance-acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcquireFault {
+    /// The provider rejected the request outright (transient).
+    OutOfCapacity,
+    /// The spin-up hung and was abandoned after this much wall time.
+    SpinUpTimeout(SimDuration),
+    /// The spin-up completes, but this much slower than sampled.
+    SpinUpSpike(f64),
+}
+
+/// Deterministic fault sampler for one simulation run.
+///
+/// Every fault class draws from its own named stream of the dedicated
+/// `faults` factory, so an off plan consumes no randomness (off runs stay
+/// byte-identical to builds without fault injection) and an enabled plan
+/// reproduces the same schedule for any `HCLOUD_JOBS` worker count.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    factory: RngFactory,
+    /// Precomputed `[start, end)` storm windows, sorted.
+    storms: Vec<(SimTime, SimTime)>,
+    /// Precomputed `[start, end)` monitor-dropout windows, sorted.
+    dropouts: Vec<(SimTime, SimTime)>,
+    /// Acquisition attempts seen so far; indexes the per-attempt stream.
+    acquisitions: u64,
+}
+
+/// Draws Poisson-process `[start, end)` windows over [`WINDOW_HORIZON`].
+fn windows(
+    factory: &RngFactory,
+    stream: &str,
+    mean_interval: SimDuration,
+    duration: SimDuration,
+    intensity: f64,
+) -> Vec<(SimTime, SimTime)> {
+    let mut rng = factory.stream(stream);
+    let gap = Exponential::with_mean(mean_interval.as_secs_f64() / intensity);
+    let horizon = SimTime::ZERO + WINDOW_HORIZON;
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    while out.len() < MAX_WINDOWS {
+        t += SimDuration::from_secs_f64(gap.sample(&mut rng));
+        if t >= horizon {
+            break;
+        }
+        let end = t + duration;
+        out.push((t, end));
+        // Advance past the window (at least one tick, so zero-length
+        // windows under extreme intensity can't stall the loop).
+        t = end + SimDuration::from_micros(1);
+    }
+    out
+}
+
+/// First window with `end > t`, if any (sorted windows).
+fn next_window(windows: &[(SimTime, SimTime)], t: SimTime) -> Option<(SimTime, SimTime)> {
+    let idx = windows.partition_point(|&(_, end)| end <= t);
+    windows.get(idx).copied()
+}
+
+impl FaultInjector {
+    /// Builds the injector for one run. `factory` must be a factory
+    /// dedicated to fault injection (conventionally `root.child("faults")`)
+    /// so its streams never collide with model streams.
+    pub fn new(plan: FaultPlan, factory: RngFactory) -> Self {
+        let mut storms = Vec::new();
+        let mut dropouts = Vec::new();
+        if !plan.is_off() {
+            if let Some(s) = &plan.storms {
+                storms = windows(
+                    &factory,
+                    "storms",
+                    s.mean_interval,
+                    s.duration,
+                    plan.intensity,
+                );
+            }
+            if let Some(d) = &plan.monitor {
+                dropouts = windows(
+                    &factory,
+                    "dropouts",
+                    d.mean_interval,
+                    d.duration,
+                    plan.intensity,
+                );
+            }
+        }
+        FaultInjector {
+            plan,
+            factory,
+            storms,
+            dropouts,
+            acquisitions: 0,
+        }
+    }
+
+    /// An injector that never injects anything (and never draws).
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan::off(), RngFactory::new(0))
+    }
+
+    /// Whether any fault class is active.
+    pub fn is_enabled(&self) -> bool {
+        !self.plan.is_off()
+    }
+
+    /// The plan this injector samples from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Samples the fault (if any) for the next acquisition attempt.
+    ///
+    /// Each attempt draws from its own indexed stream, so the outcome
+    /// depends only on the master seed and the attempt's ordinal — never
+    /// on how many random numbers other subsystems consumed.
+    pub fn next_acquire_fault(&mut self) -> Option<AcquireFault> {
+        if self.plan.is_off() {
+            return None;
+        }
+        let seq = self.acquisitions;
+        self.acquisitions += 1;
+        let mut rng = self.factory.indexed_stream("acquire", seq);
+        if let Some(c) = &self.plan.capacity {
+            if rng.gen::<f64>() < self.plan.scaled_prob(c.error_prob) {
+                return Some(AcquireFault::OutOfCapacity);
+            }
+        }
+        if let Some(s) = &self.plan.spin_up {
+            if rng.gen::<f64>() < self.plan.scaled_prob(s.timeout_prob) {
+                return Some(AcquireFault::SpinUpTimeout(s.timeout));
+            }
+            if rng.gen::<f64>() < self.plan.scaled_prob(s.spike_prob) {
+                return Some(AcquireFault::SpinUpSpike(s.spike_factor));
+            }
+        }
+        None
+    }
+
+    /// Straggler fate for an instance: `(onset time, slowdown factor)` if
+    /// the instance degrades. Pure in `instance_seed` — re-querying the
+    /// same instance gives the same answer without consuming state.
+    pub fn degradation(&self, instance_seed: u64, ready: SimTime) -> Option<(SimTime, f64)> {
+        let d = self.plan.degradation.as_ref()?;
+        if self.plan.is_off() {
+            return None;
+        }
+        let mut rng = self.factory.indexed_stream("degradation", instance_seed);
+        if rng.gen::<f64>() >= self.plan.scaled_prob(d.prob) {
+            return None;
+        }
+        let onset = Exponential::with_mean(d.mean_onset.as_secs_f64().max(1e-6));
+        let delay = SimDuration::from_secs_f64(onset.sample(&mut rng));
+        Some((ready + delay, d.slowdown))
+    }
+
+    /// When a spot instance becoming ready at `from` is hit by the next
+    /// preemption storm: `from` itself if a storm is already raging, else
+    /// the next storm's onset (if any within the horizon).
+    pub fn storm_termination(&self, from: SimTime) -> Option<SimTime> {
+        let (start, _) = next_window(&self.storms, from)?;
+        Some(start.max(from))
+    }
+
+    /// Whether `t` falls inside a preemption-storm window.
+    pub fn in_storm(&self, t: SimTime) -> bool {
+        next_window(&self.storms, t).is_some_and(|(start, _)| start <= t)
+    }
+
+    /// Whether the QoS monitor signal is dropped at `t`.
+    pub fn monitor_dropped(&self, t: SimTime) -> bool {
+        next_window(&self.dropouts, t).is_some_and(|(start, _)| start <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlanId;
+
+    fn injector(id: FaultPlanId, seed: u64) -> FaultInjector {
+        FaultInjector::new(id.plan(), RngFactory::new(seed).child("faults"))
+    }
+
+    #[test]
+    fn disabled_injector_injects_nothing() {
+        let mut inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(inj.next_acquire_fault(), None);
+        }
+        assert_eq!(inj.degradation(7, SimTime::ZERO), None);
+        assert_eq!(inj.storm_termination(SimTime::ZERO), None);
+        assert!(!inj.monitor_dropped(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn schedules_are_reproducible_for_the_same_seed() {
+        let mk = || injector(FaultPlanId::FullChaos, 42);
+        let (mut a, mut b) = (mk(), mk());
+        assert_eq!(a.storms, b.storms);
+        assert_eq!(a.dropouts, b.dropouts);
+        for _ in 0..500 {
+            assert_eq!(a.next_acquire_fault(), b.next_acquire_fault());
+        }
+        for seed in 0..50 {
+            assert_eq!(
+                a.degradation(seed, SimTime::from_secs(30)),
+                b.degradation(seed, SimTime::from_secs(30))
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_storm_schedules() {
+        assert_ne!(
+            injector(FaultPlanId::PreemptionStorms, 1).storms,
+            injector(FaultPlanId::PreemptionStorms, 2).storms
+        );
+    }
+
+    #[test]
+    fn acquire_faults_occur_at_plausible_rates() {
+        let mut inj = injector(FaultPlanId::FlakySpinups, 7);
+        let mut timeouts = 0;
+        let mut capacity = 0;
+        let mut spikes = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            match inj.next_acquire_fault() {
+                Some(AcquireFault::OutOfCapacity) => capacity += 1,
+                Some(AcquireFault::SpinUpTimeout(d)) => {
+                    assert!(d > SimDuration::ZERO);
+                    timeouts += 1;
+                }
+                Some(AcquireFault::SpinUpSpike(f)) => {
+                    assert!(f > 1.0);
+                    spikes += 1;
+                }
+                None => {}
+            }
+        }
+        // flaky-spinups: capacity 8%, timeout 6% (of non-capacity), spike 10%.
+        assert!(
+            (0.06..0.10).contains(&(capacity as f64 / N as f64)),
+            "{capacity}"
+        );
+        assert!(
+            (0.04..0.08).contains(&(timeouts as f64 / N as f64)),
+            "{timeouts}"
+        );
+        assert!(
+            (0.06..0.11).contains(&(spikes as f64 / N as f64)),
+            "{spikes}"
+        );
+    }
+
+    #[test]
+    fn degradation_is_pure_in_the_instance_seed() {
+        let inj = injector(FaultPlanId::DegradedFleet, 3);
+        let ready = SimTime::from_secs(12);
+        for seed in 0..200 {
+            let first = inj.degradation(seed, ready);
+            assert_eq!(first, inj.degradation(seed, ready), "seed {seed}");
+            if let Some((onset, factor)) = first {
+                assert!(onset >= ready);
+                assert!(factor > 1.0);
+            }
+        }
+        let hits = (0..2000)
+            .filter(|&s| inj.degradation(s, ready).is_some())
+            .count();
+        assert!((100..400).contains(&hits), "~12% of 2000, got {hits}");
+    }
+
+    #[test]
+    fn storm_windows_cover_termination_queries() {
+        let inj = injector(FaultPlanId::PreemptionStorms, 11);
+        assert!(!inj.storms.is_empty(), "storms scheduled within horizon");
+        let (start, end) = inj.storms[0];
+        assert!(start < end);
+        // Before the first storm: terminate at its onset.
+        assert_eq!(inj.storm_termination(SimTime::ZERO), Some(start));
+        // Inside a storm: terminate immediately.
+        assert_eq!(inj.storm_termination(start), Some(start));
+        assert!(inj.in_storm(start));
+        // Windows are sorted and disjoint.
+        for pair in inj.storms.windows(2) {
+            assert!(pair[0].1 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn dropout_windows_gate_the_monitor() {
+        let inj = injector(FaultPlanId::MonitorBlackout, 13);
+        assert!(!inj.dropouts.is_empty());
+        let (start, end) = inj.dropouts[0];
+        assert!(inj.monitor_dropped(start));
+        assert!(!inj.monitor_dropped(end), "windows are half-open");
+        if start > SimTime::ZERO {
+            assert!(!inj.monitor_dropped(SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn intensity_scales_storm_frequency() {
+        let mk = |i: f64| {
+            FaultInjector::new(
+                FaultPlanId::PreemptionStorms.plan().with_intensity(i),
+                RngFactory::new(5).child("faults"),
+            )
+        };
+        let calm = mk(0.5).storms.len();
+        let wild = mk(4.0).storms.len();
+        assert!(wild > calm * 2, "intensity 4 vs 0.5: {wild} vs {calm}");
+        assert!(mk(0.0).storms.is_empty(), "zero intensity means no storms");
+    }
+}

@@ -105,6 +105,45 @@ pub enum TraceKind {
         scheduled_total: u64,
         max_queue_depth: usize,
     },
+    /// `faults` — an acquisition's spin-up was spiked by the injector.
+    FaultSpinUpSpike {
+        instance: u64,
+        factor: f64,
+        spin_up_us: u64,
+    },
+    /// `faults` — an acquisition attempt hung and was abandoned.
+    FaultSpinUpTimeout {
+        vcpus: u32,
+        attempt: u32,
+        waited_us: u64,
+    },
+    /// `faults` — the provider transiently rejected an acquisition.
+    FaultOutOfCapacity { vcpus: u32, attempt: u32 },
+    /// `faults` — an instance was fated to degrade (straggler onset).
+    FaultDegradation {
+        instance: u64,
+        onset_us: u64,
+        factor: f64,
+    },
+    /// `faults` — a preemption storm will revoke this spot instance
+    /// earlier than the market would have.
+    FaultStormPreemption { instance: u64, termination_us: u64 },
+    /// `faults` — the QoS-monitor signal dropped out (or recovered).
+    FaultMonitorDropout { active: bool },
+    /// `core::scheduler` — an acquisition attempt failed; backing off
+    /// exponentially before retrying.
+    RecoveryRetry { attempt: u32, backoff_us: u64 },
+    /// `core::scheduler` — repeated acquisition failures; falling back to
+    /// the standard instance family.
+    RecoveryFamilyFallback { vcpus: u32 },
+    /// `core::scheduler` — the P8 dynamic policy fell back to (or
+    /// recovered from) the static soft limit because monitor dropouts
+    /// staled the quality distributions.
+    RecoveryPolicyFallback { active: bool },
+    /// `core::scheduler` — a preempted job was requeued through the
+    /// normal admission path, with the work it lost since its last
+    /// checkpoint.
+    RecoveryRequeue { job: u64, work_lost_core_secs: f64 },
 }
 
 impl TraceKind {
@@ -124,6 +163,16 @@ impl TraceKind {
             TraceKind::SpotTerminated { .. } => "spot-terminated",
             TraceKind::Progress { .. } => "progress",
             TraceKind::RunEnd { .. } => "run-end",
+            TraceKind::FaultSpinUpSpike { .. } => "fault-spin-up-spike",
+            TraceKind::FaultSpinUpTimeout { .. } => "fault-spin-up-timeout",
+            TraceKind::FaultOutOfCapacity { .. } => "fault-out-of-capacity",
+            TraceKind::FaultDegradation { .. } => "fault-degradation",
+            TraceKind::FaultStormPreemption { .. } => "fault-storm-preemption",
+            TraceKind::FaultMonitorDropout { .. } => "fault-monitor-dropout",
+            TraceKind::RecoveryRetry { .. } => "recovery-retry",
+            TraceKind::RecoveryFamilyFallback { .. } => "recovery-family-fallback",
+            TraceKind::RecoveryPolicyFallback { .. } => "recovery-policy-fallback",
+            TraceKind::RecoveryRequeue { .. } => "recovery-requeue",
         }
     }
 }
@@ -240,6 +289,52 @@ impl TraceEvent {
                 .set("events_processed", *events_processed)
                 .set("scheduled_total", *scheduled_total)
                 .set("max_queue_depth", *max_queue_depth as u64),
+            TraceKind::FaultSpinUpSpike {
+                instance,
+                factor,
+                spin_up_us,
+            } => b
+                .set("instance", *instance)
+                .set("factor", *factor)
+                .set("spin_up_us", *spin_up_us),
+            TraceKind::FaultSpinUpTimeout {
+                vcpus,
+                attempt,
+                waited_us,
+            } => b
+                .set("vcpus", *vcpus)
+                .set("attempt", *attempt)
+                .set("waited_us", *waited_us),
+            TraceKind::FaultOutOfCapacity { vcpus, attempt } => {
+                b.set("vcpus", *vcpus).set("attempt", *attempt)
+            }
+            TraceKind::FaultDegradation {
+                instance,
+                onset_us,
+                factor,
+            } => b
+                .set("instance", *instance)
+                .set("onset_us", *onset_us)
+                .set("factor", *factor),
+            TraceKind::FaultStormPreemption {
+                instance,
+                termination_us,
+            } => b
+                .set("instance", *instance)
+                .set("termination_us", *termination_us),
+            TraceKind::FaultMonitorDropout { active } => b.set("active", *active),
+            TraceKind::RecoveryRetry {
+                attempt,
+                backoff_us,
+            } => b.set("attempt", *attempt).set("backoff_us", *backoff_us),
+            TraceKind::RecoveryFamilyFallback { vcpus } => b.set("vcpus", *vcpus),
+            TraceKind::RecoveryPolicyFallback { active } => b.set("active", *active),
+            TraceKind::RecoveryRequeue {
+                job,
+                work_lost_core_secs,
+            } => b
+                .set("job", *job)
+                .set("work_lost_core_secs", *work_lost_core_secs),
         };
         b.build()
     }

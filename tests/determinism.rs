@@ -103,6 +103,78 @@ fn outcomes_are_internally_consistent() {
 }
 
 #[test]
+fn identical_fault_plans_reproduce_runs_bit_for_bit() {
+    // Fault schedules derive from their own RNG streams of the master
+    // seed: the same plan + seed must inject the same faults.
+    use hcloud_faults::FaultPlanId;
+    let run = || {
+        let s = scenario(1);
+        let config = RunConfig::new(StrategyKind::HybridMixed)
+            .with_spot(hcloud::config::SpotPolicy::default())
+            .with_faults(FaultPlanId::FullChaos.plan());
+        run_scenario(&s, &config, &RngFactory::new(1))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn off_fault_plan_matches_no_fault_plan() {
+    // `HCLOUD_FAULTS=off` must be byte-identical to a build that never
+    // heard of fault injection: the off plan consumes no randomness.
+    let s = scenario(1);
+    let plain = run_scenario(
+        &s,
+        &RunConfig::new(StrategyKind::HybridMixed),
+        &RngFactory::new(1),
+    );
+    let explicit_off = run_scenario(
+        &s,
+        &RunConfig::new(StrategyKind::HybridMixed).with_faults(hcloud_faults::FaultPlan::off()),
+        &RngFactory::new(1),
+    );
+    assert_eq!(plain, explicit_off);
+}
+
+#[test]
+fn faulted_engine_results_are_identical_for_any_worker_count() {
+    // The full-chaos plan under 1 and 4 workers: injected faults are
+    // drawn per-run from the run's own seed, so fan-out cannot reorder
+    // them.
+    use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
+    use hcloud_faults::FaultPlanId;
+
+    let plan = || -> ExperimentPlan {
+        StrategyKind::ALL
+            .iter()
+            .map(|&s| {
+                RunSpec::of(ScenarioKind::HighVariability, s)
+                    .map_config(|c| c.with_spot(hcloud::config::SpotPolicy::default()))
+            })
+            .collect()
+    };
+    let run_with = |jobs: usize| {
+        let ctx = ExperimentCtx::new(11)
+            .with_fast(true)
+            .with_jobs(jobs)
+            .with_faults(FaultPlanId::FullChaos);
+        Engine::new(ctx).run_plan(&plan()).results
+    };
+
+    let sequential = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(sequential, parallel, "faulted runs differ across workers");
+    // Chaos actually happened somewhere in the plan.
+    assert!(
+        sequential
+            .iter()
+            .any(|r| r.counters.acquire_retries > 0 || r.counters.storm_preemptions > 0),
+        "full-chaos plan injected nothing"
+    );
+}
+
+#[test]
 fn engine_results_are_identical_for_any_worker_count() {
     // The acceptance bar for the parallel experiment engine: the same
     // plan, run with 1 worker and with 4, produces bit-identical results

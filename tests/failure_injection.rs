@@ -111,6 +111,84 @@ fn empty_scenario_is_a_noop() {
 }
 
 #[test]
+fn full_chaos_fault_plan_still_completes_every_strategy() {
+    // The deterministic fault plans are stress, not sabotage: every
+    // injected failure class has a recovery path, so no strategy may
+    // lose a job under the kitchen-sink plan.
+    use hcloud::config::SpotPolicy;
+    use hcloud_faults::FaultPlanId;
+    for strategy in StrategyKind::ALL {
+        let c = RunConfig::new(strategy)
+            .with_spot(SpotPolicy::default())
+            .with_faults(FaultPlanId::FullChaos.plan());
+        assert_all_complete(&c, "full chaos");
+    }
+}
+
+#[test]
+fn cranked_up_chaos_still_completes() {
+    // Double-intensity chaos: more storms, more flaky spin-ups, more
+    // stragglers. Completion must still hold.
+    use hcloud::config::SpotPolicy;
+    use hcloud_faults::FaultPlanId;
+    let c = RunConfig::new(StrategyKind::HybridMixed)
+        .with_spot(SpotPolicy::default())
+        .with_faults(FaultPlanId::FullChaos.plan().with_intensity(2.0));
+    assert_all_complete(&c, "full chaos x2");
+}
+
+#[test]
+fn preempted_jobs_are_requeued_never_dropped() {
+    // Regression for the spot-termination path: a preempted job must
+    // re-enter admission (carrying its remaining work) and eventually
+    // finish — never silently vanish from the outcome set.
+    use hcloud::config::SpotPolicy;
+    use hcloud_faults::FaultPlanId;
+    let s = scenario();
+    let c = RunConfig::new(StrategyKind::HybridMixed)
+        .with_spot(SpotPolicy::default())
+        .with_faults(FaultPlanId::PreemptionStorms.plan().with_intensity(3.0));
+    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    assert_eq!(r.outcomes.len(), s.jobs().len(), "preemption dropped jobs");
+    assert!(
+        r.counters.spot_terminations > 0,
+        "storm plan caused no preemptions — the regression test is vacuous"
+    );
+    assert!(
+        r.outcomes.iter().any(|o| o.rescheduled),
+        "preempted jobs should surface as rescheduled"
+    );
+    for o in &r.outcomes {
+        assert!(
+            o.finished >= o.started,
+            "preempted job has a broken timeline"
+        );
+    }
+}
+
+#[test]
+fn monitor_blackout_degrades_dynamic_policy_gracefully() {
+    // During QoS-signal dropouts the P8 dynamic policy falls back to the
+    // static soft-limit rule instead of acting on stale readings.
+    use hcloud_faults::FaultPlanId;
+    let s = scenario();
+    // The stock plan's 30-minute dropout cadence can miss a short smoke
+    // scenario entirely; crank intensity so windows land inside the run.
+    let c = RunConfig::new(StrategyKind::HybridMixed)
+        .with_faults(FaultPlanId::MonitorBlackout.plan().with_intensity(8.0));
+    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    assert_eq!(r.outcomes.len(), s.jobs().len(), "blackout dropped jobs");
+    assert!(
+        r.counters.monitor_dropout_ticks > 0,
+        "blackout plan never dropped the monitor signal"
+    );
+    assert!(
+        r.counters.policy_fallbacks > 0,
+        "dynamic policy never fell back during a dropout"
+    );
+}
+
+#[test]
 fn profiling_off_with_extreme_load_never_panics() {
     let mut c = RunConfig::new(StrategyKind::HybridMixed).without_profiling();
     c.cloud.external = ExternalLoadModel::with_mean(0.9);

@@ -92,6 +92,81 @@ fn hybrid_trace_covers_the_event_taxonomy() {
 }
 
 #[test]
+fn faulted_traces_are_bit_identical_across_worker_counts() {
+    // The acceptance bar for the fault subsystem: a full fault plan
+    // traced under 1 and 4 workers renders byte-identical JSONL.
+    use hcloud_faults::FaultPlanId;
+    let faulted = |jobs: usize| -> Vec<String> {
+        let ctx = ExperimentCtx::new(42)
+            .with_fast(true)
+            .with_jobs(jobs)
+            .with_trace(TraceMode::Full)
+            .with_faults(FaultPlanId::FullChaos);
+        let mut plan = ExperimentPlan::new();
+        for seed in [1u64, 2, 3] {
+            plan.push(
+                RunSpec::of(ScenarioKind::HighVariability, StrategyKind::HybridMixed)
+                    .seed(seed)
+                    .map_config(|c| c.with_spot(hcloud::config::SpotPolicy::default())),
+            );
+        }
+        let outcome = Engine::new(ctx).run_plan(&plan);
+        outcome
+            .traces
+            .iter()
+            .map(|t| {
+                let t = t.as_ref().expect("full mode traces every run");
+                render_jsonl(&t.meta, &t.events)
+            })
+            .collect()
+    };
+    let sequential = faulted(1);
+    let parallel = faulted(4);
+    assert_eq!(sequential, parallel, "faulted traces differ across workers");
+    // The plan actually injected something observable.
+    assert!(
+        sequential.iter().any(|t| t.contains("\"fault-")),
+        "no fault events in the full-chaos traces"
+    );
+}
+
+#[test]
+fn fault_events_carry_the_new_taxonomy() {
+    // A hot fault plan must surface injection *and* recovery records,
+    // and every record must serialize with kind + sim time like the
+    // rest of the taxonomy.
+    use hcloud_faults::FaultPlanId;
+    let ctx = ExperimentCtx::new(42)
+        .with_fast(true)
+        .with_jobs(1)
+        .with_trace(TraceMode::Full)
+        .with_faults(FaultPlanId::FullChaos);
+    let mut plan = ExperimentPlan::new();
+    plan.push(
+        RunSpec::of(ScenarioKind::HighVariability, StrategyKind::HybridMixed)
+            .map_config(|c| c.with_spot(hcloud::config::SpotPolicy::default())),
+    );
+    let outcome = Engine::new(ctx).run_plan(&plan);
+    let trace = outcome.traces[0].as_ref().expect("traced run");
+
+    let fault_names: Vec<&str> = trace
+        .events
+        .iter()
+        .map(|e| e.kind.name())
+        .filter(|n| n.starts_with("fault-") || n.starts_with("recovery-"))
+        .collect();
+    assert!(
+        !fault_names.is_empty(),
+        "full-chaos hybrid run recorded no fault/recovery events"
+    );
+    for ev in &trace.events {
+        let json = ev.to_json();
+        assert!(json.get("ev").is_some());
+        assert!(json.get("t_us").is_some());
+    }
+}
+
+#[test]
 fn off_mode_records_nothing() {
     let ctx = ExperimentCtx::new(42).with_fast(true).with_jobs(2);
     assert_eq!(ctx.trace, TraceMode::Off);
