@@ -443,6 +443,12 @@ pub struct RunTelemetry {
     pub wall: Duration,
     /// Events its discrete-event loop processed.
     pub events: usize,
+    /// Incremental placement-index maintenance operations its scheduler
+    /// performed.
+    pub index_rebuilds: usize,
+    /// Placement queries its scheduler answered straight from a
+    /// maintained index.
+    pub placement_fastpath: usize,
 }
 
 /// One run's recorded trace: identity plus the sim-time-ordered event
@@ -484,6 +490,16 @@ impl PlanTelemetry {
         self.runs.iter().map(|r| r.events).sum()
     }
 
+    /// Total placement-index maintenance operations across runs.
+    pub fn total_index_rebuilds(&self) -> usize {
+        self.runs.iter().map(|r| r.index_rebuilds).sum()
+    }
+
+    /// Total index-served placement queries across runs.
+    pub fn total_placement_fastpath(&self) -> usize {
+        self.runs.iter().map(|r| r.placement_fastpath).sum()
+    }
+
     /// Observed parallel speedup: summed per-run time over plan
     /// wall-clock.
     pub fn speedup(&self) -> f64 {
@@ -499,6 +515,8 @@ impl PlanTelemetry {
         reg.counter_add("runs_simulated", self.runs.len() as u64);
         reg.counter_add("cache_hits", self.cache_hits as u64);
         reg.counter_add("events_processed", self.total_events() as u64);
+        reg.counter_add("index-rebuild", self.total_index_rebuilds() as u64);
+        reg.counter_add("placement-fastpath", self.total_placement_fastpath() as u64);
         reg.gauge_set("workers", self.workers as f64);
         reg.gauge_set("plan_wall_s", self.wall.as_secs_f64());
         reg.gauge_set("scenario_gen_s", self.scenario_wall.as_secs_f64());
@@ -619,6 +637,8 @@ impl Engine {
                 label: spec.display_label(),
                 wall: run_started.elapsed(),
                 events: result.counters.events_processed,
+                index_rebuilds: result.counters.index_rebuilds,
+                placement_fastpath: result.counters.placement_fastpath,
             };
             (result, telemetry, trace)
         };
@@ -801,6 +821,16 @@ mod tests {
         assert_eq!(seq.results, par.results);
         assert_eq!(seq.results.len(), 4);
         assert_eq!(par.telemetry.workers, 4);
+        // The placement-index counters are deterministic across worker
+        // counts and actually fire on the hybrid runs.
+        for (s, p) in seq.results.iter().zip(&par.results) {
+            assert_eq!(s.counters.index_rebuilds, p.counters.index_rebuilds);
+            assert_eq!(s.counters.placement_fastpath, p.counters.placement_fastpath);
+        }
+        assert!(
+            seq.results.iter().any(|r| r.counters.index_rebuilds > 0),
+            "hybrid runs must exercise the on-demand indices"
+        );
         // Plan order: spec i's strategy at result i.
         for (spec, result) in plan.specs().iter().zip(&seq.results) {
             assert_eq!(spec.strategy(), result.strategy);

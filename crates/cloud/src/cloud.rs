@@ -33,6 +33,13 @@ impl InstanceId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// The arena position behind this id. Cloud ids are append-only and
+    /// never retired (released instances stay on the books for usage
+    /// accounting), so an id is never stale.
+    fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 impl fmt::Display for InstanceId {
@@ -422,7 +429,7 @@ impl Cloud {
     /// # Panics
     /// Panics if the instance was already released.
     pub fn release(&mut self, id: InstanceId, now: SimTime) {
-        let inst = &mut self.instances[id.0 as usize];
+        let inst = self.slot_mut(id);
         assert!(inst.released_at.is_none(), "instance {id} released twice");
         inst.released_at = Some(now.max(inst.requested_at));
         trace_event!(
@@ -437,7 +444,16 @@ impl Cloud {
     /// # Panics
     /// Panics if `id` was not issued by this cloud.
     pub fn instance(&self, id: InstanceId) -> &Instance {
-        &self.instances[id.0 as usize]
+        self.slot(id)
+    }
+
+    /// Arena internals: the only places raw indexing is allowed.
+    fn slot(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    fn slot_mut(&mut self, id: InstanceId) -> &mut Instance {
+        &mut self.instances[id.index()]
     }
 
     /// All instances ever issued, in acquisition order (the y-axis of

@@ -41,6 +41,7 @@ pub mod config;
 pub mod dynamic;
 pub mod mapping;
 pub mod monitor;
+pub mod placement;
 pub mod queue_estimator;
 pub mod result;
 pub mod runner;
@@ -49,5 +50,6 @@ pub mod strategy;
 
 pub use config::RunConfig;
 pub use mapping::MappingPolicy;
+pub use placement::{InstanceHandle, PlacementQuery, SearchPolicy};
 pub use result::{JobOutcome, RunResult};
 pub use strategy::StrategyKind;

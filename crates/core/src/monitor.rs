@@ -16,15 +16,21 @@
 //! percentile of degradation), which matches the paper's intent: tighten
 //! the constraint and more jobs stay on reserved.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use hcloud_cloud::InstanceType;
+use hcloud_sim::stats::RollingQuantiles;
 
 /// Rolling quality observations per instance type.
+///
+/// Each per-type window is a [`RollingQuantiles`]: `record` is O(log n)
+/// and `q90` reads the exact 10th percentile from the maintained
+/// order-statistics tree instead of cloning + sorting the window on every
+/// query (the scheduler asks per placement decision).
 #[derive(Debug, Clone)]
 pub struct QualityMonitor {
     window: usize,
-    samples: HashMap<InstanceType, VecDeque<f64>>,
+    samples: HashMap<InstanceType, RollingQuantiles>,
 }
 
 impl Default for QualityMonitor {
@@ -49,16 +55,16 @@ impl QualityMonitor {
     /// Records a delivered-quality observation `q ∈ [0, 1]` for `itype`.
     pub fn record(&mut self, itype: InstanceType, q: f64) {
         debug_assert!((0.0..=1.0).contains(&q), "quality {q} out of range");
-        let buf = self.samples.entry(itype).or_default();
-        if buf.len() == self.window {
-            buf.pop_front();
-        }
-        buf.push_back(q);
+        let window = self.window;
+        self.samples
+            .entry(itype)
+            .or_insert_with(|| RollingQuantiles::new(window))
+            .push(q);
     }
 
     /// Number of samples held for `itype`.
     pub fn sample_count(&self, itype: InstanceType) -> usize {
-        self.samples.get(&itype).map_or(0, VecDeque::len)
+        self.samples.get(&itype).map_or(0, RollingQuantiles::len)
     }
 
     /// The quality level `itype` delivers at least 90% of the time
@@ -67,15 +73,12 @@ impl QualityMonitor {
     /// With fewer than 10 observations, returns a prior based on how much
     /// of the server the instance shares with external tenants.
     pub fn q90(&self, itype: InstanceType) -> f64 {
-        let buf = match self.samples.get(&itype) {
-            Some(b) if b.len() >= 10 => b,
-            _ => return Self::prior(itype),
-        };
-        let mut sorted: Vec<f64> = buf.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN quality"));
-        // 10th percentile of delivered quality = guaranteed-90%-of-the-time
-        // level.
-        hcloud_sim::stats::percentile_sorted(&sorted, 10.0)
+        match self.samples.get(&itype) {
+            // 10th percentile of delivered quality =
+            // guaranteed-90%-of-the-time level.
+            Some(b) if b.len() >= 10 => b.percentile(10.0).expect("non-empty window"),
+            _ => Self::prior(itype),
+        }
     }
 
     /// The cold-start prior: full servers deliver ~1.0; the more of the

@@ -12,17 +12,22 @@
 //! intervals. The estimated wait for a newly queued job is the
 //! high-quantile interval scaled by how many queued jobs are ahead of it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
+use hcloud_sim::stats::RollingQuantiles;
 use hcloud_sim::{SimDuration, SimTime};
 
 /// Rolling release-interval statistics per requested core size.
+///
+/// Interval and wait windows are [`RollingQuantiles`], so the
+/// high-quantile reads in [`QueueEstimator::estimate_wait`] are O(log n)
+/// order-statistics lookups instead of a clone + sort per query.
 #[derive(Debug, Clone)]
 pub struct QueueEstimator {
     window: usize,
     last_release: HashMap<u32, SimTime>,
-    intervals: HashMap<u32, VecDeque<f64>>,
-    waits: HashMap<u32, VecDeque<f64>>,
+    intervals: HashMap<u32, RollingQuantiles>,
+    waits: HashMap<u32, RollingQuantiles>,
 }
 
 impl Default for QueueEstimator {
@@ -52,11 +57,11 @@ impl QueueEstimator {
     /// waiting for an instance with 4 vCPUs, 99 were scheduled in less
     /// than 1.4 seconds").
     pub fn record_wait(&mut self, size: u32, wait: SimDuration) {
-        let buf = self.waits.entry(size).or_default();
-        if buf.len() == self.window {
-            buf.pop_front();
-        }
-        buf.push_back(wait.as_secs_f64());
+        let window = self.window;
+        self.waits
+            .entry(size)
+            .or_insert_with(|| RollingQuantiles::new(window))
+            .push(wait.as_secs_f64());
     }
 
     /// Records that `freed_cores` became available on the reserved pool at
@@ -69,11 +74,11 @@ impl QueueEstimator {
             }
             if let Some(&last) = self.last_release.get(&size) {
                 let dt = now.saturating_since(last).as_secs_f64();
-                let buf = self.intervals.entry(size).or_default();
-                if buf.len() == self.window {
-                    buf.pop_front();
-                }
-                buf.push_back(dt);
+                let window = self.window;
+                self.intervals
+                    .entry(size)
+                    .or_insert_with(|| RollingQuantiles::new(window))
+                    .push(dt);
             }
             self.last_release.insert(size, now);
         }
@@ -81,7 +86,7 @@ impl QueueEstimator {
 
     /// Number of recorded intervals for `size`.
     pub fn interval_count(&self, size: u32) -> usize {
-        self.intervals.get(&size).map_or(0, VecDeque::len)
+        self.intervals.get(&size).map_or(0, RollingQuantiles::len)
     }
 
     /// The `q`-quantile of the release-interval distribution for jobs
@@ -91,9 +96,7 @@ impl QueueEstimator {
         if buf.len() < 5 {
             return None;
         }
-        let mut sorted: Vec<f64> = buf.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN interval"));
-        let v = hcloud_sim::stats::percentile_sorted(&sorted, q * 100.0);
+        let v = buf.percentile(q * 100.0).expect("non-empty window");
         Some(SimDuration::from_secs_f64(v))
     }
 
@@ -107,9 +110,7 @@ impl QueueEstimator {
     pub fn estimate_wait(&self, size: u32, ahead: usize) -> Option<SimDuration> {
         if let Some(buf) = self.waits.get(&size) {
             if buf.len() >= 10 {
-                let mut sorted: Vec<f64> = buf.iter().copied().collect();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN wait"));
-                let q99 = hcloud_sim::stats::percentile_sorted(&sorted, 99.0);
+                let q99 = buf.percentile(99.0).expect("non-empty window");
                 return Some(SimDuration::from_secs_f64(q99));
             }
         }

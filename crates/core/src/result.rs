@@ -99,6 +99,14 @@ pub struct RunCounters {
     /// Batch work (core-seconds) lost to preemptions: progress since the
     /// last checkpoint tick that had to be redone.
     pub work_lost_core_secs: f64,
+    /// Placement queries answered straight from a maintained secondary
+    /// index (on-demand pool hits and idle-retention reuse) instead of a
+    /// scan over every instance ever acquired.
+    pub placement_fastpath: usize,
+    /// Incremental maintenance operations on the placement indices
+    /// (entries added or dropped as instances change state) — the cost
+    /// side of the fast path.
+    pub index_rebuilds: usize,
 }
 
 /// Why a job was placed where it was — the dynamic policy's audit trail.

@@ -17,7 +17,7 @@
 //! spin-up overhead, but only if they delivered predictably high quality;
 //! poorly-performing instances are released immediately (Section 3.2).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hcloud_cloud::{AcquireFailure, Cloud, Family, InstanceId, InstanceType};
 use hcloud_faults::FaultInjector;
@@ -26,6 +26,7 @@ use hcloud_quasar::{JobEstimate, ProfilingEnvironment, QuasarEngine};
 use hcloud_sim::event::EventQueue;
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::series::StepSeries;
+use hcloud_sim::slot::SlotMap;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_telemetry::{trace_event, TraceKind, Tracer};
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario};
@@ -34,6 +35,7 @@ use crate::config::RunConfig;
 use crate::dynamic::DynamicLimits;
 use crate::mapping::{MappingContext, Placement};
 use crate::monitor::QualityMonitor;
+use crate::placement::{InstanceHandle, Placement as PoolMatch, PlacementQuery, SearchPolicy};
 use crate::queue_estimator::QueueEstimator;
 use crate::result::{
     JobOutcome, PlacementDecision, PlacementReason, RunCounters, RunResult, UtilizationSample,
@@ -53,11 +55,12 @@ pub enum Event {
     Finish(JobId, u64),
     /// Periodic monitor tick.
     Tick,
-    /// Retention timeout for instance `usize` with token `u64`.
-    Retention(usize, u64),
-    /// The spot market outbids instance `usize`: it is terminated and its
+    /// Retention timeout for an instance with token `u64`. The handle is
+    /// stale (and the event a no-op) when the instance was released.
+    Retention(InstanceHandle, u64),
+    /// The spot market outbids an instance: it is terminated and its
     /// jobs must be evacuated.
-    SpotTermination(usize),
+    SpotTermination(InstanceHandle),
 }
 
 /// One instance as the scheduler sees it.
@@ -69,9 +72,10 @@ struct SchedInstance {
     spot: bool,
     ready_at: SimTime,
     used_cores: u32,
+    /// Jobs bound to this instance, in arrival order. Kept as a small
+    /// vector (not a set): interference sums iterate it in insertion
+    /// order, which floating-point addition makes order-bearing.
     jobs: Vec<JobId>,
-    idle_since: Option<SimTime>,
-    released: bool,
     retention_token: u64,
 }
 
@@ -85,7 +89,7 @@ impl SchedInstance {
 #[derive(Debug, Clone)]
 struct RunningJob {
     spec_idx: usize,
-    instance: usize,
+    instance: InstanceHandle,
     cores: u32,
     started: bool,
     start_at: SimTime,
@@ -106,8 +110,26 @@ struct RunningJob {
 /// job's QoS headroom, and the least-bad alternative when none does.
 #[derive(Debug, Clone, Copy, Default)]
 struct PoolCandidate {
-    acceptable: Option<usize>,
-    fallback: Option<usize>,
+    acceptable: Option<InstanceHandle>,
+    fallback: Option<InstanceHandle>,
+}
+
+impl PoolCandidate {
+    /// Collapses the pair into the typed search result: an acceptable
+    /// instance, or the least-bad fallback flagged as such.
+    fn into_match(self) -> Option<PoolMatch> {
+        match (self.acceptable, self.fallback) {
+            (Some(instance), _) => Some(PoolMatch {
+                instance,
+                fallback: false,
+            }),
+            (None, Some(instance)) => Some(PoolMatch {
+                instance,
+                fallback: true,
+            }),
+            (None, None) => None,
+        }
+    }
 }
 
 /// A job waiting for reserved capacity.
@@ -149,7 +171,24 @@ pub struct Scheduler<'a> {
     mapping_rng: SimRng,
     latency_model: LatencyModel,
 
-    instances: Vec<SchedInstance>,
+    /// All instances ever held, in acquisition order. The arena is
+    /// append-only: releasing retires the slot (outstanding handles fail
+    /// typed) but never reuses its index, so `InstanceHandle::index` is a
+    /// stable telemetry identifier.
+    instances: SlotMap<SchedInstance>,
+    /// The reserved full-server pool, in provisioning (= index) order.
+    /// Fixed for the whole run; reserved instances are never released.
+    reserved_handles: Vec<InstanceHandle>,
+    /// Live on-demand instances (everything non-reserved still held),
+    /// ascending by index — the iteration order of the old full scans.
+    live_od: BTreeSet<InstanceHandle>,
+    /// Live on-demand *pool* instances (full servers, spot included):
+    /// the candidates of the pool placement search and of consolidation.
+    od_pool: BTreeSet<InstanceHandle>,
+    /// Idle retained on-demand instances, keyed `(family, size, handle)`
+    /// so dedicated reuse is an ordered range probe (smallest fitting
+    /// size first, then acquisition order) instead of a full scan.
+    idle_buckets: BTreeSet<(Family, u32, InstanceHandle)>,
     reserved_total: u32,
     queue: VecDeque<QueuedJob>,
     running: BTreeMap<JobId, RunningJob>,
@@ -206,19 +245,20 @@ impl<'a> Scheduler<'a> {
         let reserved_servers =
             (reserved_cores as f64 / InstanceType::full_server().vcpus() as f64).ceil() as usize;
         let reserved_ids = cloud.provision_reserved(reserved_servers, SimTime::ZERO);
-        let instances: Vec<SchedInstance> = reserved_ids
+        let mut instances = SlotMap::new();
+        let reserved_handles: Vec<InstanceHandle> = reserved_ids
             .iter()
-            .map(|&id| SchedInstance {
-                cloud_id: id,
-                itype: InstanceType::full_server(),
-                reserved: true,
-                spot: false,
-                ready_at: SimTime::ZERO,
-                used_cores: 0,
-                jobs: Vec::new(),
-                idle_since: Some(SimTime::ZERO),
-                released: false,
-                retention_token: 0,
+            .map(|&id| {
+                InstanceHandle::new(instances.insert(SchedInstance {
+                    cloud_id: id,
+                    itype: InstanceType::full_server(),
+                    reserved: true,
+                    spot: false,
+                    ready_at: SimTime::ZERO,
+                    used_cores: 0,
+                    jobs: Vec::new(),
+                    retention_token: 0,
+                }))
             })
             .collect();
         let quasar = config
@@ -239,6 +279,10 @@ impl<'a> Scheduler<'a> {
             mapping_rng: factory.stream("scheduler.mapping"),
             latency_model: scenario.config().latency_model,
             instances,
+            reserved_handles,
+            live_od: BTreeSet::new(),
+            od_pool: BTreeSet::new(),
+            idle_buckets: BTreeSet::new(),
             reserved_total: (reserved_servers as u32) * InstanceType::full_server().vcpus(),
             queue: VecDeque::new(),
             running: BTreeMap::new(),
@@ -264,6 +308,52 @@ impl<'a> Scheduler<'a> {
     /// Jobs still running or queued.
     pub fn pending_jobs(&self) -> usize {
         self.running.len() + self.queue.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Instance arena & index bookkeeping
+    // ------------------------------------------------------------------
+
+    /// The live instance behind `h`. Internal call sites only hold
+    /// handles to live instances; a stale handle here is a logic error.
+    fn inst(&self, h: InstanceHandle) -> &SchedInstance {
+        self.instances.get(h.key()).expect("live instance handle")
+    }
+
+    /// Mutable access to the live instance behind `h`.
+    fn inst_mut(&mut self, h: InstanceHandle) -> &mut SchedInstance {
+        self.instances
+            .get_mut(h.key())
+            .expect("live instance handle")
+    }
+
+    /// Binds `jid` to `h`, charging `cores`, and keeps the idle-retention
+    /// index in sync: an idle instance that takes a job leaves it.
+    fn attach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32) {
+        let inst = self
+            .instances
+            .get_mut(h.key())
+            .expect("attach to live instance");
+        inst.used_cores += cores;
+        inst.jobs.push(jid);
+        let od = !inst.reserved;
+        let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        if od && self.idle_buckets.remove(&bucket) {
+            self.counters.index_rebuilds += 1;
+        }
+    }
+
+    /// Unbinds `jid` from `h`, freeing `cores`. Returns `true` when the
+    /// instance is left empty; the caller then decides between retention
+    /// (which re-enters the idle index) and release.
+    fn detach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32) -> bool {
+        let inst = self
+            .instances
+            .get_mut(h.key())
+            .expect("detach from live instance");
+        inst.used_cores = inst.used_cores.saturating_sub(cores);
+        inst.jobs.retain(|&j| j != jid);
+        inst.jobs.is_empty()
     }
 
     // ------------------------------------------------------------------
@@ -524,14 +614,65 @@ impl<'a> Scheduler<'a> {
         carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) -> bool {
-        let cores = est.cores;
-        let candidate = self.best_pool_instance(true, cores, &est.sensitivity, est.quality, now);
-        match candidate.acceptable.or(candidate.fallback) {
-            Some(inst_idx) => {
-                self.assign(idx, est, inst_idx, now, queue_delay, carry, events);
+        let query = PlacementQuery {
+            family: Family::Standard,
+            min_cores: est.cores,
+            policy: SearchPolicy::ReservedPool {
+                sensitivity: est.sensitivity,
+                quality: est.quality,
+            },
+        };
+        // The reserved pool accepts fallbacks: a degraded placement beats
+        // queueing behind the hard limit.
+        match self.find_placement(&query, now) {
+            Some(m) => {
+                self.assign(idx, est, m.instance, now, queue_delay, carry, events);
                 true
             }
             None => false,
+        }
+    }
+
+    /// The single placement-search front door: every policy (P1–P8 and
+    /// any future one) routes through here, so placement always answers
+    /// from the maintained indices — see [`crate::placement`].
+    pub fn find_placement(&mut self, query: &PlacementQuery, now: SimTime) -> Option<PoolMatch> {
+        match query.policy {
+            SearchPolicy::ReservedPool {
+                sensitivity,
+                quality,
+            } => self
+                .best_pool_instance(true, query.min_cores, &sensitivity, quality, now)
+                .into_match(),
+            SearchPolicy::OnDemandPool {
+                sensitivity,
+                quality,
+            } => {
+                let found = self
+                    .best_pool_instance(false, query.min_cores, &sensitivity, quality, now)
+                    .into_match();
+                if matches!(found, Some(m) if !m.fallback) {
+                    self.counters.placement_fastpath += 1;
+                }
+                found
+            }
+            SearchPolicy::IdleDedicated {
+                spot_ok,
+                min_quality,
+            } => {
+                let h = self.find_idle_dedicated(
+                    query.family,
+                    query.min_cores,
+                    spot_ok,
+                    min_quality,
+                    now,
+                )?;
+                self.counters.placement_fastpath += 1;
+                Some(PoolMatch {
+                    instance: h,
+                    fallback: false,
+                })
+            }
         }
     }
 
@@ -552,44 +693,55 @@ impl<'a> Scheduler<'a> {
         quality: f64,
         now: SimTime,
     ) -> PoolCandidate {
-        let mut acceptable: Option<(usize, u32)> = None; // most loaded
-        let mut fallback: Option<(usize, f64)> = None; // min slowdown
-        let mut least_loaded: Option<(usize, u32)> = None;
+        let mut acceptable: Option<(InstanceHandle, u32)> = None; // most loaded
+        let mut fallback: Option<(InstanceHandle, f64)> = None; // min slowdown
+        let mut least_loaded: Option<(InstanceHandle, u32)> = None;
         // A sensitive job (high Q) tolerates little predicted slowdown; a
         // tolerant one accepts more.
         let headroom = 1.0 + 0.6 * (1.0 - quality).max(0.08);
-        for (i, inst) in self.instances.iter().enumerate() {
-            if inst.reserved != reserved
-                || inst.released
-                || inst.spot
-                || !inst.itype.is_full_server()
-                || inst.free_cores() < cores
-            {
-                continue;
+        // The candidate pool is an index now, not a scan over every
+        // instance ever acquired: the fixed reserved prefix, or the live
+        // on-demand pool set. Both iterate ascending by index — the
+        // visit order of the old full scan, so ties break identically.
+        let mut consider = |h: InstanceHandle| {
+            let inst = self.inst(h);
+            debug_assert_eq!(inst.reserved, reserved, "pool index invariant");
+            debug_assert!(inst.itype.is_full_server(), "pool index invariant");
+            if inst.spot || inst.free_cores() < cores {
+                return;
             }
             // On-demand pool instances keep ~2 cores of headroom to absorb
             // unpredictability (the overprovisioning the paper attributes
             // to OdF/HF "only requesting the largest instances").
             if !reserved && inst.used_cores + cores > inst.itype.vcpus().saturating_sub(2) {
-                continue;
+                return;
             }
             if !self.config.profiling {
                 if least_loaded.is_none_or(|(_, u)| inst.used_cores < u) {
-                    least_loaded = Some((i, inst.used_cores));
+                    least_loaded = Some((h, inst.used_cores));
                 }
-                continue;
+                return;
             }
-            let mut pressure = self.internal_pressure(i, None);
+            let mut pressure = self.internal_pressure(h, None);
             if !reserved {
                 pressure = pressure.add(&self.cloud.external_pressure(inst.cloud_id, now));
             }
             let slowdown = self.cloud.slowdown_model().slowdown(sensitivity, &pressure);
             if slowdown <= headroom {
                 if acceptable.is_none_or(|(_, u)| inst.used_cores > u) {
-                    acceptable = Some((i, inst.used_cores));
+                    acceptable = Some((h, inst.used_cores));
                 }
             } else if fallback.is_none_or(|(_, s)| slowdown < s) {
-                fallback = Some((i, slowdown));
+                fallback = Some((h, slowdown));
+            }
+        };
+        if reserved {
+            for &h in &self.reserved_handles {
+                consider(h);
+            }
+        } else {
+            for &h in &self.od_pool {
+                consider(h);
             }
         }
         if !self.config.profiling {
@@ -614,15 +766,21 @@ impl<'a> Scheduler<'a> {
         carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
-        let cores = est.cores;
         // Pack onto an acceptable existing pool instance; acquire a fresh
         // one rather than degrade the job on an unacceptable instance.
-        let candidate = self.best_pool_instance(false, cores, &est.sensitivity, est.quality, now);
-        let inst_idx = match candidate.acceptable {
-            Some(i) => i,
-            None => self.acquire(InstanceType::full_server(), now),
+        let query = PlacementQuery {
+            family: Family::Standard,
+            min_cores: est.cores,
+            policy: SearchPolicy::OnDemandPool {
+                sensitivity: est.sensitivity,
+                quality: est.quality,
+            },
         };
-        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, carry, events);
+        let inst = match self.find_placement(&query, now) {
+            Some(m) if !m.fallback => m.instance,
+            _ => self.acquire(InstanceType::full_server(), now),
+        };
+        self.assign(idx, est, inst, now, SimDuration::ZERO, carry, events);
     }
 
     /// The instance type a mixed-size strategy requests for this job:
@@ -669,11 +827,19 @@ impl<'a> Scheduler<'a> {
         // fill them first. OdM has no such pool — the paper's OdM
         // requests the smallest instance per job.
         if self.config.strategy.is_hybrid() {
-            let pool =
-                self.best_pool_instance(false, est.cores, &est.sensitivity, est.quality, now);
-            if let Some(i) = pool.acceptable {
-                self.assign(idx, est, i, now, SimDuration::ZERO, carry, events);
-                return;
+            let query = PlacementQuery {
+                family: Family::Standard,
+                min_cores: est.cores,
+                policy: SearchPolicy::OnDemandPool {
+                    sensitivity: est.sensitivity,
+                    quality: est.quality,
+                },
+            };
+            if let Some(m) = self.find_placement(&query, now) {
+                if !m.fallback {
+                    self.assign(idx, est, m.instance, now, SimDuration::ZERO, carry, events);
+                    return;
+                }
             }
         }
         // Reuse an idle retained instance of the same family whose size
@@ -681,36 +847,16 @@ impl<'a> Scheduler<'a> {
         // first — but only if it currently delivers the quality the job
         // needs (Section 3.3: match "the resource capabilities of
         // instances to the interference requirements of a job").
-        let min_quality = est.quality * 0.9;
-        let margin = SimDuration::from_mins(2);
-        let reuse = self
-            .instances
-            .iter()
-            .enumerate()
-            .filter(|(_, inst)| {
-                !inst.reserved
-                    && !inst.released
-                    && inst.jobs.is_empty()
-                    && inst.ready_at <= now
-                    && inst.itype.family() == itype.family()
-                    && inst.itype.vcpus() >= itype.vcpus()
-                    && inst.itype.vcpus() <= itype.vcpus() * 2
-                    // Spot instances only host spot-tolerant jobs, and
-                    // only while the market is not about to reclaim them.
-                    && (!inst.spot
-                        || (spot_ok
-                            && self
-                                .cloud
-                                .instance(inst.cloud_id)
-                                .terminates_at()
-                                .is_none_or(|t| t > now + margin)))
-                    && (!self.config.profiling
-                        || self.cloud.delivered_quality(inst.cloud_id, now) >= min_quality)
-            })
-            .min_by_key(|(_, inst)| inst.itype.vcpus())
-            .map(|(i, _)| i);
-        let inst_idx = match reuse {
-            Some(i) => i,
+        let reuse_query = PlacementQuery {
+            family: itype.family(),
+            min_cores: itype.vcpus(),
+            policy: SearchPolicy::IdleDedicated {
+                spot_ok,
+                min_quality: est.quality * 0.9,
+            },
+        };
+        let inst = match self.find_placement(&reuse_query, now) {
+            Some(m) => m.instance,
             None if spot_ok => {
                 let bid = self
                     .config
@@ -721,7 +867,53 @@ impl<'a> Scheduler<'a> {
             }
             None => self.acquire(itype, now),
         };
-        self.assign(idx, est, inst_idx, now, SimDuration::ZERO, carry, events);
+        self.assign(idx, est, inst, now, SimDuration::ZERO, carry, events);
+    }
+
+    /// The idle-retention reuse search: an ordered range probe over the
+    /// `(family, size, handle)` index, so the first eligible hit is the
+    /// smallest fitting size in acquisition order — the same instance the
+    /// old `min_by_key` full scan chose.
+    fn find_idle_dedicated(
+        &self,
+        family: Family,
+        vcpus: u32,
+        spot_ok: bool,
+        min_quality: f64,
+        now: SimTime,
+    ) -> Option<InstanceHandle> {
+        let margin = SimDuration::from_mins(2);
+        let lo = (family, vcpus, InstanceHandle::MIN);
+        let hi = (family, vcpus * 2, InstanceHandle::MAX);
+        for &(_, _, h) in self.idle_buckets.range(lo..=hi) {
+            let inst = self.inst(h);
+            debug_assert!(
+                !inst.reserved && inst.jobs.is_empty(),
+                "idle index invariant"
+            );
+            if inst.ready_at > now {
+                continue;
+            }
+            // Spot instances only host spot-tolerant jobs, and only while
+            // the market is not about to reclaim them.
+            if inst.spot
+                && !(spot_ok
+                    && self
+                        .cloud
+                        .instance(inst.cloud_id)
+                        .terminates_at()
+                        .is_none_or(|t| t > now + margin))
+            {
+                continue;
+            }
+            if self.config.profiling
+                && self.cloud.delivered_quality(inst.cloud_id, now) < min_quality
+            {
+                continue;
+            }
+            return Some(h);
+        }
+        None
     }
 
     /// Acquires a fresh on-demand instance, retrying with exponential
@@ -731,7 +923,7 @@ impl<'a> Scheduler<'a> {
     /// forced through the never-failing path so placement always
     /// terminates. Without an active fault plan the first attempt always
     /// succeeds and this is identical to a plain acquisition.
-    fn acquire(&mut self, itype: InstanceType, now: SimTime) -> usize {
+    fn acquire(&mut self, itype: InstanceType, now: SimTime) -> InstanceHandle {
         let mut itype = itype;
         // Failed attempts push the instance's effective request time out:
         // the caller only learns about the failure after waiting for it.
@@ -804,19 +996,31 @@ impl<'a> Scheduler<'a> {
             self.counters.degraded_instances += 1;
         }
         self.od_allocated.record_delta(now, itype.vcpus() as f64);
-        self.instances.push(SchedInstance {
-            cloud_id: id,
+        self.track_od_instance(
+            SchedInstance {
+                cloud_id: id,
+                itype,
+                reserved: false,
+                spot: false,
+                ready_at,
+                used_cores: 0,
+                jobs: Vec::new(),
+                retention_token: 0,
+            },
             itype,
-            reserved: false,
-            spot: false,
-            ready_at,
-            used_cores: 0,
-            jobs: Vec::new(),
-            idle_since: None,
-            released: false,
-            retention_token: 0,
-        });
-        self.instances.len() - 1
+        )
+    }
+
+    /// Registers a freshly acquired on-demand instance in the arena and
+    /// the secondary indices.
+    fn track_od_instance(&mut self, inst: SchedInstance, itype: InstanceType) -> InstanceHandle {
+        let h = InstanceHandle::new(self.instances.insert(inst));
+        self.live_od.insert(h);
+        if itype.is_full_server() {
+            self.od_pool.insert(h);
+        }
+        self.counters.index_rebuilds += 1;
+        h
     }
 
     /// Acquires a fresh spot instance and schedules its market
@@ -827,7 +1031,7 @@ impl<'a> Scheduler<'a> {
         bid: f64,
         now: SimTime,
         events: &mut EventQueue<Event>,
-    ) -> usize {
+    ) -> InstanceHandle {
         let id = self.cloud.acquire_spot(itype, bid, now);
         let inst = self.cloud.instance(id);
         let ready_at = inst.ready_at();
@@ -837,23 +1041,23 @@ impl<'a> Scheduler<'a> {
             self.counters.degraded_instances += 1;
         }
         self.od_allocated.record_delta(now, itype.vcpus() as f64);
-        self.instances.push(SchedInstance {
-            cloud_id: id,
+        let h = self.track_od_instance(
+            SchedInstance {
+                cloud_id: id,
+                itype,
+                reserved: false,
+                spot: true,
+                ready_at,
+                used_cores: 0,
+                jobs: Vec::new(),
+                retention_token: 0,
+            },
             itype,
-            reserved: false,
-            spot: true,
-            ready_at,
-            used_cores: 0,
-            jobs: Vec::new(),
-            idle_since: None,
-            released: false,
-            retention_token: 0,
-        });
-        let idx = self.instances.len() - 1;
+        );
         if let Some(t) = terminates_at {
-            events.schedule(t.max(now), Event::SpotTermination(idx));
+            events.schedule(t.max(now), Event::SpotTermination(h));
         }
-        idx
+        h
     }
 
     /// Whether a job is eligible for spot capacity under the configured
@@ -877,19 +1081,21 @@ impl<'a> Scheduler<'a> {
     /// last monitor tick is lost — the checkpointing granularity).
     pub fn on_spot_termination(
         &mut self,
-        inst_idx: usize,
+        h: InstanceHandle,
         now: SimTime,
         events: &mut EventQueue<Event>,
     ) {
-        if self.instances[inst_idx].released {
+        // A stale handle means the instance was already released (e.g.
+        // drained by consolidation before the market event fired).
+        let Ok(inst) = self.instances.get(h.key()) else {
             return;
-        }
-        let victims: Vec<JobId> = self.instances[inst_idx].jobs.clone();
+        };
+        let victims: Vec<JobId> = inst.jobs.clone();
         trace_event!(
             self.tracer,
             now,
             TraceKind::SpotTerminated {
-                instance: self.instances[inst_idx].cloud_id.raw(),
+                instance: inst.cloud_id.raw(),
                 evicted: victims.len(),
             }
         );
@@ -925,13 +1131,11 @@ impl<'a> Scheduler<'a> {
                     work_lost_core_secs: lost,
                 }
             );
-            let inst = &mut self.instances[inst_idx];
-            inst.used_cores = inst.used_cores.saturating_sub(cores);
-            inst.jobs.retain(|j| j != jid);
+            self.detach_job(h, *jid, cores);
             let job = self.running.remove(jid).expect("victim is running");
             displaced.push(job);
         }
-        self.release_instance(inst_idx, now);
+        self.release_instance(h, now);
         // Requeue through the same admission path as a fresh arrival
         // (spot-ineligible: `carry` is set), so a preempted job is never
         // silently dropped — it is placed, queued, or escaped exactly
@@ -960,23 +1164,23 @@ impl<'a> Scheduler<'a> {
         &mut self,
         spec_idx: usize,
         est: &JobEstimate,
-        inst_idx: usize,
+        h: InstanceHandle,
         now: SimTime,
         queue_delay: SimDuration,
         carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
         let spec = &self.scenario.jobs()[spec_idx];
-        let cores = est.cores.min(self.instances[inst_idx].free_cores()).max(1);
-        let inst = &mut self.instances[inst_idx];
-        debug_assert!(inst.free_cores() >= cores, "overpacked instance");
-        inst.used_cores += cores;
-        inst.jobs.push(spec.id);
-        inst.idle_since = None;
-        inst.retention_token += 1;
-        let mut start_at = now.max(inst.ready_at);
-        let reserved_side = inst.reserved;
-        if inst.reserved {
+        let cores = est.cores.min(self.inst(h).free_cores()).max(1);
+        debug_assert!(self.inst(h).free_cores() >= cores, "overpacked instance");
+        self.attach_job(h, spec.id, cores);
+        let (reserved_side, ready_at) = {
+            let inst = self.inst_mut(h);
+            inst.retention_token += 1;
+            (inst.reserved, inst.ready_at)
+        };
+        let mut start_at = now.max(ready_at);
+        if reserved_side {
             self.reserved_busy.record_delta(now, cores as f64);
         }
         // Data-locality extension: running a job away from its dataset
@@ -1004,7 +1208,7 @@ impl<'a> Scheduler<'a> {
             spec.id,
             RunningJob {
                 spec_idx,
-                instance: inst_idx,
+                instance: h,
                 cores,
                 started: false,
                 start_at,
@@ -1144,8 +1348,8 @@ impl<'a> Scheduler<'a> {
     /// Aggregate pressure on instance `inst_idx` from co-scheduled jobs
     /// (true sensitivities, scaled by their core share), excluding
     /// `exclude`.
-    fn internal_pressure(&self, inst_idx: usize, exclude: Option<JobId>) -> ResourceVector {
-        let inst = &self.instances[inst_idx];
+    fn internal_pressure(&self, h: InstanceHandle, exclude: Option<JobId>) -> ResourceVector {
+        let inst = self.inst(h);
         let server = InstanceType::full_server().vcpus() as f64;
         let mut total = ResourceVector::ZERO;
         for &jid in &inst.jobs {
@@ -1168,7 +1372,7 @@ impl<'a> Scheduler<'a> {
     /// plus co-scheduled jobs.
     fn pressure_on(&self, jid: JobId, now: SimTime) -> ResourceVector {
         let job = &self.running[&jid];
-        let inst = &self.instances[job.instance];
+        let inst = self.inst(job.instance);
         let external = self.cloud.external_pressure(inst.cloud_id, now);
         external.add(&self.internal_pressure(job.instance, Some(jid)))
     }
@@ -1180,7 +1384,7 @@ impl<'a> Scheduler<'a> {
         let job = &self.running[&jid];
         let spec = &self.scenario.jobs()[job.spec_idx];
         let pressure = self.pressure_on(jid, now);
-        let host = self.instances[job.instance].cloud_id;
+        let host = self.inst(job.instance).cloud_id;
         self.cloud
             .slowdown_model()
             .slowdown(&spec.sensitivity, &pressure)
@@ -1255,7 +1459,7 @@ impl<'a> Scheduler<'a> {
         }
         let job = self.running.remove(&jid).expect("running");
         let spec = &self.scenario.jobs()[job.spec_idx];
-        let inst_idx = job.instance;
+        let inst_h = job.instance;
 
         // Record the outcome.
         let arrival = spec.arrival;
@@ -1273,9 +1477,9 @@ impl<'a> Scheduler<'a> {
                     // Finished before any tick: sample once now.
                     let slowdown = {
                         let pressure = {
-                            let inst = &self.instances[inst_idx];
+                            let inst = self.inst(inst_h);
                             let external = self.cloud.external_pressure(inst.cloud_id, now);
-                            external.add(&self.internal_pressure(inst_idx, Some(jid)))
+                            external.add(&self.internal_pressure(inst_h, Some(jid)))
                         };
                         self.cloud
                             .slowdown_model()
@@ -1294,14 +1498,15 @@ impl<'a> Scheduler<'a> {
             arrival,
             started: job.start_at,
             finished: now,
-            on_reserved: self.instances[inst_idx].reserved,
+            on_reserved: self.inst(inst_h).reserved,
             cores: job.cores,
             completion,
             p99_latency_us: p99,
             isolation_p99_us: isolation,
             normalized_perf: normalized,
             queue_delay: job.queue_delay,
-            spinup_delay: self.instances[inst_idx]
+            spinup_delay: self
+                .inst(inst_h)
                 .ready_at
                 .saturating_since(arrival)
                 .min(job.start_at.saturating_since(arrival)),
@@ -1311,26 +1516,23 @@ impl<'a> Scheduler<'a> {
 
         // Free the capacity.
         let freed = job.cores;
-        let inst = &mut self.instances[inst_idx];
-        inst.used_cores = inst.used_cores.saturating_sub(freed);
-        inst.jobs.retain(|&j| j != jid);
-        let reserved = inst.reserved;
-        let now_idle = inst.jobs.is_empty();
+        let reserved = self.inst(inst_h).reserved;
+        let now_idle = self.detach_job(inst_h, jid, freed);
         if reserved {
             self.reserved_busy.record_delta(now, -(freed as f64));
             self.queue_est.record_release(freed, now);
             self.drain_queue(now, events);
         } else if now_idle {
-            self.handle_idle_od(inst_idx, now, events);
+            self.handle_idle_od(inst_h, now, events);
         }
     }
 
     /// Decides what to do with a newly idle on-demand instance: release
     /// immediately if its delivered quality is poor, otherwise retain for
     /// `retention_mult ×` its spin-up overhead.
-    fn handle_idle_od(&mut self, inst_idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
+    fn handle_idle_od(&mut self, h: InstanceHandle, now: SimTime, events: &mut EventQueue<Event>) {
         let (cloud_id, spin_up) = {
-            let inst = &self.instances[inst_idx];
+            let inst = self.inst(h);
             (
                 inst.cloud_id,
                 self.cloud.instance(inst.cloud_id).spin_up_overhead(),
@@ -1344,23 +1546,29 @@ impl<'a> Scheduler<'a> {
         if release_now {
             // Poorly-performing instance: release immediately.
             self.counters.od_released_immediately += 1;
-            self.release_instance(inst_idx, now);
+            self.release_instance(h, now);
             return;
         }
         let retention = spin_up
             .mul_f64(self.config.retention_mult)
             .max(SimDuration::from_secs(1));
-        let inst = &mut self.instances[inst_idx];
-        inst.idle_since = Some(now);
+        let inst = self.inst_mut(h);
         inst.retention_token += 1;
         let token = inst.retention_token;
-        events.schedule(now + retention, Event::Retention(inst_idx, token));
+        let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        self.idle_buckets.insert(bucket);
+        self.counters.index_rebuilds += 1;
+        events.schedule(now + retention, Event::Retention(h, token));
     }
 
     /// Retention timer fired: release the instance if it is still idle.
-    pub fn on_retention(&mut self, inst_idx: usize, token: u64, now: SimTime) {
-        let inst = &self.instances[inst_idx];
-        if inst.released || inst.retention_token != token || !inst.jobs.is_empty() {
+    /// A stale handle means the instance was already released — the
+    /// typed-no-op analogue of the old `released` flag check.
+    pub fn on_retention(&mut self, h: InstanceHandle, token: u64, now: SimTime) {
+        let Ok(inst) = self.instances.get(h.key()) else {
+            return;
+        };
+        if inst.retention_token != token || !inst.jobs.is_empty() {
             return;
         }
         trace_event!(
@@ -1370,18 +1578,25 @@ impl<'a> Scheduler<'a> {
                 instance: inst.cloud_id.raw(),
             }
         );
-        self.release_instance(inst_idx, now);
+        self.release_instance(h, now);
     }
 
-    fn release_instance(&mut self, inst_idx: usize, now: SimTime) {
-        let inst = &mut self.instances[inst_idx];
-        debug_assert!(!inst.reserved, "reserved instances are never released");
-        if inst.released {
+    /// Releases an on-demand instance: retires its arena slot (every
+    /// outstanding handle turns stale) and drops it from all indices.
+    /// Stale handles make double releases impossible by construction.
+    fn release_instance(&mut self, h: InstanceHandle, now: SimTime) {
+        let Ok(inst) = self.instances.get(h.key()) else {
             return;
-        }
-        inst.released = true;
+        };
+        debug_assert!(!inst.reserved, "reserved instances are never released");
         let vcpus = inst.itype.vcpus() as f64;
         let id = inst.cloud_id;
+        let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        self.instances.retire(h.key()).expect("checked live above");
+        self.live_od.remove(&h);
+        self.od_pool.remove(&h);
+        self.idle_buckets.remove(&bucket);
+        self.counters.index_rebuilds += 1;
         self.od_allocated.record_delta(now, -vcpus);
         self.cloud.release(id, now);
     }
@@ -1422,8 +1637,11 @@ impl<'a> Scheduler<'a> {
         if dropped {
             self.counters.monitor_dropout_ticks += 1;
         } else {
-            for inst in &self.instances {
-                if inst.reserved || inst.released || inst.ready_at > now {
+            // `live_od` iterates ascending by index — the same order the
+            // old full scan visited live on-demand instances in.
+            for &h in &self.live_od {
+                let inst = self.instances.get(h.key()).expect("live index entry");
+                if inst.ready_at > now {
                     continue;
                 }
                 let q = self.cloud.delivered_quality(inst.cloud_id, now);
@@ -1442,14 +1660,17 @@ impl<'a> Scheduler<'a> {
         self.relieve_starving_queue(now, events);
         self.consolidate_od_pool(now, events);
 
-        // 4. Optional utilization heat-map samples.
+        // 4. Optional utilization heat-map samples. Reserved instances
+        // occupy the index prefix, so "reserved prefix, then live
+        // on-demand ascending" is exactly the old whole-arena scan order.
         if self.config.record_utilization {
-            for (i, inst) in self.instances.iter().enumerate() {
-                if inst.released || inst.ready_at > now {
+            for &h in self.reserved_handles.iter().chain(self.live_od.iter()) {
+                let inst = self.instances.get(h.key()).expect("live index entry");
+                if inst.ready_at > now {
                     continue;
                 }
                 self.utilization_samples.push(UtilizationSample {
-                    instance_index: i,
+                    instance_index: h.index(),
                     reserved: inst.reserved,
                     time: now,
                     utilization: inst.used_cores as f64 / inst.itype.vcpus() as f64,
@@ -1469,14 +1690,13 @@ impl<'a> Scheduler<'a> {
         if !self.config.strategy.is_hybrid() || !self.config.profiling {
             return;
         }
-        let pool: Vec<usize> = (0..self.instances.len())
-            .filter(|&i| {
-                let inst = &self.instances[i];
-                !inst.reserved
-                    && !inst.released
-                    && inst.itype.is_full_server()
-                    && inst.ready_at <= now
-            })
+        // The on-demand pool index (spot included, matching the old
+        // whole-arena filter), ascending by index like the old scan.
+        let pool: Vec<InstanceHandle> = self
+            .od_pool
+            .iter()
+            .copied()
+            .filter(|&h| self.inst(h).ready_at <= now)
             .collect();
         if pool.len() < 2 {
             return;
@@ -1484,39 +1704,37 @@ impl<'a> Scheduler<'a> {
         // Source: the least-used instance with at most 4 busy cores.
         let Some(&src) = pool
             .iter()
-            .filter(|&&i| {
-                let u = self.instances[i].used_cores;
+            .filter(|&&h| {
+                let u = self.inst(h).used_cores;
                 u > 0 && u <= 4
             })
-            .min_by_key(|&&i| self.instances[i].used_cores)
+            .min_by_key(|&&h| self.inst(h).used_cores)
         else {
             return;
         };
-        let need = self.instances[src].used_cores;
+        let need = self.inst(src).used_cores;
         // Destination: the fullest other instance that still fits the
         // whole source load within the packing headroom.
         let cap = InstanceType::full_server().vcpus().saturating_sub(2);
         let Some(&dst) = pool
             .iter()
-            .filter(|&&i| i != src && self.instances[i].used_cores + need <= cap)
-            .max_by_key(|&&i| self.instances[i].used_cores)
+            .filter(|&&h| h != src && self.inst(h).used_cores + need <= cap)
+            .max_by_key(|&&h| self.inst(h).used_cores)
         else {
             return;
         };
-        let moving: Vec<JobId> = self.instances[src].jobs.clone();
+        let moving: Vec<JobId> = self.inst(src).jobs.clone();
         for jid in moving {
             let Some(job) = self.running.get_mut(&jid) else {
                 continue;
             };
             let cores = job.cores;
             job.instance = dst;
-            self.instances[src].used_cores -= cores;
-            self.instances[src].jobs.retain(|&j| j != jid);
-            self.instances[dst].used_cores += cores;
-            self.instances[dst].jobs.push(jid);
+            self.detach_job(src, jid, cores);
+            self.attach_job(dst, jid, cores);
         }
-        self.instances[dst].retention_token += 1;
-        if self.instances[src].jobs.is_empty() {
+        self.inst_mut(dst).retention_token += 1;
+        if self.inst(src).jobs.is_empty() {
             self.handle_idle_od(src, now, events);
         }
     }
@@ -1530,7 +1748,7 @@ impl<'a> Scheduler<'a> {
             return;
         }
         let spec_idx = job.spec_idx;
-        let inst_idx = job.instance;
+        let inst_h = job.instance;
         let cores = job.cores;
         let spec = &self.scenario.jobs()[spec_idx];
         let slowdown = self.current_slowdown(jid, now);
@@ -1552,11 +1770,11 @@ impl<'a> Scheduler<'a> {
                 // Local QoS action: grow the allocation on the same
                 // server when the service nears saturation (Section 3.3).
                 if self.config.profiling && rho > 0.85 {
-                    let free = self.instances[inst_idx].free_cores();
+                    let free = self.inst(inst_h).free_cores();
                     if free > 0 {
                         let grow = free.min(cores);
-                        self.instances[inst_idx].used_cores += grow;
-                        if self.instances[inst_idx].reserved {
+                        self.inst_mut(inst_h).used_cores += grow;
+                        if self.inst(inst_h).reserved {
                             self.reserved_busy.record_delta(now, grow as f64);
                         }
                         self.running.get_mut(&jid).expect("running").cores += grow;
@@ -1603,7 +1821,7 @@ impl<'a> Scheduler<'a> {
                 let should_reschedule = self.config.profiling
                     && job.qos_bad_ticks >= 3
                     && !job.rescheduled
-                    && !self.instances[inst_idx].reserved;
+                    && !self.inst(inst_h).reserved;
                 if should_reschedule {
                     self.reschedule(jid, now, events);
                 }
@@ -1623,30 +1841,28 @@ impl<'a> Scheduler<'a> {
             now,
             TraceKind::Reschedule {
                 job: jid.0,
-                from_instance: self.instances[old_inst].cloud_id.raw(),
+                from_instance: self.inst(old_inst).cloud_id.raw(),
             }
         );
+        // The replacement matches the old type; read it before the old
+        // instance can be released (its handle would then be stale).
+        let itype = self.inst(old_inst).itype;
         // Free the old slot.
-        {
-            let inst = &mut self.instances[old_inst];
-            inst.used_cores = inst.used_cores.saturating_sub(cores);
-            inst.jobs.retain(|&j| j != jid);
-            if inst.jobs.is_empty() {
-                // A degraded instance we are fleeing: release immediately.
-                self.counters.od_released_immediately += 1;
-                self.release_instance(old_inst, now);
-            }
+        if self.detach_job(old_inst, jid, cores) {
+            // A degraded instance we are fleeing: release immediately.
+            self.counters.od_released_immediately += 1;
+            self.release_instance(old_inst, now);
         }
         // Acquire a replacement of the same type.
-        let itype = self.instances[old_inst].itype;
-        let new_idx = self.acquire(itype, now);
-        let inst = &mut self.instances[new_idx];
-        inst.used_cores += cores;
-        inst.jobs.push(jid);
-        inst.retention_token += 1;
-        let ready = inst.ready_at;
+        let new_h = self.acquire(itype, now);
+        self.attach_job(new_h, jid, cores);
+        let ready = {
+            let inst = self.inst_mut(new_h);
+            inst.retention_token += 1;
+            inst.ready_at
+        };
         let job = self.running.get_mut(&jid).expect("running");
-        job.instance = new_idx;
+        job.instance = new_h;
         job.rescheduled = true;
         job.qos_bad_ticks = 0;
         // Service resumes once the replacement is up; the LC finish event
@@ -1670,16 +1886,11 @@ impl<'a> Scheduler<'a> {
         } else {
             self.last_finish
         };
-        // Release everything still held.
-        let still_open: Vec<usize> = self
-            .instances
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| !i.reserved && !i.released)
-            .map(|(i, _)| i)
-            .collect();
-        for idx in still_open {
-            self.release_instance(idx, makespan.max(SimTime::ZERO));
+        // Release everything still held, ascending by index (the order
+        // the old whole-arena scan released in).
+        let still_open: Vec<InstanceHandle> = self.live_od.iter().copied().collect();
+        for h in still_open {
+            self.release_instance(h, makespan.max(SimTime::ZERO));
         }
         RunResult {
             strategy: self.config.strategy,
@@ -1822,7 +2033,8 @@ mod tests {
             sched.on_arrival(1, SimTime::ZERO, &mut events);
             sched.on_start(JobId(0), SimTime::ZERO, &mut events);
             sched.on_start(JobId(1), SimTime::ZERO, &mut events);
-            sched.internal_pressure(0, Some(JobId(0))).sum()
+            let h = sched.reserved_handles[0];
+            sched.internal_pressure(h, Some(JobId(0))).sum()
         };
         let full = run_pressure(&config);
         config.internal_pressure_scale = 0.1;
@@ -1847,12 +2059,12 @@ mod tests {
         let e0 = sched.estimate(&scenario.jobs()[0]);
         let e1 = sched.estimate(&scenario.jobs()[1]);
         sched.place_od_pool(0, &e0, SimTime::ZERO, None, &mut events);
-        let first_pool = sched.instances.len() - 1;
-        let idx = sched.acquire(InstanceType::full_server(), SimTime::ZERO);
+        let first_pool = *sched.od_pool.iter().next().expect("pool instance acquired");
+        let h = sched.acquire(InstanceType::full_server(), SimTime::ZERO);
         sched.assign(
             1,
             &e1,
-            idx,
+            h,
             SimTime::ZERO,
             SimDuration::ZERO,
             None,
@@ -1860,17 +2072,17 @@ mod tests {
         );
         sched.on_start(JobId(0), SimTime::from_secs(30), &mut events);
         sched.on_start(JobId(1), SimTime::from_secs(30), &mut events);
-        assert!(sched.instances[first_pool].used_cores > 0);
+        assert!(sched.inst(first_pool).used_cores > 0);
         sched.consolidate_od_pool(SimTime::from_secs(60), &mut events);
         // The small job moved off one of the two instances.
         let empties = sched
             .instances
             .iter()
-            .filter(|i| !i.reserved && i.jobs.is_empty())
+            .filter(|(_, i)| !i.reserved && i.jobs.is_empty())
             .count();
         assert_eq!(empties, 1, "one pool instance should have been drained");
         // Bookkeeping stays consistent.
-        let total_assigned: u32 = sched.instances.iter().map(|i| i.used_cores).sum();
+        let total_assigned: u32 = sched.instances.iter().map(|(_, i)| i.used_cores).sum();
         assert_eq!(total_assigned, e0.cores + e1.cores);
     }
 
@@ -1947,13 +2159,182 @@ mod tests {
         let config = RunConfig::new(StrategyKind::OnDemandMixed);
         let (mut sched, mut events) = scheduler(&scenario, &config);
         sched.on_arrival(0, SimTime::ZERO, &mut events);
-        let inst_idx = sched.instances.len() - 1;
-        let token_before = sched.instances[inst_idx].retention_token;
+        let h = *sched.live_od.iter().next().expect("od instance acquired");
+        let token_before = sched.inst(h).retention_token;
         // A new job lands on the instance (reuse) before the retention
         // timer fires; the stale token must not release it.
-        sched.instances[inst_idx].jobs.push(JobId(99));
-        sched.instances[inst_idx].retention_token += 1;
-        sched.on_retention(inst_idx, token_before, SimTime::from_secs(500));
-        assert!(!sched.instances[inst_idx].released);
+        sched.inst_mut(h).jobs.push(JobId(99));
+        sched.inst_mut(h).retention_token += 1;
+        sched.on_retention(h, token_before, SimTime::from_secs(500));
+        assert!(
+            sched.instances.contains(h.key()),
+            "stale token must not release the instance"
+        );
+    }
+
+    #[test]
+    fn released_instance_handles_turn_stale() {
+        let scenario = scenario_of(vec![job(0, AppClass::HadoopSvm, 2, 100)]);
+        let config = RunConfig::new(StrategyKind::OnDemandMixed);
+        let (mut sched, _) = scheduler(&scenario, &config);
+        let h = sched.acquire(InstanceType::standard(2), SimTime::ZERO);
+        assert!(sched.live_od.contains(&h));
+        sched.release_instance(h, SimTime::from_secs(1));
+        assert!(!sched.instances.contains(h.key()), "handle is stale");
+        assert!(!sched.live_od.contains(&h), "dropped from the live index");
+        assert!(!sched.od_pool.contains(&h));
+        // Double release and late retention are typed no-ops.
+        sched.release_instance(h, SimTime::from_secs(2));
+        sched.on_retention(h, 0, SimTime::from_secs(3));
+        assert_eq!(sched.instances.live_len(), sched.reserved_handles.len());
+    }
+
+    #[test]
+    fn idle_index_tracks_retained_instances() {
+        let scenario = scenario_of(vec![job(0, AppClass::HadoopSvm, 2, 100)]);
+        let config = RunConfig::new(StrategyKind::OnDemandMixed).without_profiling();
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+        let h = sched.acquire(InstanceType::standard(2), SimTime::ZERO);
+        assert!(sched.idle_buckets.is_empty());
+        // Retained idle: the instance enters the idle index...
+        sched.handle_idle_od(h, SimTime::from_secs(10), &mut events);
+        assert_eq!(sched.idle_buckets.len(), 1);
+        // ...and a reuse query finds it through the range probe.
+        let found =
+            sched.find_idle_dedicated(Family::Standard, 2, false, 0.0, SimTime::from_secs(3600));
+        assert_eq!(found, Some(h));
+        // Attaching a job removes it from the idle index.
+        sched.attach_job(h, JobId(0), 2);
+        assert!(sched.idle_buckets.is_empty());
+    }
+
+    /// The pre-index semantics of the idle-reuse search: a linear scan
+    /// over the retained set in acquisition order, smallest fitting size
+    /// first with first-seen tie-break.
+    fn naive_idle_search(
+        sched: &Scheduler<'_>,
+        retained: &[InstanceHandle],
+        family: Family,
+        vcpus: u32,
+        now: SimTime,
+    ) -> Option<InstanceHandle> {
+        retained
+            .iter()
+            .copied()
+            .filter(|&h| {
+                let inst = sched.inst(h);
+                inst.itype.family() == family
+                    && inst.itype.vcpus() >= vcpus
+                    && inst.itype.vcpus() <= vcpus * 2
+                    && inst.ready_at <= now
+                    && !inst.spot
+            })
+            .min_by_key(|&h| (sched.inst(h).itype.vcpus(), h))
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Any interleaving of acquire / retain-idle / reuse / release
+        /// leaves the secondary indices exactly equal to a from-scratch
+        /// recomputation over the arena, and the indexed idle-reuse
+        /// search returns the same instance as the naive linear scan it
+        /// replaced.
+        #[test]
+        fn placement_indices_match_naive_reference(
+            steps in proptest::collection::vec((0u8..6, proptest::prelude::any::<u16>()), 1..48),
+            q_size in 0usize..4,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+
+            const SIZES: [u32; 4] = [2, 4, 8, 16];
+            let scenario = scenario_of(vec![job(0, AppClass::HadoopSvm, 2, 100)]);
+            let config = RunConfig::new(StrategyKind::OnDemandMixed).without_profiling();
+            let (mut sched, mut events) = scheduler(&scenario, &config);
+            // Reference model mirroring the instance lifecycle: fresh
+            // acquisitions are empty but unretained, `handle_idle_od`
+            // moves them into the retained set, a reuse occupies them,
+            // and a finish empties them back into retention. `retained`
+            // stays in handle (= acquisition) order. Sim time advances
+            // monotonically across steps.
+            let mut unretained: Vec<InstanceHandle> = Vec::new();
+            let mut occupied: Vec<(InstanceHandle, JobId)> = Vec::new();
+            let mut retained: Vec<InstanceHandle> = Vec::new();
+            let retain = |list: &mut Vec<InstanceHandle>, h: InstanceHandle| {
+                let pos = list.partition_point(|&r| r < h);
+                list.insert(pos, h);
+            };
+            let mut t = SimTime::ZERO;
+            let mut next_job = 1000u64;
+            for (op, x) in steps {
+                t += SimDuration::from_secs(1);
+                match op {
+                    0 | 1 => {
+                        let size = SIZES[x as usize % SIZES.len()];
+                        unretained.push(sched.acquire(InstanceType::standard(size), t));
+                    }
+                    2 if !unretained.is_empty() => {
+                        let h = unretained.remove(x as usize % unretained.len());
+                        sched.handle_idle_od(h, t, &mut events);
+                        retain(&mut retained, h);
+                    }
+                    3 if !retained.is_empty() => {
+                        // Reuse: a job lands on a retained instance.
+                        let h = retained.remove(x as usize % retained.len());
+                        let jid = JobId(next_job);
+                        next_job += 1;
+                        sched.attach_job(h, jid, 1);
+                        occupied.push((h, jid));
+                    }
+                    4 if !occupied.is_empty() => {
+                        // Finish: the instance empties and is retained again.
+                        let (h, jid) = occupied.remove(x as usize % occupied.len());
+                        prop_assert!(sched.detach_job(h, jid, 1));
+                        sched.handle_idle_od(h, t, &mut events);
+                        retain(&mut retained, h);
+                    }
+                    5 if !retained.is_empty() => {
+                        let h = retained.remove(x as usize % retained.len());
+                        sched.release_instance(h, t);
+                    }
+                    _ => {}
+                }
+            }
+            // Query well past every spin-up so readiness never filters.
+            let now = t + SimDuration::from_secs(3600);
+            // The indexed range probe agrees with the naive scan.
+            let want_size = SIZES[q_size];
+            prop_assert_eq!(
+                sched.find_idle_dedicated(Family::Standard, want_size, false, 0.0, now),
+                naive_idle_search(&sched, &retained, Family::Standard, want_size, now)
+            );
+            // Each index equals a from-scratch recomputation over the arena.
+            let live_naive: Vec<InstanceHandle> = sched
+                .instances
+                .iter()
+                .filter(|(_, i)| !i.reserved)
+                .map(|(k, _)| InstanceHandle::new(k))
+                .collect();
+            prop_assert_eq!(
+                sched.live_od.iter().copied().collect::<Vec<_>>(),
+                live_naive.clone()
+            );
+            let pool_naive: Vec<InstanceHandle> = live_naive
+                .iter()
+                .copied()
+                .filter(|&h| sched.inst(h).itype.is_full_server())
+                .collect();
+            prop_assert_eq!(sched.od_pool.iter().copied().collect::<Vec<_>>(), pool_naive);
+            for &(family, vcpus, h) in &sched.idle_buckets {
+                let inst = sched.inst(h);
+                prop_assert!(!inst.reserved && inst.jobs.is_empty(), "idle index invariant");
+                prop_assert_eq!(inst.itype.family(), family);
+                prop_assert_eq!(inst.itype.vcpus(), vcpus);
+            }
+            let mut idle_handles: Vec<InstanceHandle> =
+                sched.idle_buckets.iter().map(|&(_, _, h)| h).collect();
+            idle_handles.sort();
+            prop_assert_eq!(idle_handles, retained, "idle index = retained set");
+        }
     }
 }

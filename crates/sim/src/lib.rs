@@ -14,7 +14,10 @@
 //! * [`stats`] — percentiles, boxplot summaries, CDFs and histograms matching
 //!   the aggregations the HCloud paper reports;
 //! * [`series`] — step-function time series used for utilization,
-//!   allocation and cost traces (Figures 3, 18–21).
+//!   allocation and cost traces (Figures 3, 18–21);
+//! * [`slot`] — an append-only generational slot arena ([`slot::SlotMap`])
+//!   whose handles fail typed ([`slot::StaleSlot`]) after retirement,
+//!   replacing raw `usize` indexing on scheduler hot paths.
 //!
 //! The entire simulation is single-threaded and deterministic: running the
 //! same experiment with the same master seed reproduces every figure
@@ -34,6 +37,7 @@ pub mod dist;
 pub mod event;
 pub mod rng;
 pub mod series;
+pub mod slot;
 pub mod stats;
 pub mod time;
 

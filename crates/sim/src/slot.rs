@@ -1,0 +1,272 @@
+//! Generational slot arena for typed, stale-checked handles.
+//!
+//! [`SlotMap`] is an append-only arena: every insert occupies a fresh
+//! slot, and slots are **never reused**, so a [`SlotKey`]'s index is a
+//! stable, dense identifier for the lifetime of the map (callers may
+//! safely expose `key.index()` in telemetry). Retiring a slot bumps its
+//! generation; any handle issued before the retirement then fails every
+//! access with the typed [`StaleSlot`] error instead of silently reading
+//! another entry's data — the failure mode of raw `usize` indexing.
+//!
+//! Determinism: iteration visits live slots in insertion (index) order,
+//! and nothing here depends on addresses or hashing, so the arena is safe
+//! to use on simulation hot paths that must replay bit-identically.
+
+use std::fmt;
+
+/// A handle into a [`SlotMap`]: slot index plus the generation it was
+/// issued at. Ordering is by index (generations never collide on a live
+/// key), so keys can serve as deterministic `BTreeSet`/`BTreeMap` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlotKey {
+    /// The smallest possible key — a range endpoint for ordered-index
+    /// scans, never a live handle.
+    pub const MIN: SlotKey = SlotKey {
+        index: 0,
+        generation: 0,
+    };
+    /// The largest possible key — the other range endpoint.
+    pub const MAX: SlotKey = SlotKey {
+        index: u32::MAX,
+        generation: u32::MAX,
+    };
+
+    /// The arena position this key points at. Stable for the lifetime of
+    /// the map (slots are never reused), even after the slot is retired.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation this key was issued at.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+/// Typed error for a handle whose slot has since been retired (or that
+/// belongs to a different map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleSlot {
+    /// The offending key.
+    pub key: SlotKey,
+}
+
+impl fmt::Display for StaleSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stale slot handle: index {} generation {}",
+            self.key.index, self.key.generation
+        )
+    }
+}
+
+impl std::error::Error for StaleSlot {}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    live: bool,
+    value: T,
+}
+
+/// Append-only generational arena; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SlotMap<T> {
+    slots: Vec<Slot<T>>,
+    live: usize,
+}
+
+impl<T> Default for SlotMap<T> {
+    fn default() -> Self {
+        SlotMap::new()
+    }
+}
+
+impl<T> SlotMap<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SlotMap {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Total slots ever created (live + retired). Because slots are never
+    /// reused this equals the number of `insert` calls.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot was ever created.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of live (non-retired) slots.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts `value` into a fresh slot and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if the arena would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> SlotKey {
+        let index = u32::try_from(self.slots.len()).expect("slot arena overflow");
+        self.slots.push(Slot {
+            generation: 0,
+            live: true,
+            value,
+        });
+        self.live += 1;
+        SlotKey {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// True when `key` still points at a live slot.
+    pub fn contains(&self, key: SlotKey) -> bool {
+        self.slot(key).is_some()
+    }
+
+    /// The value behind `key`, or [`StaleSlot`] if it was retired.
+    pub fn get(&self, key: SlotKey) -> Result<&T, StaleSlot> {
+        self.slot(key).map(|s| &s.value).ok_or(StaleSlot { key })
+    }
+
+    /// Mutable access to the value behind `key`.
+    pub fn get_mut(&mut self, key: SlotKey) -> Result<&mut T, StaleSlot> {
+        match self.slots.get_mut(key.index()) {
+            Some(s) if s.live && s.generation == key.generation => Ok(&mut s.value),
+            _ => Err(StaleSlot { key }),
+        }
+    }
+
+    /// Retires the slot behind `key`: the value stays in the arena (index
+    /// stability) but every outstanding handle to it, including `key`,
+    /// becomes stale.
+    pub fn retire(&mut self, key: SlotKey) -> Result<(), StaleSlot> {
+        match self.slots.get_mut(key.index()) {
+            Some(s) if s.live && s.generation == key.generation => {
+                s.live = false;
+                s.generation = s.generation.wrapping_add(1);
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(StaleSlot { key }),
+        }
+    }
+
+    /// Live entries in insertion (index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotKey, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(i, s)| {
+                let key = SlotKey {
+                    index: i as u32,
+                    generation: s.generation,
+                };
+                (key, &s.value)
+            })
+    }
+
+    fn slot(&self, key: SlotKey) -> Option<&Slot<T>> {
+        self.slots
+            .get(key.index())
+            .filter(|s| s.live && s.generation == key.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get_roundtrips() {
+        let mut m = SlotMap::new();
+        let a = m.insert("a");
+        let b = m.insert("b");
+        assert_eq!(m.get(a), Ok(&"a"));
+        assert_eq!(m.get(b), Ok(&"b"));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.live_len(), 2);
+    }
+
+    #[test]
+    fn retired_handles_fail_typed() {
+        let mut m = SlotMap::new();
+        let k = m.insert(7u32);
+        assert!(m.retire(k).is_ok());
+        assert_eq!(m.get(k), Err(StaleSlot { key: k }));
+        assert!(m.get_mut(k).is_err());
+        assert_eq!(m.retire(k), Err(StaleSlot { key: k }), "double retire");
+        assert!(!m.contains(k));
+        assert_eq!(m.len(), 1, "slot is kept, not reused");
+        assert_eq!(m.live_len(), 0);
+    }
+
+    #[test]
+    fn slots_are_never_reused() {
+        let mut m = SlotMap::new();
+        let a = m.insert(1);
+        m.retire(a).unwrap();
+        let b = m.insert(2);
+        assert_ne!(a.index(), b.index(), "new inserts take fresh slots");
+        assert_eq!(m.get(b), Ok(&2));
+        assert!(m.get(a).is_err());
+    }
+
+    #[test]
+    fn iteration_is_in_index_order_over_live_slots() {
+        let mut m = SlotMap::new();
+        let keys: Vec<_> = (0..5).map(|v| m.insert(v)).collect();
+        m.retire(keys[1]).unwrap();
+        m.retire(keys[3]).unwrap();
+        let seen: Vec<_> = m.iter().map(|(k, &v)| (k.index(), v)).collect();
+        assert_eq!(seen, vec![(0, 0), (2, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut m = SlotMap::new();
+        let k = m.insert(10);
+        *m.get_mut(k).unwrap() += 5;
+        assert_eq!(m.get(k), Ok(&15));
+    }
+
+    #[test]
+    fn foreign_out_of_bounds_key_is_stale_not_a_panic() {
+        let m: SlotMap<i32> = SlotMap::new();
+        assert!(m.get(SlotKey::MAX).is_err());
+    }
+
+    #[test]
+    fn key_ordering_follows_index() {
+        let mut m = SlotMap::new();
+        let a = m.insert(());
+        let b = m.insert(());
+        assert!(a < b);
+        assert!(SlotKey::MIN <= a && b <= SlotKey::MAX);
+    }
+
+    #[test]
+    fn stale_slot_displays_both_coordinates() {
+        let mut m = SlotMap::new();
+        let k = m.insert(());
+        m.retire(k).unwrap();
+        let err = m.get(k).unwrap_err();
+        assert!(err.to_string().contains("index 0"));
+        assert!(err.to_string().contains("generation 0"));
+    }
+}

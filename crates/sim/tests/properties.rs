@@ -4,7 +4,8 @@ use hcloud_sim::dist::{Dist, Sample};
 use hcloud_sim::event::EventQueue;
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::series::StepSeries;
-use hcloud_sim::stats::{percentile, Boxplot, Cdf, OnlineStats};
+use hcloud_sim::slot::{SlotKey, SlotMap};
+use hcloud_sim::stats::{percentile, percentile_sorted, Boxplot, Cdf, OnlineStats, QuantileSet};
 use hcloud_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -148,6 +149,100 @@ proptest! {
             (None, None) => {}
             _ => prop_assert!(false, "mean presence mismatch"),
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Incremental containers (QuantileSet, SlotMap)
+    // ---------------------------------------------------------------
+
+    /// `QuantileSet` tracks a clone-and-sort reference bit-for-bit under
+    /// any interleaving of inserts and removes: same length, same order
+    /// statistics, same interpolated percentiles.
+    #[test]
+    fn quantile_set_matches_sorted_reference(
+        ops in prop::collection::vec((proptest::bool::ANY, -1e3f64..1e3), 1..200),
+    ) {
+        let mut q = QuantileSet::new();
+        let mut model: Vec<f64> = Vec::new();
+        for (remove, v) in ops {
+            if remove && !model.is_empty() {
+                let idx = (v.to_bits() as usize) % model.len();
+                let target = model.swap_remove(idx);
+                prop_assert!(q.remove(target), "present in model, absent in set");
+            } else {
+                q.insert(v);
+                model.push(v);
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+        // A value never inserted cannot be removed.
+        prop_assert!(!q.remove(1e9));
+        let mut sorted = model.clone();
+        sorted.sort_by(f64::total_cmp);
+        for (k, &want) in sorted.iter().enumerate() {
+            prop_assert_eq!(q.kth(k), Some(want));
+        }
+        prop_assert_eq!(q.kth(sorted.len()), None);
+        for p in [0.0, 7.3, 25.0, 50.0, 66.6, 90.0, 95.0, 100.0] {
+            let want = if sorted.is_empty() {
+                None
+            } else {
+                Some(percentile_sorted(&sorted, p))
+            };
+            prop_assert_eq!(q.percentile(p), want, "p = {}", p);
+        }
+    }
+
+    /// `SlotMap` agrees with a naive parallel-vector model: live handles
+    /// read their value, retired handles fail typed with their own key,
+    /// and iteration yields exactly the live slots in insertion order.
+    #[test]
+    fn slotmap_matches_naive_model(
+        ops in prop::collection::vec((0u8..3, any::<u16>()), 1..150),
+    ) {
+        let mut m: SlotMap<u16> = SlotMap::new();
+        let mut keys: Vec<SlotKey> = Vec::new();
+        let mut live: Vec<bool> = Vec::new();
+        let mut vals: Vec<u16> = Vec::new();
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    let k = m.insert(x);
+                    prop_assert_eq!(k.index(), keys.len(), "slots are append-only");
+                    keys.push(k);
+                    live.push(true);
+                    vals.push(x);
+                }
+                1 if !keys.is_empty() => {
+                    let i = x as usize % keys.len();
+                    prop_assert_eq!(m.retire(keys[i]).is_ok(), live[i]);
+                    live[i] = false;
+                }
+                _ if !keys.is_empty() => {
+                    let i = x as usize % keys.len();
+                    prop_assert_eq!(m.contains(keys[i]), live[i]);
+                    match m.get(keys[i]) {
+                        Ok(&v) => {
+                            prop_assert!(live[i]);
+                            prop_assert_eq!(v, vals[i]);
+                        }
+                        Err(stale) => {
+                            prop_assert!(!live[i]);
+                            prop_assert_eq!(stale.key, keys[i]);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let got: Vec<(usize, u16)> = m.iter().map(|(k, &v)| (k.index(), v)).collect();
+        let want: Vec<(usize, u16)> = (0..keys.len())
+            .filter(|&i| live[i])
+            .map(|i| (i, vals[i]))
+            .collect();
+        prop_assert_eq!(got, want, "iteration = live slots in insertion order");
+        prop_assert_eq!(m.live_len(), live.iter().filter(|&&b| b).count());
+        prop_assert_eq!(m.len(), keys.len());
     }
 
     // ---------------------------------------------------------------
