@@ -1,0 +1,887 @@
+//! Shadow ledgers and the conservation identities they certify.
+//!
+//! The [`Auditor`] is a cheap-to-clone handle (mirroring the telemetry
+//! `Tracer`) that the scheduler and runner feed with *semantic* events:
+//! jobs admitted/completed, core-seconds credited/lost, cores bound and
+//! unbound on instances, instances acquired/idled/released. From those it
+//! maintains four ledgers:
+//!
+//! 1. **Work**: core-seconds demanded by arriving batch jobs vs.
+//!    core-seconds credited to them (tick decrements plus the remainder
+//!    completed at finish). Preemption losses are tracked separately and
+//!    cross-checked against the scheduler's own counter.
+//! 2. **Cores**: per-instance bound cores, with checked arithmetic —
+//!    over-binding past capacity and unbinding more than is bound are both
+//!    violations (the exact bugs `saturating_sub` used to mask).
+//! 3. **Queue**: admissions vs. completions vs. requeues, and queue
+//!    entries vs. exits.
+//! 4. **Lifecycle / billing**: per-instance acquired→busy→idle→released
+//!    state machine, and instance-seconds observed by the scheduler vs.
+//!    instance-seconds billed by the provider's usage records.
+//!
+//! Violations are detected eagerly at the hook that breaks an invariant
+//! and buffered; [`Auditor::step_check`] surfaces them per event-loop step
+//! under strict mode, and [`Auditor::finalize`] asserts the end-of-run
+//! identities.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use hcloud_sim::SimTime;
+
+use crate::mode::AuditMode;
+
+/// Relative tolerance for f64 work-ledger comparisons. Tick decrements
+/// telescope per job, so the only drift is summation rounding — far below
+/// this, while any real double/missed credit is at least one job's work.
+const WORK_REL_EPS: f64 = 1e-7;
+/// Absolute floor for the same comparisons (tiny runs).
+const WORK_ABS_EPS: f64 = 1e-6;
+
+fn work_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= WORK_ABS_EPS + WORK_REL_EPS * a.abs().max(b.abs())
+}
+
+/// A broken conservation invariant, stamped with the sim time of the
+/// event that broke it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Sim time of the offending event (or the makespan, for end-of-run
+    /// identity failures).
+    pub at: SimTime,
+    /// What went wrong.
+    pub kind: AuditViolationKind,
+}
+
+impl AuditViolation {
+    pub fn new(at: SimTime, kind: AuditViolationKind) -> AuditViolation {
+        AuditViolation { at, kind }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit violation at t={:.3}s: {}",
+            self.at.as_secs_f64(),
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for AuditViolation {}
+
+/// The violation taxonomy, one variant per invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditViolationKind {
+    /// Unbinding more cores from an instance than are bound — the
+    /// double-release/over-release class that `saturating_sub` clamps
+    /// silently.
+    CoreUnderflow {
+        instance: u64,
+        bound: u32,
+        unbind: u32,
+    },
+    /// Binding pushed an instance past its core capacity.
+    CoreOvercommit {
+        instance: u64,
+        bound: u32,
+        capacity: u32,
+    },
+    /// An instance finished the run with cores still bound.
+    CoreLeak { instance: u64, bound: u32 },
+    /// The same instance id was acquired twice.
+    DuplicateAcquire { instance: u64 },
+    /// A hook referenced an instance the ledger has never seen.
+    UnknownInstance { instance: u64, action: &'static str },
+    /// A hook used an instance after its release.
+    UseAfterRelease { instance: u64, action: &'static str },
+    /// An instance was released twice.
+    DoubleRelease { instance: u64 },
+    /// An instance was released while jobs still held cores on it.
+    ReleaseWhileBusy { instance: u64, bound: u32 },
+    /// An instance was parked as idle-retained while cores were bound.
+    IdleWhileBusy { instance: u64, bound: u32 },
+    /// The same job was admitted twice through the arrival path.
+    DuplicateAdmit { job: u64 },
+    /// A job completed that was never admitted.
+    UnknownJob { job: u64, action: &'static str },
+    /// The same job completed twice.
+    DuplicateCompletion { job: u64 },
+    /// A work amount was negative or non-finite.
+    NonFiniteWork { job: u64, amount: f64 },
+    /// More core-seconds were credited than were ever demanded.
+    OverCredit { demanded: f64, credited: f64 },
+    /// End of run: demanded core-seconds do not equal credited
+    /// core-seconds (work was lost or double-counted).
+    WorkConservation { demanded: f64, credited: f64 },
+    /// End of run: the lost-work ledger disagrees with the scheduler's
+    /// `work_lost_core_secs` counter.
+    LostWorkMismatch { ledger: f64, counters: f64 },
+    /// End of run: instance-seconds observed by the scheduler disagree
+    /// with instance-seconds billed by the provider's usage records
+    /// (in exact micro-vCPU-seconds).
+    InstanceSecondsMismatch { observed: u128, billed: u128 },
+    /// More queue exits than queue entries, or entries left unmatched at
+    /// end of run.
+    QueueConservation { entered: u64, left: u64 },
+    /// End of run: not every admitted job completed.
+    JobsConservation { admitted: u64, completed: u64 },
+}
+
+impl fmt::Display for AuditViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AuditViolationKind::*;
+        match self {
+            CoreUnderflow {
+                instance,
+                bound,
+                unbind,
+            } => write!(
+                f,
+                "core underflow on instance {instance}: unbinding {unbind} cores with only {bound} bound"
+            ),
+            CoreOvercommit {
+                instance,
+                bound,
+                capacity,
+            } => write!(
+                f,
+                "core overcommit on instance {instance}: {bound} cores bound on {capacity} vCPUs"
+            ),
+            CoreLeak { instance, bound } => write!(
+                f,
+                "core leak: instance {instance} ended the run with {bound} cores still bound"
+            ),
+            DuplicateAcquire { instance } => {
+                write!(f, "instance {instance} acquired twice")
+            }
+            UnknownInstance { instance, action } => {
+                write!(f, "{action} on unknown instance {instance}")
+            }
+            UseAfterRelease { instance, action } => {
+                write!(f, "{action} on released instance {instance}")
+            }
+            DoubleRelease { instance } => write!(f, "instance {instance} released twice"),
+            ReleaseWhileBusy { instance, bound } => write!(
+                f,
+                "instance {instance} released with {bound} cores still bound"
+            ),
+            IdleWhileBusy { instance, bound } => write!(
+                f,
+                "instance {instance} parked idle with {bound} cores still bound"
+            ),
+            DuplicateAdmit { job } => write!(f, "job {job} admitted twice"),
+            UnknownJob { job, action } => write!(f, "{action} for unknown job {job}"),
+            DuplicateCompletion { job } => write!(f, "job {job} completed twice"),
+            NonFiniteWork { job, amount } => {
+                write!(f, "non-finite or negative work {amount} for job {job}")
+            }
+            OverCredit { demanded, credited } => write!(
+                f,
+                "over-credit: {credited} core-seconds credited against {demanded} demanded"
+            ),
+            WorkConservation { demanded, credited } => write!(
+                f,
+                "work not conserved: {demanded} core-seconds demanded, {credited} credited"
+            ),
+            LostWorkMismatch { ledger, counters } => write!(
+                f,
+                "lost-work mismatch: ledger {ledger} core-seconds vs scheduler counter {counters}"
+            ),
+            InstanceSecondsMismatch { observed, billed } => write!(
+                f,
+                "billing mismatch: {observed} micro-vCPU-seconds observed vs {billed} billed"
+            ),
+            QueueConservation { entered, left } => write!(
+                f,
+                "queue not conserved: {entered} entries vs {left} exits"
+            ),
+            JobsConservation {
+                admitted,
+                completed,
+            } => write!(
+                f,
+                "jobs not conserved: {admitted} admitted vs {completed} completed"
+            ),
+        }
+    }
+}
+
+/// Lifecycle record for one instance, keyed by provider id.
+#[derive(Debug, Clone)]
+struct InstanceState {
+    vcpus: u32,
+    acquired: SimTime,
+    released: Option<SimTime>,
+    bound: u32,
+}
+
+/// End-of-run ledger totals, for audit trace events and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuditSummary {
+    pub demanded_core_secs: f64,
+    pub credited_core_secs: f64,
+    pub lost_core_secs: f64,
+    pub jobs_admitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_requeued: u64,
+    pub queue_entered: u64,
+    pub queue_left: u64,
+    pub instances_acquired: u64,
+    pub instances_released: u64,
+    pub violations: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ledgers {
+    demanded: f64,
+    credited: f64,
+    lost: f64,
+    admitted: BTreeSet<u64>,
+    completed: BTreeSet<u64>,
+    jobs_requeued: u64,
+    queue_entered: u64,
+    queue_left: u64,
+    instances: BTreeMap<u64, InstanceState>,
+    instances_released: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl Ledgers {
+    fn violate(&mut self, at: SimTime, kind: AuditViolationKind) {
+        self.violations.push(AuditViolation::new(at, kind));
+    }
+}
+
+/// A cheap-to-clone handle onto one run's conservation ledgers.
+///
+/// Each simulated run owns one set of ledgers; the scheduler and the
+/// runner share them through clones (single-threaded within a run). With
+/// [`AuditMode::Off`] every hook reduces to a single predictable branch.
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    mode: AuditMode,
+    inner: Rc<RefCell<Ledgers>>,
+}
+
+impl Auditor {
+    /// An auditor that checks nothing; this is the hot-path default.
+    pub fn disabled() -> Auditor {
+        Auditor::new(AuditMode::Off)
+    }
+
+    pub fn new(mode: AuditMode) -> Auditor {
+        Auditor {
+            mode,
+            inner: Rc::new(RefCell::new(Ledgers::default())),
+        }
+    }
+
+    pub fn mode(&self) -> AuditMode {
+        self.mode
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode.is_enabled()
+    }
+
+    /// Record a violation detected outside the auditor (e.g. by the
+    /// scheduler's own checked arithmetic).
+    pub fn report(&self, v: AuditViolation) {
+        if self.is_enabled() {
+            self.inner.borrow_mut().violations.push(v);
+        }
+    }
+
+    // ----- work & job ledger hooks -------------------------------------
+
+    /// A job entered the system through the arrival path with `work`
+    /// core-seconds of demand (0 for latency-critical jobs).
+    pub fn job_admitted(&self, at: SimTime, job: u64, work: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        if !work.is_finite() || work < 0.0 {
+            l.violate(at, AuditViolationKind::NonFiniteWork { job, amount: work });
+            return;
+        }
+        if !l.admitted.insert(job) {
+            l.violate(at, AuditViolationKind::DuplicateAdmit { job });
+            return;
+        }
+        l.demanded += work;
+    }
+
+    /// A job genuinely completed (stale finish events excluded).
+    pub fn job_completed(&self, at: SimTime, job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        if !l.admitted.contains(&job) {
+            l.violate(
+                at,
+                AuditViolationKind::UnknownJob {
+                    job,
+                    action: "completion",
+                },
+            );
+            return;
+        }
+        if !l.completed.insert(job) {
+            l.violate(at, AuditViolationKind::DuplicateCompletion { job });
+        }
+    }
+
+    /// A job was kicked back through admission (preemption recovery).
+    pub fn job_requeued(&self, _at: SimTime, _job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().jobs_requeued += 1;
+    }
+
+    /// `core_secs` of a job's remaining work were credited as executed.
+    pub fn work_executed(&self, at: SimTime, job: u64, core_secs: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        if !core_secs.is_finite() || core_secs < 0.0 {
+            l.violate(
+                at,
+                AuditViolationKind::NonFiniteWork {
+                    job,
+                    amount: core_secs,
+                },
+            );
+            return;
+        }
+        l.credited += core_secs;
+        if l.credited > l.demanded && !work_close(l.credited, l.demanded) {
+            let (demanded, credited) = (l.demanded, l.credited);
+            l.violate(at, AuditViolationKind::OverCredit { demanded, credited });
+        }
+    }
+
+    /// In-flight progress was discarded by a preemption.
+    pub fn work_lost(&self, at: SimTime, job: u64, core_secs: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        if !core_secs.is_finite() || core_secs < 0.0 {
+            l.violate(
+                at,
+                AuditViolationKind::NonFiniteWork {
+                    job,
+                    amount: core_secs,
+                },
+            );
+            return;
+        }
+        l.lost += core_secs;
+    }
+
+    // ----- queue ledger hooks ------------------------------------------
+
+    pub fn queue_entered(&self, _at: SimTime, _job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().queue_entered += 1;
+    }
+
+    pub fn queue_left(&self, at: SimTime, _job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        l.queue_left += 1;
+        if l.queue_left > l.queue_entered {
+            let (entered, left) = (l.queue_entered, l.queue_left);
+            l.violate(at, AuditViolationKind::QueueConservation { entered, left });
+        }
+    }
+
+    // ----- instance lifecycle / billing hooks --------------------------
+
+    /// An instance was acquired from the provider (billing starts).
+    pub fn instance_acquired(&self, at: SimTime, instance: u64, vcpus: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        if l.instances.contains_key(&instance) {
+            l.violate(at, AuditViolationKind::DuplicateAcquire { instance });
+            return;
+        }
+        l.instances.insert(
+            instance,
+            InstanceState {
+                vcpus,
+                acquired: at,
+                released: None,
+                bound: 0,
+            },
+        );
+    }
+
+    /// `cores` were bound to a job on `instance`.
+    pub fn cores_bound(&self, at: SimTime, instance: u64, cores: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        let Some(st) = l.instances.get_mut(&instance) else {
+            l.violate(
+                at,
+                AuditViolationKind::UnknownInstance {
+                    instance,
+                    action: "core bind",
+                },
+            );
+            return;
+        };
+        if st.released.is_some() {
+            l.violate(
+                at,
+                AuditViolationKind::UseAfterRelease {
+                    instance,
+                    action: "core bind",
+                },
+            );
+            return;
+        }
+        st.bound += cores;
+        if st.bound > st.vcpus {
+            let (bound, capacity) = (st.bound, st.vcpus);
+            l.violate(
+                at,
+                AuditViolationKind::CoreOvercommit {
+                    instance,
+                    bound,
+                    capacity,
+                },
+            );
+        }
+    }
+
+    /// `cores` were unbound from `instance`.
+    pub fn cores_unbound(&self, at: SimTime, instance: u64, cores: u32) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        let Some(st) = l.instances.get_mut(&instance) else {
+            l.violate(
+                at,
+                AuditViolationKind::UnknownInstance {
+                    instance,
+                    action: "core unbind",
+                },
+            );
+            return;
+        };
+        if cores > st.bound {
+            let bound = st.bound;
+            st.bound = 0;
+            l.violate(
+                at,
+                AuditViolationKind::CoreUnderflow {
+                    instance,
+                    bound,
+                    unbind: cores,
+                },
+            );
+            return;
+        }
+        st.bound -= cores;
+    }
+
+    /// An on-demand instance was parked idle-retained (no jobs).
+    pub fn instance_idle(&self, at: SimTime, instance: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        let Some(st) = l.instances.get_mut(&instance) else {
+            l.violate(
+                at,
+                AuditViolationKind::UnknownInstance {
+                    instance,
+                    action: "idle retention",
+                },
+            );
+            return;
+        };
+        if st.released.is_some() {
+            l.violate(
+                at,
+                AuditViolationKind::UseAfterRelease {
+                    instance,
+                    action: "idle retention",
+                },
+            );
+            return;
+        }
+        if st.bound != 0 {
+            let bound = st.bound;
+            l.violate(at, AuditViolationKind::IdleWhileBusy { instance, bound });
+        }
+    }
+
+    /// An instance was released back to the provider (billing stops).
+    pub fn instance_released(&self, at: SimTime, instance: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        let Some(st) = l.instances.get_mut(&instance) else {
+            l.violate(
+                at,
+                AuditViolationKind::UnknownInstance {
+                    instance,
+                    action: "release",
+                },
+            );
+            return;
+        };
+        if st.released.is_some() {
+            l.violate(at, AuditViolationKind::DoubleRelease { instance });
+            return;
+        }
+        st.released = Some(at);
+        let bound = st.bound;
+        l.instances_released += 1;
+        if bound != 0 {
+            l.violate(at, AuditViolationKind::ReleaseWhileBusy { instance, bound });
+        }
+    }
+
+    // ----- checks ------------------------------------------------------
+
+    /// Strict-mode step check: surface the first buffered violation.
+    /// Cheap (one branch + one emptiness test) when nothing is wrong.
+    pub fn step_check(&self) -> Result<(), AuditViolation> {
+        if !self.mode.is_strict() {
+            return Ok(());
+        }
+        let l = self.inner.borrow();
+        match l.violations.first() {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// End-of-run identity checks.
+    ///
+    /// * `makespan` closes still-open billing intervals, exactly as the
+    ///   provider's `usage_records(makespan)` does;
+    /// * `billed_micro_vcpu_secs` is Σ over usage records of
+    ///   `(to - from) × vcpus`, in integer micro-vCPU-seconds;
+    /// * `counters_lost_core_secs` is the scheduler's own
+    ///   `work_lost_core_secs` counter, cross-checked against the ledger.
+    pub fn finalize(
+        &self,
+        makespan: SimTime,
+        billed_micro_vcpu_secs: u128,
+        counters_lost_core_secs: f64,
+    ) -> Result<(), AuditViolation> {
+        if !self.is_enabled() {
+            return Ok(());
+        }
+        let mut l = self.inner.borrow_mut();
+        let admitted = l.admitted.len() as u64;
+        let completed = l.completed.len() as u64;
+        if admitted != completed {
+            l.violate(
+                makespan,
+                AuditViolationKind::JobsConservation {
+                    admitted,
+                    completed,
+                },
+            );
+        }
+        if l.queue_entered != l.queue_left {
+            let (entered, left) = (l.queue_entered, l.queue_left);
+            l.violate(
+                makespan,
+                AuditViolationKind::QueueConservation { entered, left },
+            );
+        }
+        if !work_close(l.demanded, l.credited) {
+            let (demanded, credited) = (l.demanded, l.credited);
+            l.violate(
+                makespan,
+                AuditViolationKind::WorkConservation { demanded, credited },
+            );
+        }
+        if !work_close(l.lost, counters_lost_core_secs) {
+            let ledger = l.lost;
+            l.violate(
+                makespan,
+                AuditViolationKind::LostWorkMismatch {
+                    ledger,
+                    counters: counters_lost_core_secs,
+                },
+            );
+        }
+        let mut observed: u128 = 0;
+        let mut leaks: Vec<(u64, u32)> = Vec::new();
+        for (&id, st) in &l.instances {
+            // Same clipping arithmetic as `Cloud::usage_records`.
+            let to = st
+                .released
+                .unwrap_or(makespan)
+                .min(makespan)
+                .max(st.acquired);
+            observed += (to.saturating_since(st.acquired).as_micros() as u128) * st.vcpus as u128;
+            if st.bound != 0 {
+                leaks.push((id, st.bound));
+            }
+        }
+        for (instance, bound) in leaks {
+            l.violate(makespan, AuditViolationKind::CoreLeak { instance, bound });
+        }
+        if observed != billed_micro_vcpu_secs {
+            l.violate(
+                makespan,
+                AuditViolationKind::InstanceSecondsMismatch {
+                    observed,
+                    billed: billed_micro_vcpu_secs,
+                },
+            );
+        }
+        match l.violations.first() {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Ledger totals, for audit trace events and tests.
+    pub fn summary(&self) -> AuditSummary {
+        let l = self.inner.borrow();
+        AuditSummary {
+            demanded_core_secs: l.demanded,
+            credited_core_secs: l.credited,
+            lost_core_secs: l.lost,
+            jobs_admitted: l.admitted.len() as u64,
+            jobs_completed: l.completed.len() as u64,
+            jobs_requeued: l.jobs_requeued,
+            queue_entered: l.queue_entered,
+            queue_left: l.queue_left,
+            instances_acquired: l.instances.len() as u64,
+            instances_released: l.instances_released,
+            violations: l.violations.len() as u64,
+        }
+    }
+
+    /// All buffered violations, in detection order.
+    pub fn violations(&self) -> Vec<AuditViolation> {
+        self.inner.borrow().violations.clone()
+    }
+}
+
+impl Default for Auditor {
+    fn default() -> Self {
+        Auditor::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn disabled_auditor_checks_nothing() {
+        let a = Auditor::disabled();
+        a.cores_unbound(t(1), 7, 99); // would be a violation if enabled
+        assert_eq!(a.summary(), AuditSummary::default());
+        assert!(a.step_check().is_ok());
+        assert!(a.finalize(t(10), 12345, 9.9).is_ok());
+    }
+
+    #[test]
+    fn clean_run_passes_both_modes() {
+        for mode in [AuditMode::Final, AuditMode::Strict] {
+            let a = Auditor::new(mode);
+            a.instance_acquired(t(0), 0, 16);
+            a.job_admitted(t(1), 1, 100.0);
+            a.cores_bound(t(1), 0, 4);
+            a.work_executed(t(5), 1, 60.0);
+            a.work_executed(t(9), 1, 40.0);
+            a.job_completed(t(9), 1);
+            a.cores_unbound(t(9), 0, 4);
+            a.instance_idle(t(9), 0);
+            a.instance_released(t(10), 0);
+            assert!(a.step_check().is_ok());
+            // 10 s × 16 vCPUs on the one instance.
+            let billed = 10_000_000u128 * 16;
+            a.finalize(t(12), billed, 0.0).unwrap();
+        }
+    }
+
+    #[test]
+    fn clones_share_ledgers() {
+        let a = Auditor::new(AuditMode::Strict);
+        let b = a.clone();
+        a.instance_acquired(t(0), 3, 8);
+        b.cores_bound(t(1), 3, 4);
+        assert_eq!(a.summary().instances_acquired, 1);
+        a.cores_unbound(t(2), 3, 5);
+        assert!(b.step_check().is_err(), "violations visible to all clones");
+    }
+
+    #[test]
+    fn core_underflow_is_caught() {
+        let a = Auditor::new(AuditMode::Strict);
+        a.instance_acquired(t(0), 1, 8);
+        a.cores_bound(t(1), 1, 2);
+        a.cores_unbound(t(2), 1, 3);
+        let v = a.step_check().unwrap_err();
+        assert!(matches!(
+            v.kind,
+            AuditViolationKind::CoreUnderflow {
+                instance: 1,
+                bound: 2,
+                unbind: 3
+            }
+        ));
+        assert_eq!(v.at, t(2));
+    }
+
+    #[test]
+    fn overcommit_and_lifecycle_violations() {
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired(t(0), 1, 4);
+        a.cores_bound(t(1), 1, 5);
+        a.instance_released(t(2), 1);
+        a.instance_released(t(3), 1);
+        a.cores_bound(t(4), 1, 1);
+        a.cores_bound(t(4), 2, 1);
+        let kinds = a.violations();
+        assert!(matches!(
+            kinds[0].kind,
+            AuditViolationKind::CoreOvercommit {
+                bound: 5,
+                capacity: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[1].kind,
+            AuditViolationKind::ReleaseWhileBusy { bound: 5, .. }
+        ));
+        assert!(matches!(
+            kinds[2].kind,
+            AuditViolationKind::DoubleRelease { .. }
+        ));
+        assert!(matches!(
+            kinds[3].kind,
+            AuditViolationKind::UseAfterRelease { .. }
+        ));
+        assert!(matches!(
+            kinds[4].kind,
+            AuditViolationKind::UnknownInstance { instance: 2, .. }
+        ));
+        // Final mode defers: step_check only trips under strict.
+        assert!(a.step_check().is_ok());
+        assert!(a.finalize(t(5), 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn work_conservation_violation_at_finalize() {
+        let a = Auditor::new(AuditMode::Final);
+        a.job_admitted(t(0), 1, 100.0);
+        a.work_executed(t(5), 1, 60.0);
+        a.job_completed(t(5), 1);
+        let err = a.finalize(t(6), 0, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::WorkConservation { .. }
+        ));
+    }
+
+    #[test]
+    fn over_credit_is_eager() {
+        let a = Auditor::new(AuditMode::Strict);
+        a.job_admitted(t(0), 1, 10.0);
+        a.work_executed(t(1), 1, 10.5);
+        assert!(matches!(
+            a.step_check().unwrap_err().kind,
+            AuditViolationKind::OverCredit { .. }
+        ));
+    }
+
+    #[test]
+    fn tiny_float_drift_is_tolerated() {
+        let a = Auditor::new(AuditMode::Strict);
+        a.job_admitted(t(0), 1, 1.0e6);
+        a.work_executed(t(1), 1, 1.0e6 * (1.0 + 1e-9));
+        a.job_completed(t(1), 1);
+        assert!(a.step_check().is_ok());
+        a.finalize(t(2), 0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn billing_mismatch_at_finalize() {
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired(t(0), 0, 4);
+        a.instance_released(t(10), 0);
+        let billed_short = 9_000_000u128 * 4;
+        let err = a.finalize(t(20), billed_short, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::InstanceSecondsMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn open_instances_bill_to_makespan() {
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired(t(0), 0, 4);
+        // Never released: clipped at makespan, like usage_records.
+        a.finalize(t(20), 20_000_000u128 * 4, 0.0).unwrap();
+    }
+
+    #[test]
+    fn queue_exit_without_entry_is_eager() {
+        let a = Auditor::new(AuditMode::Strict);
+        a.queue_entered(t(0), 1);
+        a.queue_left(t(1), 1);
+        assert!(a.step_check().is_ok());
+        a.queue_left(t(2), 2);
+        assert!(matches!(
+            a.step_check().unwrap_err().kind,
+            AuditViolationKind::QueueConservation {
+                entered: 1,
+                left: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn incomplete_jobs_fail_finalize() {
+        let a = Auditor::new(AuditMode::Final);
+        a.job_admitted(t(0), 1, 0.0);
+        let err = a.finalize(t(5), 0, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::JobsConservation {
+                admitted: 1,
+                completed: 0
+            }
+        ));
+    }
+}

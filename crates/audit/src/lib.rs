@@ -1,0 +1,37 @@
+//! # hcloud-audit — the conservation-audit oracle
+//!
+//! The simulator's headline numbers (cost vs. performance across the five
+//! provisioning strategies) are only as trustworthy as its conservation of
+//! work, cores, and dollars. This crate is the end-to-end backstop: shadow
+//! ledgers fed by the scheduler and runner, plus the identities that must
+//! hold over them:
+//!
+//! * **Work**: core-seconds demanded by arriving batch jobs
+//!   `==` core-seconds credited as executed (tick decrements + the
+//!   remainder completed at finish); preemption losses cross-checked
+//!   against the scheduler's `work_lost_core_secs` counter.
+//! * **Cores**: per-instance bound cores stay within `[0, vCPUs]` under
+//!   checked — never saturating — arithmetic.
+//! * **Queue**: queue exits never outrun entries, and every admitted job
+//!   completes exactly once.
+//! * **Billing**: instance-seconds observed by the scheduler `==`
+//!   instance-seconds billed by the provider's usage records, exactly, in
+//!   integer micro-vCPU-seconds.
+//!
+//! The switchboard is [`AuditMode`], parsed from `HCLOUD_AUDIT` with the
+//! same loud-failure contract as the other `HCLOUD_*` knobs: `off`
+//! (default — byte-identical behaviour to an unaudited build), `final`
+//! (identities checked at end of run), `strict` (violations abort at the
+//! offending event). Violations are typed [`AuditViolation`]s stamped
+//! with sim time.
+//!
+//! [`replay`] runs the trace-level subset of these checks over recorded
+//! flight-recorder JSONL files (`hcloud-cli audit`).
+
+pub mod ledger;
+pub mod mode;
+pub mod replay;
+
+pub use ledger::{AuditSummary, AuditViolation, AuditViolationKind, Auditor};
+pub use mode::AuditMode;
+pub use replay::{replay_file, ReplayStats};

@@ -76,6 +76,7 @@ fn bench_decisions(c: &mut Criterion) {
                 monitor: &monitor,
                 limits: &limits,
                 queue_estimator: &estimator,
+                now: SimTime::from_secs(100),
             };
             MappingPolicy::Dynamic.decide(&ctx, &mut rng)
         })

@@ -37,8 +37,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hcloud::runner::{run_scenario, run_scenario_traced};
+use hcloud::runner::{run_scenario, run_scenario_instrumented};
 use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
+use hcloud_audit::{AuditMode, Auditor};
 use hcloud_faults::{FaultPlan, FaultPlanId};
 use hcloud_sim::rng::RngFactory;
 use hcloud_telemetry::{MetricsRegistry, RunMeta, TraceEvent, TraceMode, Tracer};
@@ -65,6 +66,10 @@ pub struct ExperimentCtx {
     /// built-in plan name. Applied to every run whose spec does not set
     /// its own plan.
     pub faults: FaultPlanId,
+    /// Conservation-audit mode (`HCLOUD_AUDIT`): `off` (default),
+    /// `final` (identities checked at end of run) or `strict`
+    /// (violations abort at the offending event).
+    pub audit: AuditMode,
 }
 
 impl Default for ExperimentCtx {
@@ -75,6 +80,7 @@ impl Default for ExperimentCtx {
             jobs: None,
             trace: TraceMode::Off,
             faults: FaultPlanId::Off,
+            audit: AuditMode::Off,
         }
     }
 }
@@ -112,7 +118,13 @@ impl ExperimentCtx {
         self
     }
 
-    /// Parses the five ambient variables. Malformed values are an error
+    /// Sets the conservation-audit mode.
+    pub fn with_audit(mut self, audit: AuditMode) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// Parses the six ambient variables. Malformed values are an error
     /// with a message naming the variable, the offending value, and what
     /// was expected — never a silent fallback.
     pub fn parse(
@@ -121,6 +133,7 @@ impl ExperimentCtx {
         jobs: Option<&str>,
         trace: Option<&str>,
         faults: Option<&str>,
+        audit: Option<&str>,
     ) -> Result<Self, String> {
         let master_seed = match seed {
             None => 42,
@@ -150,17 +163,20 @@ impl ExperimentCtx {
         };
         let trace = TraceMode::parse(trace)?;
         let faults = FaultPlanId::parse(faults)?;
+        let audit = AuditMode::parse(audit)?;
         Ok(ExperimentCtx {
             master_seed,
             fast,
             jobs,
             trace,
             faults,
+            audit,
         })
     }
 
     /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
-    /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` from the environment.
+    /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` / `HCLOUD_AUDIT` from the
+    /// environment.
     pub fn from_env() -> Result<Self, String> {
         let var = |name: &str| std::env::var(name).ok();
         Self::parse(
@@ -169,6 +185,7 @@ impl ExperimentCtx {
             var("HCLOUD_JOBS").as_deref(),
             var("HCLOUD_TRACE").as_deref(),
             var("HCLOUD_FAULTS").as_deref(),
+            var("HCLOUD_AUDIT").as_deref(),
         )
     }
 
@@ -605,15 +622,32 @@ impl Engine {
     /// Runs the whole plan, fanning independent simulations across up to
     /// `ctx.worker_count(plan.len())` scoped threads. Results come back
     /// in plan order and are bit-identical for any worker count.
+    ///
+    /// An audit violation (`HCLOUD_AUDIT=final`/`strict`) is a hard
+    /// failure: the message is printed and the process exits 3 — a run
+    /// that broke a conservation identity must never land in a figure.
+    /// Use [`Engine::try_run_plan`] to handle the error instead.
     pub fn run_plan(&self, plan: &ExperimentPlan) -> PlanOutcome {
+        self.try_run_plan(plan).unwrap_or_else(|message| {
+            eprintln!("error: {message}");
+            std::process::exit(3);
+        })
+    }
+
+    /// [`Engine::run_plan`], but an audit violation comes back as
+    /// `Err("run <label>: <violation>")` (the first failing plan index
+    /// wins) instead of terminating the process.
+    pub fn try_run_plan(&self, plan: &ExperimentPlan) -> Result<PlanOutcome, String> {
         let started = Instant::now();
         let scenarios = self.scenario_table(plan);
         let scenario_wall = started.elapsed();
         let n = plan.len();
         let workers = self.ctx.worker_count(n);
         let tracing = self.ctx.trace.records_events();
+        let audit = self.ctx.audit;
 
-        let execute = |spec: &RunSpec| -> (RunResult, RunTelemetry, Option<RunTrace>) {
+        type RunOut = Result<(RunResult, RunTelemetry, Option<RunTrace>), String>;
+        let execute = |spec: &RunSpec| -> RunOut {
             let seed = spec.seed.unwrap_or(self.ctx.master_seed);
             let scenario: &Scenario = match &spec.scenario {
                 ScenarioSource::Kind(kind) => &scenarios[&(*kind, seed)],
@@ -622,14 +656,23 @@ impl Engine {
             let factory = RngFactory::new(seed);
             let config = spec.effective_config(&self.ctx);
             let run_started = Instant::now();
-            let (result, trace) = if tracing {
-                let tracer = Tracer::enabled();
-                let result = run_scenario_traced(scenario, &config, &factory, &tracer);
-                let trace = RunTrace {
+            let (result, trace) = if tracing || audit.is_enabled() {
+                let tracer = if tracing {
+                    Tracer::enabled()
+                } else {
+                    Tracer::disabled()
+                };
+                let auditor = Auditor::new(audit);
+                let result =
+                    run_scenario_instrumented(scenario, &config, &factory, &tracer, &auditor)
+                        .map_err(|violation| {
+                            format!("run {}: {violation}", spec.display_label())
+                        })?;
+                let trace = tracing.then(|| RunTrace {
                     meta: spec.run_meta(&self.ctx),
                     events: tracer.take(),
-                };
-                (result, Some(trace))
+                });
+                (result, trace)
             } else {
                 (run_scenario(scenario, &config, &factory), None)
             };
@@ -640,10 +683,10 @@ impl Engine {
                 index_rebuilds: result.counters.index_rebuilds,
                 placement_fastpath: result.counters.placement_fastpath,
             };
-            (result, telemetry, trace)
+            Ok((result, telemetry, trace))
         };
 
-        let mut slots: Vec<Option<(RunResult, RunTelemetry, Option<RunTrace>)>> = Vec::new();
+        let mut slots: Vec<Option<RunOut>> = Vec::new();
         slots.resize_with(n, || None);
 
         if workers <= 1 {
@@ -681,12 +724,12 @@ impl Engine {
         let mut runs = Vec::with_capacity(n);
         let mut traces = Vec::with_capacity(n);
         for slot in slots {
-            let (result, telemetry, trace) = slot.expect("every plan index executed");
+            let (result, telemetry, trace) = slot.expect("every plan index executed")?;
             results.push(result);
             runs.push(telemetry);
             traces.push(trace);
         }
-        PlanOutcome {
+        Ok(PlanOutcome {
             results,
             traces,
             telemetry: PlanTelemetry {
@@ -696,7 +739,7 @@ impl Engine {
                 workers,
                 cache_hits: 0,
             },
-        }
+        })
     }
 }
 
@@ -706,12 +749,13 @@ mod tests {
 
     #[test]
     fn ctx_defaults_match_legacy_behaviour() {
-        let ctx = ExperimentCtx::parse(None, None, None, None, None).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, None, None, None).unwrap();
         assert_eq!(ctx.master_seed, 42);
         assert!(!ctx.fast);
         assert_eq!(ctx.jobs, None);
         assert_eq!(ctx.trace, TraceMode::Off);
         assert_eq!(ctx.faults, FaultPlanId::Off);
+        assert_eq!(ctx.audit, AuditMode::Off);
     }
 
     #[test]
@@ -722,6 +766,7 @@ mod tests {
             Some("3"),
             Some("full"),
             Some("full-chaos"),
+            Some("strict"),
         )
         .unwrap();
         assert_eq!(ctx.master_seed, 7);
@@ -729,28 +774,33 @@ mod tests {
         assert_eq!(ctx.jobs, Some(3));
         assert_eq!(ctx.trace, TraceMode::Full);
         assert_eq!(ctx.faults, FaultPlanId::FullChaos);
-        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None).unwrap();
+        assert_eq!(ctx.audit, AuditMode::Strict);
+        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None, None).unwrap();
         assert!(!ctx.fast);
         assert_eq!(ctx.trace, TraceMode::Summary);
-        let ctx = ExperimentCtx::parse(None, None, None, Some("off"), Some("off")).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, Some("off"), Some("off"), Some("final"))
+            .unwrap();
         assert_eq!(ctx.trace, TraceMode::Off);
         assert_eq!(ctx.faults, FaultPlanId::Off);
+        assert_eq!(ctx.audit, AuditMode::Final);
     }
 
     #[test]
     fn ctx_rejects_malformed_values_loudly() {
-        let e = ExperimentCtx::parse(Some("banana"), None, None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(Some("banana"), None, None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
-        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("0"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("0"), None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("many"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("many"), None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None, None).unwrap_err();
         assert!(e.contains("HCLOUD_TRACE") && e.contains("loud"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, None, Some("mayhem")).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, None, Some("mayhem"), None).unwrap_err();
         assert!(e.contains("HCLOUD_FAULTS") && e.contains("mayhem"), "{e}");
+        let e = ExperimentCtx::parse(None, None, None, None, None, Some("paranoid")).unwrap_err();
+        assert!(e.contains("HCLOUD_AUDIT") && e.contains("paranoid"), "{e}");
     }
 
     #[test]
@@ -886,5 +936,19 @@ mod tests {
             summary.starts_with("1 run(s) + 0 cached on 1 worker(s):"),
             "{summary}"
         );
+    }
+
+    #[test]
+    fn strict_audit_plan_succeeds_and_matches_unaudited_results() {
+        let mut plan = ExperimentPlan::new();
+        plan.push(RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed).seed(5));
+        plan.push(RunSpec::of(ScenarioKind::HighVariability, StrategyKind::OnDemandMixed).seed(5));
+        let ctx = ExperimentCtx::new(42).with_fast(true).with_jobs(2);
+        let plain = Engine::new(ctx).run_plan(&plan);
+        let audited = Engine::new(ctx.with_audit(AuditMode::Strict))
+            .try_run_plan(&plan)
+            .expect("clean runs pass a strict audit");
+        // Auditing observes the run; it never perturbs it.
+        assert_eq!(plain.results, audited.results);
     }
 }

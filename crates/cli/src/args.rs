@@ -14,6 +14,7 @@ commands:
   export    generate a scenario and write it to JSON
   advise    recommend the cheapest strategy meeting a performance floor
   trace     replay a recorded JSONL trace as a readable timeline
+  audit     replay recorded traces through the conservation auditor
   faults    list the built-in fault-injection plans (HCLOUD_FAULTS)
 
 common options:
@@ -45,7 +46,10 @@ advise options:
 
 trace options:
   --file <path>                trace to replay (results/traces/*.jsonl)
-  --limit <n>                  show at most n events";
+  --limit <n>                  show at most n events
+
+audit options:
+  --dir <path>                 trace directory        [results/traces]";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,8 +66,25 @@ pub enum Command {
     Advise(Common, crate::advise::AdviseOptions),
     /// `trace`: replay a recorded JSONL trace as a readable timeline.
     Trace(TraceOptions),
+    /// `audit`: replay recorded traces through the conservation auditor.
+    Audit(AuditOptions),
     /// `faults`: list the built-in fault-injection plans.
     Faults,
+}
+
+/// Options for `audit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditOptions {
+    /// Directory holding the JSONL traces to audit.
+    pub dir: String,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            dir: "results/traces".into(),
+        }
+    }
 }
 
 /// Options for `trace`.
@@ -190,6 +211,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut advise = crate::advise::AdviseOptions::default();
     let mut trace_file: Option<String> = None;
     let mut trace_limit: Option<usize> = None;
+    let mut audit = AuditOptions::default();
 
     let mut i = 0;
     while i < rest.len() {
@@ -223,6 +245,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--out" => export_out = value.ok_or("--out needs a value")?.clone(),
             "--file" => trace_file = Some(value.ok_or("--file needs a value")?.clone()),
             "--limit" => trace_limit = Some(parse_num("--limit", value)?),
+            "--dir" => audit.dir = value.ok_or("--dir needs a value")?.clone(),
             "--no-profiling" => {
                 run.profiling = false;
                 consumed = 1;
@@ -266,6 +289,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 limit: trace_limit,
             }))
         }
+        "audit" => Ok(Command::Audit(audit)),
         "faults" => Ok(Command::Faults),
         "help" | "--help" | "-h" => Err("help requested".into()),
         other => Err(format!("unknown command '{other}'")),
@@ -367,6 +391,25 @@ mod tests {
     #[test]
     fn parses_faults() {
         assert_eq!(parse(&v(&["faults"])).unwrap(), Command::Faults);
+    }
+
+    #[test]
+    fn parses_audit() {
+        assert_eq!(
+            parse(&v(&["audit"])).unwrap(),
+            Command::Audit(AuditOptions {
+                dir: "results/traces".into(),
+            })
+        );
+        let c = parse(&v(&["audit", "--dir", "other/traces"])).unwrap();
+        let Command::Audit(a) = c else {
+            panic!("expected audit");
+        };
+        assert_eq!(a.dir, "other/traces");
+        assert!(
+            parse(&v(&["audit", "--dir"])).is_err(),
+            "--dir needs a value"
+        );
     }
 
     #[test]

@@ -284,6 +284,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Sweep(common, options) => sweep(&common, &options),
         Command::Export(common, out) => export(&common, &out),
         Command::Trace(options) => trace(&options),
+        Command::Audit(options) => audit(&options),
         Command::Faults => {
             faults();
             Ok(())
@@ -312,6 +313,53 @@ fn trace(options: &crate::args::TraceOptions) -> Result<(), String> {
     let timeline = hcloud_telemetry::render_timeline(&text, options.limit)
         .map_err(|e| format!("{}: {e}", options.file))?;
     print!("{timeline}");
+    Ok(())
+}
+
+/// Replays every flight-recorder JSONL trace in a directory through the
+/// offline conservation auditor: instance lifecycle, queue conservation
+/// and stream integrity (`hcloud-cli audit`).
+fn audit(options: &crate::args::AuditOptions) -> Result<(), String> {
+    let mut files: Vec<std::path::PathBuf> = fs::read_dir(&options.dir)
+        .map_err(|e| format!("cannot read {}: {e}", options.dir))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!(
+            "no .jsonl traces under {} (record some with HCLOUD_TRACE=full)",
+            options.dir
+        ));
+    }
+    let mut failed = 0usize;
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        match hcloud_audit::replay_file(&text) {
+            Ok(stats) => println!(
+                "ok   {name}: {} events, {} spin-up(s) / {} release(s), {} queue enter(s) / {} exit(s), {} spot termination(s)",
+                stats.events,
+                stats.spin_ups,
+                stats.releases,
+                stats.queue_enters,
+                stats.queue_exits,
+                stats.spot_terminations,
+            ),
+            Err(e) => {
+                println!("FAIL {name}: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} trace(s) failed the audit",
+            files.len()
+        ));
+    }
+    println!("{} trace(s) audited, all clean", files.len());
     Ok(())
 }
 

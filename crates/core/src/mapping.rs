@@ -10,7 +10,7 @@
 //!   `Q90` vs `QT` comparison, and queueing-time-aware overflow.
 
 use hcloud_cloud::InstanceType;
-use hcloud_sim::SimDuration;
+use hcloud_sim::{SimDuration, SimTime};
 use rand::Rng;
 
 use crate::dynamic::DynamicLimits;
@@ -69,6 +69,9 @@ pub struct MappingContext<'a> {
     pub limits: &'a DynamicLimits,
     /// The queueing-time estimator.
     pub queue_estimator: &'a QueueEstimator,
+    /// Decision time — lets the queue estimator credit the part of the
+    /// current release cycle that has already elapsed.
+    pub now: SimTime,
 }
 
 /// Where the policy sends the job.
@@ -142,7 +145,7 @@ impl MappingPolicy {
             // instance (which is insensitive-safe).
             let wait = ctx
                 .queue_estimator
-                .estimate_wait(ctx.job_cores, ctx.queue_len);
+                .estimate_wait(ctx.job_cores, ctx.queue_len, ctx.now);
             match wait {
                 Some(w) if w > ctx.expected_spinup_large => Placement::OnDemandLarge,
                 Some(_) => Placement::Queue,
@@ -187,6 +190,7 @@ mod tests {
                 monitor: &self.monitor,
                 limits: &self.limits,
                 queue_estimator: &self.estimator,
+                now: SimTime::ZERO,
             }
         }
     }

@@ -75,8 +75,10 @@ impl QualityMonitor {
     pub fn q90(&self, itype: InstanceType) -> f64 {
         match self.samples.get(&itype) {
             // 10th percentile of delivered quality =
-            // guaranteed-90%-of-the-time level.
-            Some(b) if b.len() >= 10 => b.percentile(10.0).expect("non-empty window"),
+            // guaranteed-90%-of-the-time level. An empty window (only
+            // reachable if the ≥10 guard changes) degrades to the prior
+            // rather than feeding a sentinel into the P8 comparison.
+            Some(b) if b.len() >= 10 => b.percentile(10.0).unwrap_or_else(|| Self::prior(itype)),
             _ => Self::prior(itype),
         }
     }

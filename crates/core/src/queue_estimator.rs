@@ -96,28 +96,48 @@ impl QueueEstimator {
         if buf.len() < 5 {
             return None;
         }
-        let v = buf.percentile(q * 100.0).expect("non-empty window");
+        let v = buf.percentile(q * 100.0)?;
         Some(SimDuration::from_secs_f64(v))
     }
 
     /// The estimated queueing time for a job needing `size` cores with
-    /// `ahead` queued jobs in front of it; `None` while the estimator is
-    /// cold (the caller should then fall back to a pessimistic default).
+    /// `ahead` queued jobs in front of it at sim time `now`; `None` while
+    /// the estimator is cold (the caller should then fall back to a
+    /// pessimistic default).
     ///
     /// With ≥10 measured waits for this size, the estimate is their 99th
     /// percentile (the paper's feedback formulation). Before that it
-    /// falls back to the release-interval tail scaled by queue position.
-    pub fn estimate_wait(&self, size: u32, ahead: usize) -> Option<SimDuration> {
+    /// falls back to the release-interval tail scaled by queue position —
+    /// computed in `f64` and clamped to [`MAX_ESTIMATE_SECS`], because a
+    /// very deep queue times a long tail interval overflows the
+    /// duration's microsecond range into a non-finite value — minus the
+    /// part of the current release cycle that has already elapsed (a job
+    /// queueing mid-cycle does not restart the cycle; the credit is
+    /// capped at one interval so the estimate never goes negative).
+    pub fn estimate_wait(&self, size: u32, ahead: usize, now: SimTime) -> Option<SimDuration> {
         if let Some(buf) = self.waits.get(&size) {
             if buf.len() >= 10 {
-                let q99 = buf.percentile(99.0).expect("non-empty window");
+                let q99 = buf.percentile(99.0)?;
                 return Some(SimDuration::from_secs_f64(q99));
             }
         }
-        let q99 = self.release_interval_quantile(size, 0.99)?;
-        Some(q99.mul_f64((ahead + 1) as f64))
+        let q99 = self.release_interval_quantile(size, 0.99)?.as_secs_f64();
+        let mut scaled = q99 * (ahead as f64 + 1.0);
+        if !scaled.is_finite() || scaled > MAX_ESTIMATE_SECS {
+            scaled = MAX_ESTIMATE_SECS;
+        }
+        if let Some(&last) = self.last_release.get(&size) {
+            let elapsed = now.saturating_since(last).as_secs_f64().min(q99);
+            scaled = (scaled - elapsed).max(0.0);
+        }
+        Some(SimDuration::from_secs_f64(scaled))
     }
 }
+
+/// Upper bound on a scaled queueing-time estimate, in seconds (~116
+/// days): far beyond any plausible wait, but comfortably inside the
+/// duration type's finite range even after scaling.
+pub const MAX_ESTIMATE_SECS: f64 = 1e7;
 
 #[cfg(test)]
 mod tests {
@@ -126,7 +146,7 @@ mod tests {
     #[test]
     fn cold_estimator_abstains() {
         let e = QueueEstimator::default();
-        assert_eq!(e.estimate_wait(4, 0), None);
+        assert_eq!(e.estimate_wait(4, 0, SimTime::ZERO), None);
     }
 
     #[test]
@@ -135,7 +155,10 @@ mod tests {
         for k in 0..50u64 {
             e.record_release(4, SimTime::from_secs(k * 2));
         }
-        let est = e.estimate_wait(4, 0).expect("50 releases recorded");
+        // Query at the moment of the last release: no elapsed-cycle credit.
+        let est = e
+            .estimate_wait(4, 0, SimTime::from_secs(98))
+            .expect("50 releases recorded");
         assert!((1.9..2.5).contains(&est.as_secs_f64()), "estimate {est}");
     }
 
@@ -145,8 +168,9 @@ mod tests {
         for k in 0..50u64 {
             e.record_release(4, SimTime::from_secs(k));
         }
-        let alone = e.estimate_wait(4, 0).expect("50 releases recorded");
-        let behind = e.estimate_wait(4, 3).expect("50 releases recorded");
+        let now = SimTime::from_secs(49);
+        let alone = e.estimate_wait(4, 0, now).expect("50 releases recorded");
+        let behind = e.estimate_wait(4, 3, now).expect("50 releases recorded");
         assert_eq!(behind.as_micros(), alone.as_micros() * 4);
     }
 
@@ -156,8 +180,9 @@ mod tests {
         for k in 0..20u64 {
             e.record_release(16, SimTime::from_secs(k * 3));
         }
-        assert!(e.estimate_wait(1, 0).is_some());
-        assert!(e.estimate_wait(16, 0).is_some());
+        let now = SimTime::from_secs(57);
+        assert!(e.estimate_wait(1, 0, now).is_some());
+        assert!(e.estimate_wait(16, 0, now).is_some());
     }
 
     #[test]
@@ -166,8 +191,61 @@ mod tests {
         for k in 0..20u64 {
             e.record_release(2, SimTime::from_secs(k));
         }
-        assert!(e.estimate_wait(2, 0).is_some());
-        assert_eq!(e.estimate_wait(8, 0), None);
+        let now = SimTime::from_secs(19);
+        assert!(e.estimate_wait(2, 0, now).is_some());
+        assert_eq!(e.estimate_wait(8, 0, now), None);
+    }
+
+    /// Regression: the cold-path estimate ignored in-flight releases — a
+    /// job queueing mid-cycle was quoted a full interval even when the
+    /// next release was imminent.
+    #[test]
+    fn elapsed_release_cycle_is_credited() {
+        let mut e = QueueEstimator::default();
+        for k in 0..50u64 {
+            e.record_release(4, SimTime::from_secs(k * 2));
+        }
+        let fresh = e
+            .estimate_wait(4, 0, SimTime::from_secs(98))
+            .expect("warm estimator");
+        let mid_cycle = e
+            .estimate_wait(4, 0, SimTime::from_secs(99))
+            .expect("warm estimator");
+        assert!(
+            mid_cycle.as_secs_f64() <= fresh.as_secs_f64() - 0.9,
+            "one elapsed second must be credited: {mid_cycle} vs {fresh}"
+        );
+        // The credit is capped at one interval: a long-idle estimator
+        // floors at zero instead of going negative.
+        let idle = e
+            .estimate_wait(4, 0, SimTime::from_secs(10_000))
+            .expect("warm estimator");
+        assert_eq!(idle, SimDuration::ZERO);
+    }
+
+    /// Regression: `q99.mul_f64((ahead + 1) as f64)` on a 10⁵-deep queue
+    /// with a long-tailed release distribution overflowed the duration
+    /// range into a non-finite estimate.
+    #[test]
+    fn very_deep_queue_estimate_stays_finite() {
+        let mut e = QueueEstimator::default();
+        for k in 0..20u64 {
+            e.record_release(4, SimTime::from_secs(k * 1_000_000));
+        }
+        let est = e
+            .estimate_wait(4, 100_000, SimTime::from_secs(19_000_000))
+            .expect("warm estimator");
+        assert!(est.as_secs_f64().is_finite());
+        assert!(
+            est.as_secs_f64() <= MAX_ESTIMATE_SECS,
+            "estimate {est} must be clamped"
+        );
+        // An empty queue on the same distribution stays well-behaved too.
+        let empty = e
+            .estimate_wait(4, 0, SimTime::from_secs(19_000_000))
+            .expect("warm estimator");
+        assert!(empty.as_secs_f64().is_finite());
+        assert!(empty <= est);
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //! [`Scheduler`] under a [`RunConfig`], driving the discrete-event loop to
 //! completion and returning the [`RunResult`] every figure binary
 //! aggregates.
+//!
+//! [`run_scenario_instrumented`] additionally threads a conservation
+//! [`Auditor`] through the scheduler, checks its invariants (per event
+//! under strict mode, and the end-of-run identities either way), and
+//! fails the run with a typed [`AuditViolation`] when accounting breaks.
 
+use hcloud_audit::{AuditViolation, Auditor};
 use hcloud_sim::event::EventQueue;
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::SimTime;
@@ -36,7 +42,28 @@ pub fn run_scenario_traced(
     factory: &RngFactory,
     tracer: &Tracer,
 ) -> RunResult {
-    let mut sched = Scheduler::with_tracer(scenario, config, factory, tracer.clone());
+    run_scenario_instrumented(scenario, config, factory, tracer, &Auditor::disabled())
+        .expect("a disabled auditor never reports violations")
+}
+
+/// [`run_scenario_traced`] with the conservation-audit oracle attached.
+///
+/// The auditor's shadow ledgers are fed by the scheduler's accounting
+/// hooks; under [`hcloud_audit::AuditMode::Strict`] every event-loop step
+/// asserts the ledgers are violation-free, and under any enabled mode the
+/// end-of-run identities (work demanded == executed + lost, observed ==
+/// billed instance-seconds, queue and job conservation, per-instance core
+/// leaks) are checked against the finished [`RunResult`]. With a disabled
+/// auditor this is exactly [`run_scenario_traced`].
+pub fn run_scenario_instrumented(
+    scenario: &Scenario,
+    config: &RunConfig,
+    factory: &RngFactory,
+    tracer: &Tracer,
+    auditor: &Auditor,
+) -> Result<RunResult, AuditViolation> {
+    let mut sched =
+        Scheduler::with_instruments(scenario, config, factory, tracer.clone(), auditor.clone());
     let mut events: EventQueue<Event> = EventQueue::new();
     for (i, job) in scenario.jobs().iter().enumerate() {
         events.schedule(job.arrival, Event::Arrival(i));
@@ -50,21 +77,37 @@ pub fn run_scenario_traced(
 
     let mut end = SimTime::ZERO;
     let mut events_processed = 0usize;
-    while let Some((t, event)) = events.pop() {
+    let result = loop {
+        let Some((t, event)) = events.pop() else {
+            break Ok(());
+        };
         end = t;
         events_processed += 1;
-        match event {
-            Event::Arrival(i) => sched.on_arrival(i, t, &mut events),
-            Event::Start(jid) => sched.on_start(jid, t, &mut events),
+        let stepped = match event {
+            Event::Arrival(i) => {
+                sched.on_arrival(i, t, &mut events);
+                Ok(())
+            }
+            Event::Start(jid) => {
+                sched.on_start(jid, t, &mut events);
+                Ok(())
+            }
             Event::Finish(jid, v) => sched.on_finish(jid, v, t, &mut events),
-            Event::Retention(idx, token) => sched.on_retention(idx, token, t),
+            Event::Retention(idx, token) => {
+                sched.on_retention(idx, token, t);
+                Ok(())
+            }
             Event::SpotTermination(idx) => sched.on_spot_termination(idx, t, &mut events),
             Event::Tick => {
-                sched.on_tick(t, &mut events);
+                let r = sched.on_tick(t, &mut events);
                 if t < last_arrival || sched.pending_jobs() > 0 {
                     events.schedule(t + config.monitor_interval, Event::Tick);
                 }
+                r
             }
+        };
+        if let Err(violation) = stepped.and_then(|()| auditor.step_check()) {
+            break Err(violation);
         }
         if events_processed.is_multiple_of(PROGRESS_EVERY) {
             trace_event!(
@@ -76,7 +119,7 @@ pub fn run_scenario_traced(
                 }
             );
         }
-    }
+    };
     trace_event!(
         tracer,
         end,
@@ -86,9 +129,53 @@ pub fn run_scenario_traced(
             max_queue_depth: events.max_depth(),
         }
     );
-    let mut result = sched.into_result(end);
-    result.counters.events_processed = events_processed;
-    result
+    if let Err(violation) = result {
+        trace_event!(
+            tracer,
+            end,
+            TraceKind::AuditViolation {
+                message: violation.to_string(),
+            }
+        );
+        return Err(violation);
+    }
+    let mut run = sched.into_result(end);
+    run.counters.events_processed = events_processed;
+    if auditor.is_enabled() {
+        // The billing side of the instance-seconds identity, exactly as
+        // the provider computes it: micro-vCPU-seconds over the usage
+        // records, clipped to the makespan.
+        let billed: u128 = run
+            .usage_records
+            .iter()
+            .map(|u| u.duration().as_micros() as u128 * u.itype.vcpus() as u128)
+            .sum();
+        let finalized = auditor.finalize(run.makespan, billed, run.counters.work_lost_core_secs);
+        let summary = auditor.summary();
+        trace_event!(
+            tracer,
+            end,
+            TraceKind::AuditSummary {
+                demanded_core_secs: summary.demanded_core_secs,
+                credited_core_secs: summary.credited_core_secs,
+                lost_core_secs: summary.lost_core_secs,
+                jobs_admitted: summary.jobs_admitted,
+                jobs_completed: summary.jobs_completed,
+                violations: summary.violations,
+            }
+        );
+        if let Err(violation) = finalized {
+            trace_event!(
+                tracer,
+                end,
+                TraceKind::AuditViolation {
+                    message: violation.to_string(),
+                }
+            );
+            return Err(violation);
+        }
+    }
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -231,6 +318,48 @@ mod tests {
             assert!(ev.at >= last, "trace is sim-time ordered");
             last = ev.at;
         }
+    }
+
+    #[test]
+    fn strict_audit_passes_on_clean_runs() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        for strategy in StrategyKind::ALL {
+            let config = RunConfig::new(strategy);
+            let auditor = Auditor::new(hcloud_audit::AuditMode::Strict);
+            let result = run_scenario_instrumented(
+                &scenario,
+                &config,
+                &RngFactory::new(7),
+                &Tracer::disabled(),
+                &auditor,
+            );
+            let result = result.unwrap_or_else(|v| panic!("{strategy}: {v}"));
+            assert_eq!(result.outcomes.len(), scenario.jobs().len());
+            let summary = auditor.summary();
+            assert_eq!(summary.violations, 0, "{strategy}");
+            assert_eq!(summary.jobs_admitted, scenario.jobs().len() as u64);
+            assert_eq!(summary.jobs_completed, summary.jobs_admitted);
+        }
+    }
+
+    #[test]
+    fn auditing_does_not_perturb_results() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        let config = RunConfig::new(StrategyKind::HybridMixed);
+        let plain = run_scenario(&scenario, &config, &RngFactory::new(7));
+        let auditor = Auditor::new(hcloud_audit::AuditMode::Strict);
+        let audited = run_scenario_instrumented(
+            &scenario,
+            &config,
+            &RngFactory::new(7),
+            &Tracer::disabled(),
+            &auditor,
+        )
+        .expect("clean run");
+        assert_eq!(
+            plain, audited,
+            "auditor must not change simulation outcomes"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use hcloud_audit::{AuditViolation, AuditViolationKind, Auditor};
 use hcloud_cloud::{AcquireFailure, Cloud, Family, InstanceId, InstanceType};
 use hcloud_faults::FaultInjector;
 use hcloud_interference::{Resource, ResourceVector};
@@ -202,6 +203,7 @@ pub struct Scheduler<'a> {
     decisions: Vec<PlacementDecision>,
     last_finish: SimTime,
     tracer: Tracer,
+    auditor: Auditor,
     /// Which side of the dynamic limits the last traced decision saw:
     /// 0 below soft, 1 between, 2 above hard. Only consulted when tracing.
     last_band: u8,
@@ -234,6 +236,20 @@ impl<'a> Scheduler<'a> {
         factory: &RngFactory,
         tracer: Tracer,
     ) -> Self {
+        Scheduler::with_instruments(scenario, config, factory, tracer, Auditor::disabled())
+    }
+
+    /// Like [`Scheduler::with_tracer`], but semantic accounting events
+    /// (work credited, cores bound, instance lifecycle) also feed
+    /// `auditor`'s conservation ledgers. With a disabled auditor this is
+    /// exactly `with_tracer`.
+    pub fn with_instruments(
+        scenario: &'a Scenario,
+        config: &'a RunConfig,
+        factory: &RngFactory,
+        tracer: Tracer,
+        auditor: Auditor,
+    ) -> Self {
         let injector = FaultInjector::new(config.faults.clone(), factory.child("faults"));
         let mut cloud = Cloud::with_instruments(
             config.cloud.clone(),
@@ -261,6 +277,9 @@ impl<'a> Scheduler<'a> {
                 }))
             })
             .collect();
+        for &id in &reserved_ids {
+            auditor.instance_acquired(SimTime::ZERO, id.raw(), InstanceType::full_server().vcpus());
+        }
         let quasar = config
             .profiling
             .then(|| QuasarEngine::new(config.quasar.clone(), &factory.child("quasar")));
@@ -295,6 +314,7 @@ impl<'a> Scheduler<'a> {
             decisions: Vec::new(),
             last_finish: SimTime::ZERO,
             tracer,
+            auditor,
             last_band: 0,
             monitor_dropped: false,
         }
@@ -329,7 +349,7 @@ impl<'a> Scheduler<'a> {
 
     /// Binds `jid` to `h`, charging `cores`, and keeps the idle-retention
     /// index in sync: an idle instance that takes a job leaves it.
-    fn attach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32) {
+    fn attach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32, now: SimTime) {
         let inst = self
             .instances
             .get_mut(h.key())
@@ -337,7 +357,9 @@ impl<'a> Scheduler<'a> {
         inst.used_cores += cores;
         inst.jobs.push(jid);
         let od = !inst.reserved;
+        let cloud_id = inst.cloud_id.raw();
         let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        self.auditor.cores_bound(now, cloud_id, cores);
         if od && self.idle_buckets.remove(&bucket) {
             self.counters.index_rebuilds += 1;
         }
@@ -346,14 +368,39 @@ impl<'a> Scheduler<'a> {
     /// Unbinds `jid` from `h`, freeing `cores`. Returns `true` when the
     /// instance is left empty; the caller then decides between retention
     /// (which re-enters the idle index) and release.
-    fn detach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32) -> bool {
+    ///
+    /// Freeing more cores than are bound is a conservation bug (e.g. a
+    /// double unbind): it is reported as a typed [`AuditViolation`]
+    /// instead of being silently clamped by saturating arithmetic.
+    fn detach_job(
+        &mut self,
+        h: InstanceHandle,
+        jid: JobId,
+        cores: u32,
+        now: SimTime,
+    ) -> Result<bool, AuditViolation> {
         let inst = self
             .instances
             .get_mut(h.key())
             .expect("detach from live instance");
-        inst.used_cores = inst.used_cores.saturating_sub(cores);
+        let Some(remaining) = inst.used_cores.checked_sub(cores) else {
+            let violation = AuditViolation::new(
+                now,
+                AuditViolationKind::CoreUnderflow {
+                    instance: inst.cloud_id.raw(),
+                    bound: inst.used_cores,
+                    unbind: cores,
+                },
+            );
+            self.auditor.report(violation.clone());
+            return Err(violation);
+        };
+        inst.used_cores = remaining;
         inst.jobs.retain(|&j| j != jid);
-        inst.jobs.is_empty()
+        let empty = inst.jobs.is_empty();
+        let cloud_id = inst.cloud_id.raw();
+        self.auditor.cores_unbound(now, cloud_id, cores);
+        Ok(empty)
     }
 
     // ------------------------------------------------------------------
@@ -396,6 +443,14 @@ impl<'a> Scheduler<'a> {
     /// Handles a job arrival.
     pub fn on_arrival(&mut self, idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
         let est = self.estimate(&self.scenario.jobs()[idx]);
+        if self.auditor.is_enabled() {
+            let spec = &self.scenario.jobs()[idx];
+            let demanded = match spec.kind {
+                JobKind::Batch { work_core_secs } => work_core_secs,
+                JobKind::LatencyCritical { .. } => 0.0,
+            };
+            self.auditor.job_admitted(now, spec.id.0, demanded);
+        }
         self.admit(idx, &est, now, None, events);
     }
 
@@ -533,13 +588,13 @@ impl<'a> Scheduler<'a> {
                 if self.config.strategy.on_demand_full_only()
                     || self.config.strategy == StrategyKind::StaticReserved
                 {
-                    self.place_od_pool(idx, est, now, carry, events);
+                    self.place_od_pool(idx, est, now, SimDuration::ZERO, carry, events);
                 } else {
                     self.place_od_dedicated(idx, est, class, now, carry, events);
                 }
             }
             Placement::OnDemandLarge => {
-                self.place_od_pool(idx, est, now, carry, events);
+                self.place_od_pool(idx, est, now, SimDuration::ZERO, carry, events);
             }
             Placement::Queue => {
                 self.enqueue(idx, est, now, carry);
@@ -548,7 +603,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Decides between reserved and on-demand for this strategy.
-    fn decide_placement(&mut self, idx: usize, est: &JobEstimate, _now: SimTime) -> Placement {
+    fn decide_placement(&mut self, idx: usize, est: &JobEstimate, now: SimTime) -> Placement {
         match self.config.strategy {
             StrategyKind::StaticReserved => Placement::Reserved,
             StrategyKind::OnDemandFull | StrategyKind::OnDemandMixed => Placement::OnDemand,
@@ -569,6 +624,7 @@ impl<'a> Scheduler<'a> {
                     monitor: &self.monitor,
                     limits: &self.limits,
                     queue_estimator: &self.queue_est,
+                    now,
                 };
                 // Graceful degradation: while the QoS monitor signal is
                 // dropped out, the dynamic policy cannot trust its Q90
@@ -757,12 +813,16 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Places a job on the on-demand full-server pool, packing onto an
-    /// existing instance when possible.
+    /// existing instance when possible. `queue_delay` is the waiting
+    /// interval the job just finished serving (non-zero when arriving
+    /// here from the starvation-relief path), so it is credited to the
+    /// job rather than dropped.
     fn place_od_pool(
         &mut self,
         idx: usize,
         est: &JobEstimate,
         now: SimTime,
+        queue_delay: SimDuration,
         carry: Option<Carryover>,
         events: &mut EventQueue<Event>,
     ) {
@@ -780,7 +840,7 @@ impl<'a> Scheduler<'a> {
             Some(m) if !m.fallback => m.instance,
             _ => self.acquire(InstanceType::full_server(), now),
         };
-        self.assign(idx, est, inst, now, SimDuration::ZERO, carry, events);
+        self.assign(idx, est, inst, now, queue_delay, carry, events);
     }
 
     /// The instance type a mixed-size strategy requests for this job:
@@ -1014,6 +1074,13 @@ impl<'a> Scheduler<'a> {
     /// Registers a freshly acquired on-demand instance in the arena and
     /// the secondary indices.
     fn track_od_instance(&mut self, inst: SchedInstance, itype: InstanceType) -> InstanceHandle {
+        if self.auditor.is_enabled() {
+            // Ledger acquisition time must match what the provider bills
+            // from: the (possibly retry-delayed) request time, not `now`.
+            let requested = self.cloud.instance(inst.cloud_id).requested_at();
+            self.auditor
+                .instance_acquired(requested, inst.cloud_id.raw(), itype.vcpus());
+        }
         let h = InstanceHandle::new(self.instances.insert(inst));
         self.live_od.insert(h);
         if itype.is_full_server() {
@@ -1084,11 +1151,11 @@ impl<'a> Scheduler<'a> {
         h: InstanceHandle,
         now: SimTime,
         events: &mut EventQueue<Event>,
-    ) {
+    ) -> Result<(), AuditViolation> {
         // A stale handle means the instance was already released (e.g.
         // drained by consolidation before the market event fired).
         let Ok(inst) = self.instances.get(h.key()) else {
-            return;
+            return Ok(());
         };
         let victims: Vec<JobId> = inst.jobs.clone();
         trace_event!(
@@ -1123,6 +1190,8 @@ impl<'a> Scheduler<'a> {
                 0.0
             };
             self.counters.work_lost_core_secs += lost;
+            self.auditor.work_lost(now, jid.0, lost);
+            self.auditor.job_requeued(now, jid.0);
             trace_event!(
                 self.tracer,
                 now,
@@ -1131,7 +1200,7 @@ impl<'a> Scheduler<'a> {
                     work_lost_core_secs: lost,
                 }
             );
-            self.detach_job(h, *jid, cores);
+            self.detach_job(h, *jid, cores, now)?;
             let job = self.running.remove(jid).expect("victim is running");
             displaced.push(job);
         }
@@ -1154,6 +1223,7 @@ impl<'a> Scheduler<'a> {
             };
             self.admit(job.spec_idx, &est, now, Some(carry), events);
         }
+        Ok(())
     }
 
     /// Binds a job to an instance and schedules its start. `carry` (set
@@ -1173,7 +1243,7 @@ impl<'a> Scheduler<'a> {
         let spec = &self.scenario.jobs()[spec_idx];
         let cores = est.cores.min(self.inst(h).free_cores()).max(1);
         debug_assert!(self.inst(h).free_cores() >= cores, "overpacked instance");
-        self.attach_job(h, spec.id, cores);
+        self.attach_job(h, spec.id, cores, now);
         let (reserved_side, ready_at) = {
             let inst = self.inst_mut(h);
             inst.retention_token += 1;
@@ -1237,7 +1307,11 @@ impl<'a> Scheduler<'a> {
         carry: Option<Carryover>,
     ) {
         self.counters.queued_jobs += 1;
-        let estimated_wait = self.queue_est.estimate_wait(est.cores, self.queue.len());
+        self.auditor
+            .queue_entered(now, self.scenario.jobs()[spec_idx].id.0);
+        let estimated_wait = self
+            .queue_est
+            .estimate_wait(est.cores, self.queue.len(), now);
         trace_event!(
             self.tracer,
             now,
@@ -1272,6 +1346,8 @@ impl<'a> Scheduler<'a> {
             };
             let wait = now.saturating_since(qj.enqueued);
             if self.try_place_reserved(qj.spec_idx, &est, now, wait, qj.carry, events) {
+                self.auditor
+                    .queue_left(now, self.scenario.jobs()[qj.spec_idx].id.0);
                 self.queue_est.record_wait(qj.cores, wait);
                 self.wait_samples.push(WaitSample {
                     size: qj.cores,
@@ -1318,10 +1394,13 @@ impl<'a> Scheduler<'a> {
                     quality: qj.est_quality,
                     cores: qj.cores,
                 };
+                let wait = now.saturating_since(qj.enqueued);
+                self.auditor
+                    .queue_left(now, self.scenario.jobs()[qj.spec_idx].id.0);
                 self.wait_samples.push(WaitSample {
                     size: qj.cores,
                     estimated: qj.estimated_wait,
-                    actual: now.saturating_since(qj.enqueued),
+                    actual: wait,
                 });
                 trace_event!(
                     self.tracer,
@@ -1334,7 +1413,10 @@ impl<'a> Scheduler<'a> {
                         relieved: true,
                     }
                 );
-                self.place_od_pool(qj.spec_idx, &est, now, qj.carry, events);
+                // The waiting interval just served must ride along: the
+                // assignment credits it to the job's queue delay, on top
+                // of any delay carried from earlier preemptions.
+                self.place_od_pool(qj.spec_idx, &est, now, wait, qj.carry, events);
             } else {
                 i += 1;
             }
@@ -1450,14 +1532,18 @@ impl<'a> Scheduler<'a> {
         version: u64,
         now: SimTime,
         events: &mut EventQueue<Event>,
-    ) {
+    ) -> Result<(), AuditViolation> {
         let Some(job) = self.running.get(&jid) else {
-            return; // already finished
+            return Ok(()); // already finished
         };
         if job.finish_version != version || !job.started {
-            return; // stale projection
+            return Ok(()); // stale projection
         }
         let job = self.running.remove(&jid).expect("running");
+        // The projection completes exactly the work still outstanding at
+        // the last checkpoint; credit it to the executed ledger.
+        self.auditor.work_executed(now, jid.0, job.remaining_work);
+        self.auditor.job_completed(now, jid.0);
         let spec = &self.scenario.jobs()[job.spec_idx];
         let inst_h = job.instance;
 
@@ -1517,7 +1603,7 @@ impl<'a> Scheduler<'a> {
         // Free the capacity.
         let freed = job.cores;
         let reserved = self.inst(inst_h).reserved;
-        let now_idle = self.detach_job(inst_h, jid, freed);
+        let now_idle = self.detach_job(inst_h, jid, freed, now)?;
         if reserved {
             self.reserved_busy.record_delta(now, -(freed as f64));
             self.queue_est.record_release(freed, now);
@@ -1525,6 +1611,7 @@ impl<'a> Scheduler<'a> {
         } else if now_idle {
             self.handle_idle_od(inst_h, now, events);
         }
+        Ok(())
     }
 
     /// Decides what to do with a newly idle on-demand instance: release
@@ -1556,6 +1643,8 @@ impl<'a> Scheduler<'a> {
         inst.retention_token += 1;
         let token = inst.retention_token;
         let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        let raw_id = inst.cloud_id.raw();
+        self.auditor.instance_idle(now, raw_id);
         self.idle_buckets.insert(bucket);
         self.counters.index_rebuilds += 1;
         events.schedule(now + retention, Event::Retention(h, token));
@@ -1592,6 +1681,7 @@ impl<'a> Scheduler<'a> {
         let vcpus = inst.itype.vcpus() as f64;
         let id = inst.cloud_id;
         let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
+        self.auditor.instance_released(now, id.raw());
         self.instances.retire(h.key()).expect("checked live above");
         self.live_od.remove(&h);
         self.od_pool.remove(&h);
@@ -1607,7 +1697,11 @@ impl<'a> Scheduler<'a> {
 
     /// Periodic monitoring: quality sampling, progress re-projection,
     /// QoS actions, feedback loops.
-    pub fn on_tick(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) -> Result<(), AuditViolation> {
         // 0. Fault injection: while the monitor signal is dropped out, no
         // quality samples arrive and the dynamic policy degrades to the
         // static soft-limit rule (see `decide_placement`).
@@ -1652,13 +1746,13 @@ impl<'a> Scheduler<'a> {
         // 2. Update running jobs.
         let jids: Vec<JobId> = self.running.keys().copied().collect();
         for jid in jids {
-            self.update_job(jid, now, events);
+            self.update_job(jid, now, events)?;
         }
 
         // 3. Feedback loops.
         self.limits.observe_queue(self.queue.len(), now);
         self.relieve_starving_queue(now, events);
-        self.consolidate_od_pool(now, events);
+        self.consolidate_od_pool(now, events)?;
 
         // 4. Optional utilization heat-map samples. Reserved instances
         // occupy the index prefix, so "reserved prefix, then live
@@ -1677,6 +1771,7 @@ impl<'a> Scheduler<'a> {
                 });
             }
         }
+        Ok(())
     }
 
     /// Consolidates the hybrids' on-demand pool: when a full-server
@@ -1686,9 +1781,13 @@ impl<'a> Scheduler<'a> {
     /// up, so migration pays no spin-up. At most one migration per tick
     /// to avoid thrash. The pure on-demand baselines do not do this —
     /// consolidation is part of HCloud's active management.
-    fn consolidate_od_pool(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+    fn consolidate_od_pool(
+        &mut self,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) -> Result<(), AuditViolation> {
         if !self.config.strategy.is_hybrid() || !self.config.profiling {
-            return;
+            return Ok(());
         }
         // The on-demand pool index (spot included, matching the old
         // whole-arena filter), ascending by index like the old scan.
@@ -1699,7 +1798,7 @@ impl<'a> Scheduler<'a> {
             .filter(|&h| self.inst(h).ready_at <= now)
             .collect();
         if pool.len() < 2 {
-            return;
+            return Ok(());
         }
         // Source: the least-used instance with at most 4 busy cores.
         let Some(&src) = pool
@@ -1710,7 +1809,7 @@ impl<'a> Scheduler<'a> {
             })
             .min_by_key(|&&h| self.inst(h).used_cores)
         else {
-            return;
+            return Ok(());
         };
         let need = self.inst(src).used_cores;
         // Destination: the fullest other instance that still fits the
@@ -1721,7 +1820,7 @@ impl<'a> Scheduler<'a> {
             .filter(|&&h| h != src && self.inst(h).used_cores + need <= cap)
             .max_by_key(|&&h| self.inst(h).used_cores)
         else {
-            return;
+            return Ok(());
         };
         let moving: Vec<JobId> = self.inst(src).jobs.clone();
         for jid in moving {
@@ -1730,22 +1829,28 @@ impl<'a> Scheduler<'a> {
             };
             let cores = job.cores;
             job.instance = dst;
-            self.detach_job(src, jid, cores);
-            self.attach_job(dst, jid, cores);
+            self.detach_job(src, jid, cores, now)?;
+            self.attach_job(dst, jid, cores, now);
         }
         self.inst_mut(dst).retention_token += 1;
         if self.inst(src).jobs.is_empty() {
             self.handle_idle_od(src, now, events);
         }
+        Ok(())
     }
 
     /// Progress + QoS update for one job.
-    fn update_job(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
+    fn update_job(
+        &mut self,
+        jid: JobId,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) -> Result<(), AuditViolation> {
         let Some(job) = self.running.get(&jid) else {
-            return;
+            return Ok(());
         };
         if !job.started {
-            return;
+            return Ok(());
         }
         let spec_idx = job.spec_idx;
         let inst_h = job.instance;
@@ -1756,13 +1861,20 @@ impl<'a> Scheduler<'a> {
         match spec.kind {
             JobKind::Batch { .. } => {
                 let eff = cores.min(spec.cores).max(1) as f64;
-                let job = self.running.get_mut(&jid).expect("running");
-                let dt = now.saturating_since(job.last_progress).as_secs_f64();
-                job.remaining_work = (job.remaining_work - eff * dt / slowdown).max(0.0);
-                job.last_progress = now;
-                job.finish_version += 1;
-                let v = job.finish_version;
-                let finish = now + SimDuration::from_secs_f64(job.remaining_work * slowdown / eff);
+                let (executed, v, finish) = {
+                    let job = self.running.get_mut(&jid).expect("running");
+                    let dt = now.saturating_since(job.last_progress).as_secs_f64();
+                    let before = job.remaining_work;
+                    job.remaining_work = (job.remaining_work - eff * dt / slowdown).max(0.0);
+                    job.last_progress = now;
+                    job.finish_version += 1;
+                    (
+                        before - job.remaining_work,
+                        job.finish_version,
+                        now + SimDuration::from_secs_f64(job.remaining_work * slowdown / eff),
+                    )
+                };
+                self.auditor.work_executed(now, jid.0, executed);
                 events.schedule(finish, Event::Finish(jid, v));
             }
             JobKind::LatencyCritical { offered_rps, .. } => {
@@ -1774,6 +1886,8 @@ impl<'a> Scheduler<'a> {
                     if free > 0 {
                         let grow = free.min(cores);
                         self.inst_mut(inst_h).used_cores += grow;
+                        let raw_id = self.inst(inst_h).cloud_id.raw();
+                        self.auditor.cores_bound(now, raw_id, grow);
                         if self.inst(inst_h).reserved {
                             self.reserved_busy.record_delta(now, grow as f64);
                         }
@@ -1823,14 +1937,20 @@ impl<'a> Scheduler<'a> {
                     && !job.rescheduled
                     && !self.inst(inst_h).reserved;
                 if should_reschedule {
-                    self.reschedule(jid, now, events);
+                    self.reschedule(jid, now, events)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Moves a persistently degraded job to a fresh on-demand instance.
-    fn reschedule(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
+    fn reschedule(
+        &mut self,
+        jid: JobId,
+        now: SimTime,
+        events: &mut EventQueue<Event>,
+    ) -> Result<(), AuditViolation> {
         self.counters.reschedules += 1;
         let (cores, old_inst) = {
             let job = &self.running[&jid];
@@ -1848,14 +1968,14 @@ impl<'a> Scheduler<'a> {
         // instance can be released (its handle would then be stale).
         let itype = self.inst(old_inst).itype;
         // Free the old slot.
-        if self.detach_job(old_inst, jid, cores) {
+        if self.detach_job(old_inst, jid, cores, now)? {
             // A degraded instance we are fleeing: release immediately.
             self.counters.od_released_immediately += 1;
             self.release_instance(old_inst, now);
         }
         // Acquire a replacement of the same type.
         let new_h = self.acquire(itype, now);
-        self.attach_job(new_h, jid, cores);
+        self.attach_job(new_h, jid, cores, now);
         let ready = {
             let inst = self.inst_mut(new_h);
             inst.retention_token += 1;
@@ -1869,6 +1989,7 @@ impl<'a> Scheduler<'a> {
         // (fixed lifetime) remains valid, so no rescheduling of events.
         job.last_progress = ready.max(now);
         let _ = events;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -2058,7 +2179,7 @@ mod tests {
         // Force both jobs onto separate od pool instances.
         let e0 = sched.estimate(&scenario.jobs()[0]);
         let e1 = sched.estimate(&scenario.jobs()[1]);
-        sched.place_od_pool(0, &e0, SimTime::ZERO, None, &mut events);
+        sched.place_od_pool(0, &e0, SimTime::ZERO, SimDuration::ZERO, None, &mut events);
         let first_pool = *sched.od_pool.iter().next().expect("pool instance acquired");
         let h = sched.acquire(InstanceType::full_server(), SimTime::ZERO);
         sched.assign(
@@ -2073,7 +2194,9 @@ mod tests {
         sched.on_start(JobId(0), SimTime::from_secs(30), &mut events);
         sched.on_start(JobId(1), SimTime::from_secs(30), &mut events);
         assert!(sched.inst(first_pool).used_cores > 0);
-        sched.consolidate_od_pool(SimTime::from_secs(60), &mut events);
+        sched
+            .consolidate_od_pool(SimTime::from_secs(60), &mut events)
+            .unwrap();
         // The small job moved off one of the two instances.
         let empties = sched
             .instances
@@ -2143,7 +2266,9 @@ mod tests {
         sched.on_start(JobId(0), SimTime::ZERO, &mut events);
         // Finish the first job: the queue head (16-core) takes the slot.
         let version = sched.running[&JobId(0)].finish_version;
-        sched.on_finish(JobId(0), version, SimTime::from_secs(600), &mut events);
+        sched
+            .on_finish(JobId(0), version, SimTime::from_secs(600), &mut events)
+            .unwrap();
         assert_eq!(sched.queue.len(), 1);
         assert!(sched.running.contains_key(&JobId(1)));
         assert!(!sched.running.contains_key(&JobId(2)) || sched.queue.is_empty());
@@ -2204,7 +2329,7 @@ mod tests {
             sched.find_idle_dedicated(Family::Standard, 2, false, 0.0, SimTime::from_secs(3600));
         assert_eq!(found, Some(h));
         // Attaching a job removes it from the idle index.
-        sched.attach_job(h, JobId(0), 2);
+        sched.attach_job(h, JobId(0), 2, SimTime::from_secs(3600));
         assert!(sched.idle_buckets.is_empty());
     }
 
@@ -2283,13 +2408,13 @@ mod tests {
                         let h = retained.remove(x as usize % retained.len());
                         let jid = JobId(next_job);
                         next_job += 1;
-                        sched.attach_job(h, jid, 1);
+                        sched.attach_job(h, jid, 1, t);
                         occupied.push((h, jid));
                     }
                     4 if !occupied.is_empty() => {
                         // Finish: the instance empties and is retained again.
                         let (h, jid) = occupied.remove(x as usize % occupied.len());
-                        prop_assert!(sched.detach_job(h, jid, 1));
+                        prop_assert!(sched.detach_job(h, jid, 1, t).expect("single detach"));
                         sched.handle_idle_od(h, t, &mut events);
                         retain(&mut retained, h);
                     }
@@ -2336,5 +2461,99 @@ mod tests {
             idle_handles.sort();
             prop_assert_eq!(idle_handles, retained, "idle index = retained set");
         }
+    }
+
+    /// Regression: `detach_job` used `saturating_sub`, so unbinding more
+    /// cores than are bound (e.g. a double unbind) silently clamped to
+    /// zero and corrupted the core ledger. It must be a typed accounting
+    /// error instead.
+    #[test]
+    fn double_detach_is_a_typed_accounting_error() {
+        let scenario = scenario_of(vec![job(0, AppClass::HadoopSvm, 2, 100)]);
+        let config = RunConfig::new(StrategyKind::OnDemandMixed);
+        let (mut sched, _) = scheduler(&scenario, &config);
+        let h = sched.acquire(InstanceType::standard(4), SimTime::ZERO);
+        sched.attach_job(h, JobId(0), 2, SimTime::ZERO);
+        assert!(sched
+            .detach_job(h, JobId(0), 2, SimTime::from_secs(1))
+            .expect("first unbind is legal"));
+        let err = sched
+            .detach_job(h, JobId(0), 2, SimTime::from_secs(2))
+            .expect_err("second unbind of the same cores must be caught");
+        assert_eq!(err.at, SimTime::from_secs(2));
+        assert!(
+            matches!(
+                err.kind,
+                AuditViolationKind::CoreUnderflow {
+                    bound: 0,
+                    unbind: 2,
+                    ..
+                }
+            ),
+            "unexpected violation: {err}"
+        );
+        // The instance state is untouched by the rejected unbind.
+        assert_eq!(sched.inst(h).used_cores, 0);
+    }
+
+    /// Regression: the starvation-relief path re-placed a queued job with
+    /// a zero queue delay, dropping the waiting interval it had just
+    /// served. A job that queues, is relieved to on-demand, is preempted
+    /// there, queues again (twice over) must end up with a queue delay
+    /// equal to the sum of its distinct waiting intervals — no dropped
+    /// and no double-counted interval.
+    #[test]
+    fn queue_delay_accumulates_across_preemptions() {
+        let jobs = vec![
+            job(0, AppClass::HadoopSvm, 16, 10_000),
+            job(1, AppClass::HadoopSvm, 2, 10_000),
+        ];
+        let scenario = scenario_of(jobs);
+        let mut config = RunConfig::new(StrategyKind::HybridFull);
+        config.reserved_cores_override = Some(16);
+        // Always prefer reserved, so job 1 queues whenever job 0 holds
+        // the whole reserved pool.
+        config.policy = crate::mapping::MappingPolicy::UtilizationLimit(2.0);
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+
+        // Job 0 fills the reserved pool; job 1 queues behind it.
+        sched.on_arrival(0, SimTime::ZERO, &mut events);
+        sched.on_start(JobId(0), SimTime::ZERO, &mut events);
+        sched.on_arrival(1, SimTime::ZERO, &mut events);
+        assert_eq!(sched.queue.len(), 1, "job 1 must queue behind job 0");
+
+        // Wait 1: starved for 3600s, then relieved to the od pool.
+        let t1 = SimTime::from_secs(3600);
+        sched.on_tick(t1, &mut events).unwrap();
+        assert!(sched.queue.is_empty(), "job 1 must be relieved");
+        assert!(sched.running.contains_key(&JobId(1)));
+
+        // Preemption 1 kills the od instance; job 1 queues again.
+        let h1 = *sched.od_pool.iter().next().expect("od pool instance");
+        let t2 = SimTime::from_secs(4000);
+        sched.on_spot_termination(h1, t2, &mut events).unwrap();
+        assert_eq!(sched.queue.len(), 1, "job 1 requeued after preemption");
+
+        // Wait 2: starved for 7200s, relieved again.
+        let t3 = SimTime::from_secs(4000 + 7200);
+        sched.on_tick(t3, &mut events).unwrap();
+        assert!(sched.queue.is_empty());
+
+        // Preemption 2.
+        let h2 = *sched.od_pool.iter().next().expect("od pool instance");
+        let t4 = SimTime::from_secs(12_000);
+        sched.on_spot_termination(h2, t4, &mut events).unwrap();
+        assert_eq!(sched.queue.len(), 1);
+
+        // Wait 3: job 0 finishes; the queue drains onto reserved.
+        let t5 = SimTime::from_secs(20_000);
+        let version = sched.running[&JobId(0)].finish_version;
+        sched.on_finish(JobId(0), version, t5, &mut events).unwrap();
+        let job1 = &sched.running[&JobId(1)];
+        assert_eq!(
+            job1.queue_delay,
+            SimDuration::from_secs(3600 + 7200 + 8000),
+            "total queueing time must equal the sum of the three distinct waits"
+        );
     }
 }

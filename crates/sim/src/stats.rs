@@ -156,20 +156,31 @@ impl SortedSample {
         self.mean
     }
 
-    /// The `p`-th percentile (`0 ≤ p ≤ 100`), linear interpolation.
-    pub fn percentile(&self, p: f64) -> f64 {
-        percentile_sorted(&self.sorted, p)
+    /// The `p`-th percentile (`0 ≤ p ≤ 100`), linear interpolation;
+    /// `None` on an empty sample, matching [`QuantileSet::percentile`]
+    /// and [`RollingQuantiles::percentile`]. (Construction rejects empty
+    /// input, so a sample obtained via [`SortedSample::from_values`]
+    /// always answers `Some` — the `Option` exists so every percentile
+    /// read in the crate has one signature and callers can't forget the
+    /// empty case when samples arrive by other routes.)
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(percentile_sorted(&self.sorted, p))
     }
 
     /// The paper's five-number-plus-mean summary.
     pub fn boxplot(&self) -> Boxplot {
+        // Construction guarantees a non-empty buffer, so the percentile
+        // reads go straight to the sorted slice.
         Boxplot {
-            p5: self.percentile(5.0),
-            p25: self.percentile(25.0),
+            p5: percentile_sorted(&self.sorted, 5.0),
+            p25: percentile_sorted(&self.sorted, 25.0),
             mean: self.mean,
-            p50: self.percentile(50.0),
-            p75: self.percentile(75.0),
-            p95: self.percentile(95.0),
+            p50: percentile_sorted(&self.sorted, 50.0),
+            p75: percentile_sorted(&self.sorted, 75.0),
+            p95: percentile_sorted(&self.sorted, 95.0),
             min: self.sorted[0],
             max: *self.sorted.last().expect("non-empty"),
             count: self.sorted.len(),
@@ -919,7 +930,7 @@ mod tests {
         let values = [9.0, 1.0, 5.0, 5.0, 3.0, 7.0];
         let s = SortedSample::from_values(&values).unwrap();
         assert_eq!(Some(s.boxplot()), Boxplot::from_values(&values));
-        assert_eq!(s.percentile(50.0), percentile(&values, 50.0).unwrap());
+        assert_eq!(s.percentile(50.0), percentile(&values, 50.0));
         assert_eq!(s.mean(), mean(&values).unwrap());
         let cdf = s.clone().into_cdf();
         assert_eq!(Some(cdf), Cdf::from_values(&values));
@@ -928,6 +939,17 @@ mod tests {
     #[test]
     fn sorted_sample_empty_is_none() {
         assert!(SortedSample::from_values(&[]).is_none());
+    }
+
+    /// Every percentile read in the crate abstains on empty input with
+    /// the same `Option` signature — `SortedSample` included.
+    #[test]
+    fn empty_percentile_semantics_are_uniform() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(QuantileSet::new().percentile(50.0), None);
+        assert_eq!(RollingQuantiles::new(4).percentile(50.0), None);
+        let s = SortedSample::from_values(&[2.0]).unwrap();
+        assert_eq!(s.percentile(50.0), Some(2.0));
     }
 
     #[test]

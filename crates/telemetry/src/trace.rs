@@ -144,6 +144,18 @@ pub enum TraceKind {
     /// normal admission path, with the work it lost since its last
     /// checkpoint.
     RecoveryRequeue { job: u64, work_lost_core_secs: f64 },
+    /// `audit` — end-of-run ledger totals from the conservation oracle.
+    AuditSummary {
+        demanded_core_secs: f64,
+        credited_core_secs: f64,
+        lost_core_secs: f64,
+        jobs_admitted: u64,
+        jobs_completed: u64,
+        violations: u64,
+    },
+    /// `audit` — a conservation invariant was broken; the run fails with
+    /// this violation.
+    AuditViolation { message: String },
 }
 
 impl TraceKind {
@@ -173,6 +185,8 @@ impl TraceKind {
             TraceKind::RecoveryFamilyFallback { .. } => "recovery-family-fallback",
             TraceKind::RecoveryPolicyFallback { .. } => "recovery-policy-fallback",
             TraceKind::RecoveryRequeue { .. } => "recovery-requeue",
+            TraceKind::AuditSummary { .. } => "audit-summary",
+            TraceKind::AuditViolation { .. } => "audit-violation",
         }
     }
 }
@@ -335,6 +349,21 @@ impl TraceEvent {
             } => b
                 .set("job", *job)
                 .set("work_lost_core_secs", *work_lost_core_secs),
+            TraceKind::AuditSummary {
+                demanded_core_secs,
+                credited_core_secs,
+                lost_core_secs,
+                jobs_admitted,
+                jobs_completed,
+                violations,
+            } => b
+                .set("demanded_core_secs", *demanded_core_secs)
+                .set("credited_core_secs", *credited_core_secs)
+                .set("lost_core_secs", *lost_core_secs)
+                .set("jobs_admitted", *jobs_admitted)
+                .set("jobs_completed", *jobs_completed)
+                .set("violations", *violations),
+            TraceKind::AuditViolation { message } => b.set("message", message.as_str()),
         };
         b.build()
     }
@@ -452,6 +481,34 @@ mod tests {
         let line = ev.to_json().to_string();
         assert!(line.starts_with("{\"t_us\":1500000,\"ev\":\"decision\""));
         assert!(line.contains("\"q90\":null"), "NaN serializes as null");
+    }
+
+    #[test]
+    fn audit_events_encode_stably() {
+        let ev = TraceEvent::new(
+            SimTime::from_secs(9),
+            TraceKind::AuditSummary {
+                demanded_core_secs: 100.0,
+                credited_core_secs: 100.0,
+                lost_core_secs: 0.0,
+                jobs_admitted: 3,
+                jobs_completed: 3,
+                violations: 0,
+            },
+        );
+        let line = ev.to_json().to_string();
+        assert!(line.starts_with("{\"t_us\":9000000,\"ev\":\"audit-summary\""));
+        assert!(line.contains("\"jobs_admitted\":3"));
+        let ev = TraceEvent::new(
+            SimTime::ZERO,
+            TraceKind::AuditViolation {
+                message: "work conservation broke".into(),
+            },
+        );
+        assert!(ev
+            .to_json()
+            .to_string()
+            .contains("\"ev\":\"audit-violation\""));
     }
 
     #[test]
