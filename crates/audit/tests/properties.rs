@@ -11,13 +11,12 @@
 //!   scheduler's retention-token rule — and flags the stale-timer
 //!   release the rule exists to prevent.
 
-use hcloud::runner::run_scenario_instrumented;
+use hcloud::runner::{run_scenario, RunCtx};
 use hcloud::{MappingPolicy, RunConfig, StrategyKind};
 use hcloud_audit::{AuditMode, AuditViolationKind, Auditor};
 use hcloud_faults::FaultPlanId;
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::SimTime;
-use hcloud_telemetry::Tracer;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 use proptest::prelude::*;
 use rand::Rng;
@@ -57,13 +56,8 @@ proptest! {
             .with_policy(policy)
             .with_faults(faults.plan());
         let auditor = Auditor::new(AuditMode::Strict);
-        let result = run_scenario_instrumented(
-            &scenario,
-            &config,
-            &RngFactory::new(seed),
-            &Tracer::disabled(),
-            &auditor,
-        );
+        let factory = RngFactory::new(seed);
+        let result = run_scenario(&scenario, &config, &RunCtx::new(&factory).with_auditor(&auditor));
         prop_assert!(
             result.is_ok(),
             "{faults:?}/{strategy}/{policy:?}/seed{seed}: {}",
@@ -88,12 +82,11 @@ fn retention_churn_never_releases_a_reused_instance() {
             let config =
                 RunConfig::new(StrategyKind::HybridMixed).with_retention_mult(retention_mult);
             let auditor = Auditor::new(AuditMode::Strict);
-            run_scenario_instrumented(
+            let factory = RngFactory::new(seed);
+            run_scenario(
                 &scenario,
                 &config,
-                &RngFactory::new(seed),
-                &Tracer::disabled(),
-                &auditor,
+                &RunCtx::new(&factory).with_auditor(&auditor),
             )
             .unwrap_or_else(|v| panic!("retention x{retention_mult} seed {seed}: {v}"));
             let summary = auditor.summary();

@@ -18,7 +18,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hcloud::monitor::QualityMonitor;
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
+use hcloud_bench::fleet::run_digest as digest;
 use hcloud_bench::{artifacts, ExperimentCtx};
 use hcloud_cloud::InstanceType;
 use hcloud_json::{ObjectBuilder, Value};
@@ -27,59 +31,6 @@ use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
 /// Timing repetitions per strategy; the minimum is reported.
 const REPS: usize = 3;
-
-/// FNV-1a 64-bit, the digest primitive (no external deps, stable).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf29ce484222325)
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-}
-
-/// A deterministic digest of everything the simulation decided: per-job
-/// outcomes (bit-exact), usage records and the headline counters. Two
-/// builds disagreeing on any placement, timing or accounting byte
-/// disagree here.
-fn digest(r: &RunResult) -> String {
-    let mut h = Fnv::new();
-    h.u64(r.makespan.as_micros());
-    h.u64(r.outcomes.len() as u64);
-    for o in &r.outcomes {
-        h.u64(o.id.0);
-        h.u64(o.started.as_micros());
-        h.u64(o.finished.as_micros());
-        h.u64(o.cores as u64);
-        h.u64(o.on_reserved as u64);
-        h.f64(o.normalized_perf);
-        h.u64(o.queue_delay.as_micros());
-        h.u64(o.spinup_delay.as_micros());
-    }
-    h.u64(r.usage_records.len() as u64);
-    for u in &r.usage_records {
-        h.u64(u.itype.vcpus() as u64);
-        h.u64(u.reserved as u64);
-        h.u64(u.from.as_micros());
-        h.u64(u.to.as_micros());
-    }
-    h.u64(r.counters.od_acquired as u64);
-    h.u64(r.counters.queued_jobs as u64);
-    h.u64(r.counters.reschedules as u64);
-    h.u64(r.counters.events_processed as u64);
-    format!("{:016x}", h.0)
-}
 
 /// Micro-benchmark of the quantile hot path exactly as the scheduler
 /// drives it: the QoS monitor absorbs one delivered-quality sample and
@@ -129,7 +80,8 @@ fn main() -> ExitCode {
         for _ in 0..REPS {
             let factory = RngFactory::new(ctx.master_seed);
             let start = Instant::now();
-            let result = run_scenario(&scenario, &config, &factory);
+            let result = run_scenario(&scenario, &config, &RunCtx::new(&factory))
+                .expect("no auditor attached");
             let ms = start.elapsed().as_secs_f64() * 1e3;
             best_ms = best_ms.min(ms);
             events = result.counters.events_processed;

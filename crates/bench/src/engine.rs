@@ -37,7 +37,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hcloud::runner::{run_scenario, run_scenario_instrumented};
+use hcloud::runner::{run_scenario, RunCtx};
+
+use crate::env::EnvOpts;
 use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
 use hcloud_audit::{AuditMode, Auditor};
 use hcloud_faults::{FaultPlan, FaultPlanId};
@@ -81,6 +83,19 @@ impl Default for ExperimentCtx {
             trace: TraceMode::Off,
             faults: FaultPlanId::Off,
             audit: AuditMode::Off,
+        }
+    }
+}
+
+impl From<EnvOpts> for ExperimentCtx {
+    fn from(opts: EnvOpts) -> Self {
+        ExperimentCtx {
+            master_seed: opts.seed,
+            fast: opts.fast,
+            jobs: opts.jobs,
+            trace: opts.trace,
+            faults: opts.faults,
+            audit: opts.audit,
         }
     }
 }
@@ -135,58 +150,14 @@ impl ExperimentCtx {
         faults: Option<&str>,
         audit: Option<&str>,
     ) -> Result<Self, String> {
-        let master_seed = match seed {
-            None => 42,
-            Some(s) => s.trim().parse::<u64>().map_err(|_| {
-                format!("invalid HCLOUD_SEED {s:?}: expected an unsigned 64-bit integer")
-            })?,
-        };
-        let fast = match fast {
-            None | Some("0") => false,
-            Some("1") => true,
-            Some(s) => {
-                return Err(format!(
-                    "invalid HCLOUD_FAST {s:?}: expected 1 (fast smoke mode) or 0"
-                ))
-            }
-        };
-        let jobs = match jobs {
-            None => None,
-            Some(s) => match s.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => Some(n),
-                _ => {
-                    return Err(format!(
-                        "invalid HCLOUD_JOBS {s:?}: expected a worker count >= 1"
-                    ))
-                }
-            },
-        };
-        let trace = TraceMode::parse(trace)?;
-        let faults = FaultPlanId::parse(faults)?;
-        let audit = AuditMode::parse(audit)?;
-        Ok(ExperimentCtx {
-            master_seed,
-            fast,
-            jobs,
-            trace,
-            faults,
-            audit,
-        })
+        EnvOpts::parse(seed, fast, jobs, trace, faults, audit).map(Self::from)
     }
 
     /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
     /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` / `HCLOUD_AUDIT` from the
     /// environment.
     pub fn from_env() -> Result<Self, String> {
-        let var = |name: &str| std::env::var(name).ok();
-        Self::parse(
-            var("HCLOUD_SEED").as_deref(),
-            var("HCLOUD_FAST").as_deref(),
-            var("HCLOUD_JOBS").as_deref(),
-            var("HCLOUD_TRACE").as_deref(),
-            var("HCLOUD_FAULTS").as_deref(),
-            var("HCLOUD_AUDIT").as_deref(),
-        )
+        EnvOpts::from_env().map(Self::from)
     }
 
     /// [`Self::from_env`] for binaries: prints the error and exits 2
@@ -663,18 +634,25 @@ impl Engine {
                     Tracer::disabled()
                 };
                 let auditor = Auditor::new(audit);
-                let result =
-                    run_scenario_instrumented(scenario, &config, &factory, &tracer, &auditor)
-                        .map_err(|violation| {
-                            format!("run {}: {violation}", spec.display_label())
-                        })?;
+                let result = run_scenario(
+                    scenario,
+                    &config,
+                    &RunCtx::new(&factory)
+                        .with_tracer(&tracer)
+                        .with_auditor(&auditor),
+                )
+                .map_err(|violation| format!("run {}: {violation}", spec.display_label()))?;
                 let trace = tracing.then(|| RunTrace {
                     meta: spec.run_meta(&self.ctx),
                     events: tracer.take(),
                 });
                 (result, trace)
             } else {
-                (run_scenario(scenario, &config, &factory), None)
+                (
+                    run_scenario(scenario, &config, &RunCtx::new(&factory))
+                        .expect("no auditor attached"),
+                    None,
+                )
             };
             let telemetry = RunTelemetry {
                 label: spec.display_label(),

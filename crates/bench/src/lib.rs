@@ -40,6 +40,8 @@
 
 pub mod artifacts;
 pub mod engine;
+pub mod env;
+pub mod fleet;
 pub mod harness;
 pub mod plot;
 pub mod report;
@@ -48,5 +50,6 @@ pub use engine::{
     Engine, ExperimentCtx, ExperimentPlan, PlanOutcome, PlanTelemetry, RunSpec, RunTelemetry,
     RunTrace,
 };
+pub use env::EnvOpts;
 pub use harness::{paper_scenario, Harness};
 pub use report::{heatmap_row, sparkline, write_json, Table};

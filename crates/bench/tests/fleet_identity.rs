@@ -1,0 +1,50 @@
+//! Worker-count digest identity for the `perf_fleet` scenario.
+//!
+//! The engine promises results are bit-identical regardless of
+//! `HCLOUD_JOBS`; this pins that promise on the fleet bench's fast-mode
+//! scenario (the same one CI smokes), and pins the digest itself to the
+//! committed `crates/bench/goldens/BENCH_fleet_fast.json` golden so a
+//! simulation-byte drift fails here before it fails in CI.
+
+use std::sync::Arc;
+
+use hcloud::{RunConfig, StrategyKind};
+use hcloud_bench::fleet::{fleet_config, run_digest};
+use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
+use hcloud_sim::rng::RngFactory;
+use hcloud_workloads::Scenario;
+
+#[test]
+fn fleet_fast_digests_are_identical_across_worker_counts() {
+    let scenario = Arc::new(Scenario::generate(fleet_config(true), &RngFactory::new(42)));
+    let config = RunConfig::new(StrategyKind::OnDemandMixed).with_retention_mult(0.05);
+    let digests: Vec<Vec<String>> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let engine = Engine::new(ExperimentCtx::new(42).with_jobs(jobs));
+            let mut plan = ExperimentPlan::new();
+            plan.push(
+                RunSpec::on(scenario.clone(), StrategyKind::OnDemandMixed).config(config.clone()),
+            );
+            plan.push(
+                RunSpec::on(scenario.clone(), StrategyKind::OnDemandMixed)
+                    .config(config.clone())
+                    .seed(43),
+            );
+            engine
+                .run_plan(&plan)
+                .results
+                .iter()
+                .map(run_digest)
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        digests[0], digests[1],
+        "HCLOUD_JOBS=1 and 4 must be byte-identical"
+    );
+    assert_eq!(
+        digests[0][0], "1bc1579abdfea0db",
+        "seed-42 digest is pinned to the committed BENCH_fleet_fast.json golden"
+    );
+}

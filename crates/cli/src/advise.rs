@@ -7,7 +7,10 @@
 //! discard strategies that miss the performance floor, and recommend the
 //! cheapest survivor — with the reasoning shown, not just the verdict.
 
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, RunResult, StrategyKind,
+};
 use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
@@ -64,7 +67,9 @@ pub fn advise(scenario: &Scenario, options: &AdviseOptions, seed: u64) -> Recomm
     let candidates: Vec<Candidate> = StrategyKind::ALL
         .iter()
         .map(|&strategy| {
-            let r: RunResult = run_scenario(scenario, &RunConfig::new(strategy), &factory);
+            let r: RunResult =
+                run_scenario(scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
+                    .expect("no auditor attached");
             let run_len = r.makespan.saturating_since(SimTime::ZERO);
             let cost = commitment_cost(&r.usage_records, &rates, &pricing, run_len, duration);
             let perf = r.mean_normalized_perf();

@@ -4,7 +4,10 @@ use std::fs;
 use std::sync::Arc;
 
 use hcloud::config::SpotPolicy;
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, RunResult, StrategyKind,
+};
 use hcloud_bench::{Engine, ExperimentCtx, ExperimentPlan, RunSpec};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
 use hcloud_faults::FaultPlanId;
@@ -474,7 +477,8 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
         });
     }
     let model = pricing_model(&options.pricing);
-    let r = run_scenario(&scenario, &config, &RngFactory::new(common.seed));
+    let factory = RngFactory::new(common.seed);
+    let r = run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
     summarize(
         &format!("{} on {}", options.strategy, scenario.kind().name()),
         &r,
@@ -590,7 +594,8 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
             }
             None => build_scenario(common),
         };
-        let r = run_scenario(&scenario, &config, &factory);
+        let r =
+            run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
         println!(
             "{:>12} {:>8.1} {:>11.2}x {:>10.2}",
             label,

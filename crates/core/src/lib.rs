@@ -25,7 +25,7 @@
 //! * [`result`] — aggregation of run outputs into the paper's metrics.
 //!
 //! ```no_run
-//! use hcloud::{RunConfig, runner::run_scenario, strategy::StrategyKind};
+//! use hcloud::{RunConfig, runner::{run_scenario, RunCtx}, strategy::StrategyKind};
 //! use hcloud_sim::rng::RngFactory;
 //! use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 //!
@@ -33,7 +33,7 @@
 //! let scenario = Scenario::generate(
 //!     ScenarioConfig::paper(ScenarioKind::HighVariability), &factory);
 //! let config = RunConfig::new(StrategyKind::HybridMixed);
-//! let result = run_scenario(&scenario, &config, &factory);
+//! let result = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
 //! println!("mean batch perf: {:?}", result.batch_performance_boxplot());
 //! ```
 

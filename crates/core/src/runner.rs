@@ -3,15 +3,21 @@
 //! [`run_scenario`] feeds a generated [`Scenario`] through the
 //! [`Scheduler`] under a [`RunConfig`], driving the discrete-event loop to
 //! completion and returning the [`RunResult`] every figure binary
-//! aggregates.
+//! aggregates. What used to be three entry points (plain / traced /
+//! instrumented) is now one: a [`RunCtx`] carries the rng factory plus the
+//! optional [`Tracer`] and conservation [`Auditor`], so callers opt into
+//! instrumentation by attaching it rather than by picking a function.
 //!
-//! [`run_scenario_instrumented`] additionally threads a conservation
-//! [`Auditor`] through the scheduler, checks its invariants (per event
-//! under strict mode, and the end-of-run identities either way), and
-//! fails the run with a typed [`AuditViolation`] when accounting breaks.
+//! The event loop itself is batched: [`run_scenario_on`] drains every
+//! event sharing the current timestamp in one call against the
+//! [`EventQueueApi`] (the timing-wheel [`EventQueue`] by default, the
+//! retained [`hcloud_sim::event::HeapEventQueue`] for differential runs)
+//! and applies the batch as a slice, acknowledging each event as it is
+//! dispatched so queue-depth telemetry stays byte-identical to the old
+//! one-pop-per-iteration loop.
 
 use hcloud_audit::{AuditViolation, Auditor};
-use hcloud_sim::event::EventQueue;
+use hcloud_sim::event::{EventQueue, EventQueueApi};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::SimTime;
 use hcloud_telemetry::{trace_event, TraceKind, Tracer};
@@ -24,49 +30,104 @@ use crate::scheduler::{Event, Scheduler};
 /// How often the event loop emits a `progress` trace event.
 const PROGRESS_EVERY: usize = 4096;
 
-/// Runs `scenario` under `config`. Deterministic in `factory`.
+/// Everything a run needs besides the scenario and config: the rng factory
+/// that makes it deterministic, plus optional instrumentation.
+///
+/// ```
+/// use hcloud::runner::RunCtx;
+/// use hcloud_sim::rng::RngFactory;
+/// use hcloud_telemetry::Tracer;
+///
+/// let factory = RngFactory::new(7);
+/// let tracer = Tracer::enabled();
+/// let ctx = RunCtx::new(&factory).with_tracer(&tracer);
+/// # let _ = ctx;
+/// ```
+#[derive(Clone, Copy)]
+pub struct RunCtx<'a> {
+    factory: &'a RngFactory,
+    tracer: Option<&'a Tracer>,
+    auditor: Option<&'a Auditor>,
+}
+
+impl<'a> RunCtx<'a> {
+    /// A bare context: deterministic in `factory`, no tracing, no audit.
+    pub fn new(factory: &'a RngFactory) -> Self {
+        Self {
+            factory,
+            tracer: None,
+            auditor: None,
+        }
+    }
+
+    /// Attach a [`Tracer`]: every instrumented decision in the scheduler,
+    /// cloud and event loop lands in it, stamped with sim time. Tracing
+    /// never perturbs simulation outcomes.
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach the conservation-audit oracle. The auditor's shadow ledgers
+    /// are fed by the scheduler's accounting hooks; under
+    /// [`hcloud_audit::AuditMode::Strict`] every event-loop step asserts
+    /// the ledgers are violation-free, and under any enabled mode the
+    /// end-of-run identities (work demanded == executed + lost, observed
+    /// == billed instance-seconds, queue and job conservation,
+    /// per-instance core leaks) are checked against the finished
+    /// [`RunResult`].
+    pub fn with_auditor(mut self, auditor: &'a Auditor) -> Self {
+        self.auditor = Some(auditor);
+        self
+    }
+
+    /// The rng factory this context runs under.
+    pub fn factory(&self) -> &'a RngFactory {
+        self.factory
+    }
+}
+
+/// Runs `scenario` under `config` with the instrumentation carried by
+/// `ctx`. Deterministic in `ctx`'s rng factory.
 ///
 /// The monitor tick keeps firing until every job has finished, so the
 /// returned makespan covers stragglers (OdM's high-variability run takes
 /// ~48% longer than SR's, Section 5.4).
-pub fn run_scenario(scenario: &Scenario, config: &RunConfig, factory: &RngFactory) -> RunResult {
-    run_scenario_traced(scenario, config, factory, &Tracer::disabled())
-}
-
-/// [`run_scenario`] with structured tracing: every instrumented decision in
-/// the scheduler, cloud and event loop lands in `tracer`, stamped with sim
-/// time. With a disabled tracer this is exactly `run_scenario`.
-pub fn run_scenario_traced(
-    scenario: &Scenario,
-    config: &RunConfig,
-    factory: &RngFactory,
-    tracer: &Tracer,
-) -> RunResult {
-    run_scenario_instrumented(scenario, config, factory, tracer, &Auditor::disabled())
-        .expect("a disabled auditor never reports violations")
-}
-
-/// [`run_scenario_traced`] with the conservation-audit oracle attached.
 ///
-/// The auditor's shadow ledgers are fed by the scheduler's accounting
-/// hooks; under [`hcloud_audit::AuditMode::Strict`] every event-loop step
-/// asserts the ledgers are violation-free, and under any enabled mode the
-/// end-of-run identities (work demanded == executed + lost, observed ==
-/// billed instance-seconds, queue and job conservation, per-instance core
-/// leaks) are checked against the finished [`RunResult`]. With a disabled
-/// auditor this is exactly [`run_scenario_traced`].
-pub fn run_scenario_instrumented(
+/// Without an auditor attached this never returns `Err`.
+pub fn run_scenario(
     scenario: &Scenario,
     config: &RunConfig,
-    factory: &RngFactory,
-    tracer: &Tracer,
-    auditor: &Auditor,
+    ctx: &RunCtx,
 ) -> Result<RunResult, AuditViolation> {
-    let mut sched =
-        Scheduler::with_instruments(scenario, config, factory, tracer.clone(), auditor.clone());
-    let mut events: EventQueue<Event> = EventQueue::new();
-    for (i, job) in scenario.jobs().iter().enumerate() {
-        events.schedule(job.arrival, Event::Arrival(i));
+    run_scenario_on::<EventQueue<Event>>(scenario, config, ctx)
+}
+
+/// [`run_scenario`] generic over the event-queue implementation.
+///
+/// The digest-identity benches run the same scenario on the timing-wheel
+/// [`EventQueue`] and the reference [`hcloud_sim::event::HeapEventQueue`]
+/// and assert byte-identical results and traces; everything else should
+/// call [`run_scenario`].
+pub fn run_scenario_on<Q: EventQueueApi<Event>>(
+    scenario: &Scenario,
+    config: &RunConfig,
+    ctx: &RunCtx,
+) -> Result<RunResult, AuditViolation> {
+    let disabled_tracer = Tracer::disabled();
+    let tracer = ctx.tracer.unwrap_or(&disabled_tracer);
+    let disabled_auditor = Auditor::disabled();
+    let auditor = ctx.auditor.unwrap_or(&disabled_auditor);
+    let mut sched = Scheduler::with_instruments(
+        scenario,
+        config,
+        ctx.factory,
+        tracer.clone(),
+        auditor.clone(),
+    );
+    let mut events = Q::default();
+    for job in scenario.jobs() {
+        events.schedule(job.arrival, Event::Arrival(job.id));
     }
     let last_arrival = scenario
         .jobs()
@@ -77,47 +138,60 @@ pub fn run_scenario_instrumented(
 
     let mut end = SimTime::ZERO;
     let mut events_processed = 0usize;
-    let result = loop {
-        let Some((t, event)) = events.pop() else {
+    let mut batch: Vec<Event> = Vec::new();
+    let result = 'run: loop {
+        // Drain every event sharing the next timestamp and apply them as
+        // a slice. Events scheduled *at* `t` during the batch (job starts
+        // with zero spin-up, same-instant retention) land in the next
+        // batch at the same `t`, exactly where the heap loop would pop
+        // them.
+        let Some(t) = events.drain_next_batch(&mut batch) else {
             break Ok(());
         };
         end = t;
-        events_processed += 1;
-        let stepped = match event {
-            Event::Arrival(i) => {
-                sched.on_arrival(i, t, &mut events);
-                Ok(())
-            }
-            Event::Start(jid) => {
-                sched.on_start(jid, t, &mut events);
-                Ok(())
-            }
-            Event::Finish(jid, v) => sched.on_finish(jid, v, t, &mut events),
-            Event::Retention(idx, token) => {
-                sched.on_retention(idx, token, t);
-                Ok(())
-            }
-            Event::SpotTermination(idx) => sched.on_spot_termination(idx, t, &mut events),
-            Event::Tick => {
-                let r = sched.on_tick(t, &mut events);
-                if t < last_arrival || sched.pending_jobs() > 0 {
-                    events.schedule(t + config.monitor_interval, Event::Tick);
+        for event in batch.drain(..) {
+            // Acknowledge before dispatch so `events.len()` observed by
+            // telemetry matches the sequential pop loop event-for-event.
+            events.ack();
+            events_processed += 1;
+            let stepped = match event {
+                Event::Arrival(id) => {
+                    sched
+                        .on_arrival(id, t, &mut events)
+                        .expect("arrivals are seeded from the scenario's own job ids");
+                    Ok(())
                 }
-                r
-            }
-        };
-        if let Err(violation) = stepped.and_then(|()| auditor.step_check()) {
-            break Err(violation);
-        }
-        if events_processed.is_multiple_of(PROGRESS_EVERY) {
-            trace_event!(
-                tracer,
-                t,
-                TraceKind::Progress {
-                    events_processed: events_processed as u64,
-                    queue_depth: events.len(),
+                Event::Start(jid) => {
+                    sched.on_start(jid, t, &mut events);
+                    Ok(())
                 }
-            );
+                Event::Finish(jid, v) => sched.on_finish(jid, v, t, &mut events),
+                Event::Retention(idx, token) => {
+                    sched.on_retention(idx, token, t);
+                    Ok(())
+                }
+                Event::SpotTermination(idx) => sched.on_spot_termination(idx, t, &mut events),
+                Event::Tick => {
+                    let r = sched.on_tick(t, &mut events);
+                    if t < last_arrival || sched.pending_jobs() > 0 {
+                        events.schedule(t + config.monitor_interval, Event::Tick);
+                    }
+                    r
+                }
+            };
+            if let Err(violation) = stepped.and_then(|()| auditor.step_check()) {
+                break 'run Err(violation);
+            }
+            if events_processed.is_multiple_of(PROGRESS_EVERY) {
+                trace_event!(
+                    tracer,
+                    t,
+                    TraceKind::Progress {
+                        events_processed: events_processed as u64,
+                        queue_depth: events.len(),
+                    }
+                );
+            }
         }
     };
     trace_event!(
@@ -178,10 +252,47 @@ pub fn run_scenario_instrumented(
     Ok(run)
 }
 
+/// [`run_scenario`] with structured tracing.
+#[deprecated(
+    since = "0.7.0",
+    note = "call run_scenario with RunCtx::new(factory).with_tracer(tracer)"
+)]
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    config: &RunConfig,
+    factory: &RngFactory,
+    tracer: &Tracer,
+) -> RunResult {
+    run_scenario(scenario, config, &RunCtx::new(factory).with_tracer(tracer))
+        .expect("a run without an auditor never reports violations")
+}
+
+/// [`run_scenario`] with tracing and the conservation-audit oracle.
+#[deprecated(
+    since = "0.7.0",
+    note = "call run_scenario with RunCtx::new(factory).with_tracer(tracer).with_auditor(auditor)"
+)]
+pub fn run_scenario_instrumented(
+    scenario: &Scenario,
+    config: &RunConfig,
+    factory: &RngFactory,
+    tracer: &Tracer,
+    auditor: &Auditor,
+) -> Result<RunResult, AuditViolation> {
+    run_scenario(
+        scenario,
+        config,
+        &RunCtx::new(factory)
+            .with_tracer(tracer)
+            .with_auditor(auditor),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::strategy::StrategyKind;
+    use hcloud_sim::event::HeapEventQueue;
     use hcloud_workloads::{ScenarioConfig, ScenarioKind};
 
     /// A small scenario that runs in well under a second.
@@ -192,15 +303,17 @@ mod tests {
     fn run(strategy: StrategyKind, kind: ScenarioKind) -> RunResult {
         let scenario = small_scenario(kind);
         let config = RunConfig::new(strategy);
-        run_scenario(&scenario, &config, &RngFactory::new(7))
+        let factory = RngFactory::new(7);
+        run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached")
     }
 
     #[test]
     fn all_jobs_complete_under_every_strategy() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
+        let factory = RngFactory::new(7);
         for strategy in StrategyKind::ALL {
             let config = RunConfig::new(strategy);
-            let result = run_scenario(&scenario, &config, &RngFactory::new(7));
+            let result = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
             assert_eq!(
                 result.outcomes.len(),
                 scenario.jobs().len(),
@@ -218,6 +331,47 @@ mod tests {
         let perf_a: Vec<f64> = a.outcomes.iter().map(|o| o.normalized_perf).collect();
         let perf_b: Vec<f64> = b.outcomes.iter().map(|o| o.normalized_perf).collect();
         assert_eq!(perf_a, perf_b);
+    }
+
+    #[test]
+    fn heap_and_wheel_queues_produce_identical_runs() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        let factory = RngFactory::new(7);
+        for strategy in [StrategyKind::HybridMixed, StrategyKind::OnDemandMixed] {
+            let config = RunConfig::new(strategy);
+            let wheel_tracer = Tracer::enabled();
+            let heap_tracer = Tracer::enabled();
+            let wheel = run_scenario_on::<EventQueue<Event>>(
+                &scenario,
+                &config,
+                &RunCtx::new(&factory).with_tracer(&wheel_tracer),
+            )
+            .unwrap();
+            let heap = run_scenario_on::<HeapEventQueue<Event>>(
+                &scenario,
+                &config,
+                &RunCtx::new(&factory).with_tracer(&heap_tracer),
+            )
+            .unwrap();
+            assert_eq!(wheel, heap, "{strategy}: results diverge across queues");
+            // Compare traces by debug formatting: NaN fields (e.g. q90
+            // under strategies that never consult the quality monitor)
+            // are bitwise identical but `NaN != NaN` under PartialEq.
+            let wheel_trace = wheel_tracer.take();
+            let heap_trace = heap_tracer.take();
+            assert_eq!(
+                wheel_trace.len(),
+                heap_trace.len(),
+                "{strategy}: trace lengths diverge across queues"
+            );
+            for (a, b) in wheel_trace.iter().zip(&heap_trace) {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{strategy}: traces diverge across queues"
+                );
+            }
+        }
     }
 
     #[test]
@@ -278,16 +432,19 @@ mod tests {
     #[test]
     fn profiling_info_helps_hybrids() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
+        let factory = RngFactory::new(7);
         let with = run_scenario(
             &scenario,
             &RunConfig::new(StrategyKind::HybridMixed),
-            &RngFactory::new(7),
-        );
+            &RunCtx::new(&factory),
+        )
+        .unwrap();
         let without = run_scenario(
             &scenario,
             &RunConfig::new(StrategyKind::HybridMixed).without_profiling(),
-            &RngFactory::new(7),
-        );
+            &RunCtx::new(&factory),
+        )
+        .unwrap();
         assert!(
             with.mean_normalized_perf() > without.mean_normalized_perf(),
             "with {} vs without {}",
@@ -300,9 +457,15 @@ mod tests {
     fn tracing_does_not_perturb_results() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
         let config = RunConfig::new(StrategyKind::HybridMixed);
-        let plain = run_scenario(&scenario, &config, &RngFactory::new(7));
+        let factory = RngFactory::new(7);
+        let plain = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
         let tracer = Tracer::enabled();
-        let traced = run_scenario_traced(&scenario, &config, &RngFactory::new(7), &tracer);
+        let traced = run_scenario(
+            &scenario,
+            &config,
+            &RunCtx::new(&factory).with_tracer(&tracer),
+        )
+        .unwrap();
         assert_eq!(plain, traced, "tracer must not change simulation outcomes");
         let events = tracer.take();
         assert!(!events.is_empty(), "enabled tracer records the run");
@@ -323,15 +486,14 @@ mod tests {
     #[test]
     fn strict_audit_passes_on_clean_runs() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
+        let factory = RngFactory::new(7);
         for strategy in StrategyKind::ALL {
             let config = RunConfig::new(strategy);
             let auditor = Auditor::new(hcloud_audit::AuditMode::Strict);
-            let result = run_scenario_instrumented(
+            let result = run_scenario(
                 &scenario,
                 &config,
-                &RngFactory::new(7),
-                &Tracer::disabled(),
-                &auditor,
+                &RunCtx::new(&factory).with_auditor(&auditor),
             );
             let result = result.unwrap_or_else(|v| panic!("{strategy}: {v}"));
             assert_eq!(result.outcomes.len(), scenario.jobs().len());
@@ -346,20 +508,39 @@ mod tests {
     fn auditing_does_not_perturb_results() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
         let config = RunConfig::new(StrategyKind::HybridMixed);
-        let plain = run_scenario(&scenario, &config, &RngFactory::new(7));
+        let factory = RngFactory::new(7);
+        let plain = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
         let auditor = Auditor::new(hcloud_audit::AuditMode::Strict);
-        let audited = run_scenario_instrumented(
+        let audited = run_scenario(
             &scenario,
             &config,
-            &RngFactory::new(7),
-            &Tracer::disabled(),
-            &auditor,
+            &RunCtx::new(&factory).with_auditor(&auditor),
         )
         .expect("clean run");
         assert_eq!(
             plain, audited,
             "auditor must not change simulation outcomes"
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entry() {
+        let scenario = small_scenario(ScenarioKind::HighVariability);
+        let config = RunConfig::new(StrategyKind::HybridMixed);
+        let factory = RngFactory::new(7);
+        let unified = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
+        let traced = run_scenario_traced(&scenario, &config, &factory, &Tracer::disabled());
+        assert_eq!(unified, traced);
+        let instrumented = run_scenario_instrumented(
+            &scenario,
+            &config,
+            &factory,
+            &Tracer::disabled(),
+            &Auditor::disabled(),
+        )
+        .unwrap();
+        assert_eq!(unified, instrumented);
     }
 
     #[test]

@@ -24,10 +24,10 @@ use hcloud_cloud::{AcquireFailure, Cloud, Family, InstanceId, InstanceType};
 use hcloud_faults::FaultInjector;
 use hcloud_interference::{Resource, ResourceVector};
 use hcloud_quasar::{JobEstimate, ProfilingEnvironment, QuasarEngine};
-use hcloud_sim::event::EventQueue;
+use hcloud_sim::event::EventSink;
 use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::series::StepSeries;
-use hcloud_sim::slot::SlotMap;
+use hcloud_sim::slot::{SlotKey, SlotMap};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_telemetry::{trace_event, TraceKind, Tracer};
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario};
@@ -47,8 +47,10 @@ use crate::strategy::StrategyKind;
 /// Discrete events driving the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event {
-    /// Job `scenario.jobs()[idx]` arrives.
-    Arrival(usize),
+    /// The job with this scenario id arrives. Typed: an id the scenario
+    /// does not contain fails [`Scheduler::on_arrival`] instead of
+    /// silently indexing another job's spec.
+    Arrival(JobId),
     /// A job begins executing on its assigned instance.
     Start(JobId),
     /// A job's projected finish; `u64` is the projection version (stale
@@ -64,6 +66,23 @@ pub enum Event {
     SpotTermination(InstanceHandle),
 }
 
+/// An arrival for a [`JobId`] this scenario does not contain — the typed
+/// failure that replaces silent out-of-bounds indexing on the scheduler's
+/// public surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownJob {
+    /// The foreign id.
+    pub id: JobId,
+}
+
+impl std::fmt::Display for UnknownJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} is not part of this scenario", self.id.0)
+    }
+}
+
+impl std::error::Error for UnknownJob {}
+
 /// One instance as the scheduler sees it.
 #[derive(Debug, Clone)]
 struct SchedInstance {
@@ -73,10 +92,12 @@ struct SchedInstance {
     spot: bool,
     ready_at: SimTime,
     used_cores: u32,
-    /// Jobs bound to this instance, in arrival order. Kept as a small
-    /// vector (not a set): interference sums iterate it in insertion
-    /// order, which floating-point addition makes order-bearing.
-    jobs: Vec<JobId>,
+    /// Jobs bound to this instance, in arrival order, each with its slot
+    /// in the running-job arena so hot paths (interference sums) reach
+    /// job state in O(1) without an id lookup. Kept as a small vector
+    /// (not a set): interference sums iterate it in insertion order,
+    /// which floating-point addition makes order-bearing.
+    jobs: Vec<(JobId, SlotKey)>,
     retention_token: u64,
 }
 
@@ -192,7 +213,17 @@ pub struct Scheduler<'a> {
     idle_buckets: BTreeSet<(Family, u32, InstanceHandle)>,
     reserved_total: u32,
     queue: VecDeque<QueuedJob>,
-    running: BTreeMap<JobId, RunningJob>,
+    /// Running-job state lives in an append-only slot arena; instances
+    /// hold `(JobId, SlotKey)` pairs for O(1) access on interference hot
+    /// paths, and `running_by_id` resolves scenario ids. The id index is
+    /// a `BTreeMap` because the tick loop iterates it ascending by id —
+    /// an order floating-point accumulation makes order-bearing.
+    running: SlotMap<RunningJob>,
+    running_by_id: BTreeMap<JobId, SlotKey>,
+    /// Scenario job id → index into `scenario.jobs()`, built once at
+    /// construction so typed arrivals resolve without trusting raw
+    /// indices (`Scenario::from_jobs` permits arbitrary ids).
+    job_index: BTreeMap<JobId, usize>,
 
     outcomes: Vec<JobOutcome>,
     od_allocated: StepSeries,
@@ -283,6 +314,12 @@ impl<'a> Scheduler<'a> {
         let quasar = config
             .profiling
             .then(|| QuasarEngine::new(config.quasar.clone(), &factory.child("quasar")));
+        let job_index: BTreeMap<JobId, usize> = scenario
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| (spec.id, i))
+            .collect();
         Scheduler {
             scenario,
             config,
@@ -304,7 +341,9 @@ impl<'a> Scheduler<'a> {
             idle_buckets: BTreeSet::new(),
             reserved_total: (reserved_servers as u32) * InstanceType::full_server().vcpus(),
             queue: VecDeque::new(),
-            running: BTreeMap::new(),
+            running: SlotMap::new(),
+            running_by_id: BTreeMap::new(),
+            job_index,
             outcomes: Vec::new(),
             od_allocated: StepSeries::new(0.0),
             reserved_busy: StepSeries::new(0.0),
@@ -327,7 +366,7 @@ impl<'a> Scheduler<'a> {
 
     /// Jobs still running or queued.
     pub fn pending_jobs(&self) -> usize {
-        self.running.len() + self.queue.len()
+        self.running_by_id.len() + self.queue.len()
     }
 
     // ------------------------------------------------------------------
@@ -347,15 +386,48 @@ impl<'a> Scheduler<'a> {
             .expect("live instance handle")
     }
 
-    /// Binds `jid` to `h`, charging `cores`, and keeps the idle-retention
-    /// index in sync: an idle instance that takes a job leaves it.
-    fn attach_job(&mut self, h: InstanceHandle, jid: JobId, cores: u32, now: SimTime) {
+    /// The running job with scenario id `jid`, if any.
+    fn running_job(&self, jid: JobId) -> Option<&RunningJob> {
+        let &key = self.running_by_id.get(&jid)?;
+        Some(self.running.get(key).expect("id-index entry is live"))
+    }
+
+    /// Mutable access to the running job with scenario id `jid`.
+    fn running_job_mut(&mut self, jid: JobId) -> Option<&mut RunningJob> {
+        let &key = self.running_by_id.get(&jid)?;
+        Some(self.running.get_mut(key).expect("id-index entry is live"))
+    }
+
+    /// Removes `jid` from the running set, retiring its arena slot so any
+    /// key still held for it (e.g. in an instance's job list) fails typed.
+    fn remove_running(&mut self, jid: JobId) -> Option<RunningJob> {
+        let key = self.running_by_id.remove(&jid)?;
+        let job = self
+            .running
+            .get(key)
+            .expect("id-index entry is live")
+            .clone();
+        self.running.retire(key).expect("id-index entry is live");
+        Some(job)
+    }
+
+    /// Binds `jid` (living in arena slot `key`) to `h`, charging `cores`,
+    /// and keeps the idle-retention index in sync: an idle instance that
+    /// takes a job leaves it.
+    fn attach_job(
+        &mut self,
+        h: InstanceHandle,
+        jid: JobId,
+        key: SlotKey,
+        cores: u32,
+        now: SimTime,
+    ) {
         let inst = self
             .instances
             .get_mut(h.key())
             .expect("attach to live instance");
         inst.used_cores += cores;
-        inst.jobs.push(jid);
+        inst.jobs.push((jid, key));
         let od = !inst.reserved;
         let cloud_id = inst.cloud_id.raw();
         let bucket = (inst.itype.family(), inst.itype.vcpus(), h);
@@ -396,7 +468,7 @@ impl<'a> Scheduler<'a> {
             return Err(violation);
         };
         inst.used_cores = remaining;
-        inst.jobs.retain(|&j| j != jid);
+        inst.jobs.retain(|&(j, _)| j != jid);
         let empty = inst.jobs.is_empty();
         let cloud_id = inst.cloud_id.raw();
         self.auditor.cores_unbound(now, cloud_id, cores);
@@ -440,8 +512,16 @@ impl<'a> Scheduler<'a> {
     // Arrival & placement
     // ------------------------------------------------------------------
 
-    /// Handles a job arrival.
-    pub fn on_arrival(&mut self, idx: usize, now: SimTime, events: &mut EventQueue<Event>) {
+    /// Handles a job arrival, resolving the typed scenario id. An id the
+    /// scenario does not contain fails with [`UnknownJob`] instead of
+    /// silently indexing another job's spec.
+    pub fn on_arrival(
+        &mut self,
+        id: JobId,
+        now: SimTime,
+        events: &mut impl EventSink<Event>,
+    ) -> Result<(), UnknownJob> {
+        let &idx = self.job_index.get(&id).ok_or(UnknownJob { id })?;
         let est = self.estimate(&self.scenario.jobs()[idx]);
         if self.auditor.is_enabled() {
             let spec = &self.scenario.jobs()[idx];
@@ -452,6 +532,7 @@ impl<'a> Scheduler<'a> {
             self.auditor.job_admitted(now, spec.id.0, demanded);
         }
         self.admit(idx, &est, now, None, events);
+        Ok(())
     }
 
     /// The single admission path: every job — fresh arrival or preemption
@@ -463,7 +544,7 @@ impl<'a> Scheduler<'a> {
         est: &JobEstimate,
         now: SimTime,
         carry: Option<Carryover>,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) {
         let spec = &self.scenario.jobs()[idx];
         let class = spec.class;
@@ -668,7 +749,7 @@ impl<'a> Scheduler<'a> {
         now: SimTime,
         queue_delay: SimDuration,
         carry: Option<Carryover>,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> bool {
         let query = PlacementQuery {
             family: Family::Standard,
@@ -824,7 +905,7 @@ impl<'a> Scheduler<'a> {
         now: SimTime,
         queue_delay: SimDuration,
         carry: Option<Carryover>,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) {
         // Pack onto an acceptable existing pool instance; acquire a fresh
         // one rather than degrade the job on an unacceptable instance.
@@ -875,7 +956,7 @@ impl<'a> Scheduler<'a> {
         class: AppClass,
         now: SimTime,
         carry: Option<Carryover>,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) {
         let itype = self.dedicated_itype(est, class);
         // Preemption victims never ride spot again: re-admitting them onto
@@ -1097,7 +1178,7 @@ impl<'a> Scheduler<'a> {
         itype: InstanceType,
         bid: f64,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> InstanceHandle {
         let id = self.cloud.acquire_spot(itype, bid, now);
         let inst = self.cloud.instance(id);
@@ -1150,14 +1231,14 @@ impl<'a> Scheduler<'a> {
         &mut self,
         h: InstanceHandle,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
         // A stale handle means the instance was already released (e.g.
         // drained by consolidation before the market event fired).
         let Ok(inst) = self.instances.get(h.key()) else {
             return Ok(());
         };
-        let victims: Vec<JobId> = inst.jobs.clone();
+        let victims: Vec<(JobId, SlotKey)> = inst.jobs.clone();
         trace_event!(
             self.tracer,
             now,
@@ -1173,8 +1254,14 @@ impl<'a> Scheduler<'a> {
         // destroys, before releasing the instance — re-admission must
         // never pack onto the dying host.
         let mut displaced = Vec::with_capacity(victims.len());
-        for jid in &victims {
-            let Some(job) = self.running.get(jid) else {
+        for &(jid, _) in &victims {
+            // Field-level lookup (not `running_job`) so the job borrow
+            // stays disjoint from the counters we bump below.
+            let Some(job) = self
+                .running_by_id
+                .get(&jid)
+                .and_then(|&key| self.running.get(key).ok())
+            else {
                 continue;
             };
             self.counters.spot_terminations += 1;
@@ -1184,7 +1271,7 @@ impl<'a> Scheduler<'a> {
             // the checkpoint: it was real core-time, now lost.
             let lost = if job.started && matches!(spec.kind, JobKind::Batch { .. }) {
                 let eff = cores.min(spec.cores).max(1) as f64;
-                let slowdown = self.current_slowdown(*jid, now);
+                let slowdown = self.current_slowdown(jid, now);
                 now.saturating_since(job.last_progress).as_secs_f64() * eff / slowdown
             } else {
                 0.0
@@ -1200,8 +1287,8 @@ impl<'a> Scheduler<'a> {
                     work_lost_core_secs: lost,
                 }
             );
-            self.detach_job(h, *jid, cores, now)?;
-            let job = self.running.remove(jid).expect("victim is running");
+            self.detach_job(h, jid, cores, now)?;
+            let job = self.remove_running(jid).expect("victim is running");
             displaced.push(job);
         }
         self.release_instance(h, now);
@@ -1238,12 +1325,11 @@ impl<'a> Scheduler<'a> {
         now: SimTime,
         queue_delay: SimDuration,
         carry: Option<Carryover>,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) {
         let spec = &self.scenario.jobs()[spec_idx];
         let cores = est.cores.min(self.inst(h).free_cores()).max(1);
         debug_assert!(self.inst(h).free_cores() >= cores, "overpacked instance");
-        self.attach_job(h, spec.id, cores, now);
         let (reserved_side, ready_at) = {
             let inst = self.inst_mut(h);
             inst.retention_token += 1;
@@ -1274,27 +1360,26 @@ impl<'a> Scheduler<'a> {
             (JobKind::Batch { work_core_secs }, None) => work_core_secs,
             (JobKind::LatencyCritical { .. }, _) => 0.0,
         };
-        self.running.insert(
-            spec.id,
-            RunningJob {
-                spec_idx,
-                instance: h,
-                cores,
-                started: false,
-                start_at,
-                queue_delay: queue_delay + carry.map_or(SimDuration::ZERO, |c| c.queue_delay),
-                remaining_work,
-                last_progress: start_at,
-                // Resume above the old life's projection versions so its
-                // stale Finish events are ignored.
-                finish_version: carry.map_or(0, |c| c.finish_version),
-                lat_weighted_sum: 0.0,
-                lat_weight: 0.0,
-                isolation_p99,
-                qos_bad_ticks: 0,
-                rescheduled: carry.is_some(),
-            },
-        );
+        let key = self.running.insert(RunningJob {
+            spec_idx,
+            instance: h,
+            cores,
+            started: false,
+            start_at,
+            queue_delay: queue_delay + carry.map_or(SimDuration::ZERO, |c| c.queue_delay),
+            remaining_work,
+            last_progress: start_at,
+            // Resume above the old life's projection versions so its
+            // stale Finish events are ignored.
+            finish_version: carry.map_or(0, |c| c.finish_version),
+            lat_weighted_sum: 0.0,
+            lat_weight: 0.0,
+            isolation_p99,
+            qos_bad_ticks: 0,
+            rescheduled: carry.is_some(),
+        });
+        self.running_by_id.insert(spec.id, key);
+        self.attach_job(h, spec.id, key, cores, now);
         events.schedule(start_at, Event::Start(spec.id));
     }
 
@@ -1335,7 +1420,7 @@ impl<'a> Scheduler<'a> {
 
     /// Tries to place queued jobs after capacity freed up (FIFO with
     /// skipping: a small job behind a large one may go first).
-    fn drain_queue(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+    fn drain_queue(&mut self, now: SimTime, events: &mut impl EventSink<Event>) {
         let mut i = 0;
         while i < self.queue.len() {
             let qj = self.queue[i].clone();
@@ -1375,7 +1460,7 @@ impl<'a> Scheduler<'a> {
     /// Escape hatch for starving queued jobs (hybrids only): after waiting
     /// far beyond the expected spin-up, reroute to a large on-demand
     /// instance.
-    fn relieve_starving_queue(&mut self, now: SimTime, events: &mut EventQueue<Event>) {
+    fn relieve_starving_queue(&mut self, now: SimTime, events: &mut impl EventSink<Event>) {
         if !self.config.strategy.is_hybrid() {
             return;
         }
@@ -1434,11 +1519,12 @@ impl<'a> Scheduler<'a> {
         let inst = self.inst(h);
         let server = InstanceType::full_server().vcpus() as f64;
         let mut total = ResourceVector::ZERO;
-        for &jid in &inst.jobs {
+        for &(jid, key) in &inst.jobs {
             if Some(jid) == exclude {
                 continue;
             }
-            let Some(job) = self.running.get(&jid) else {
+            // O(1) arena access; a stale key is a job no longer running.
+            let Ok(job) = self.running.get(key) else {
                 continue;
             };
             if !job.started {
@@ -1453,7 +1539,7 @@ impl<'a> Scheduler<'a> {
     /// The total pressure a job experiences right now: external tenants
     /// plus co-scheduled jobs.
     fn pressure_on(&self, jid: JobId, now: SimTime) -> ResourceVector {
-        let job = &self.running[&jid];
+        let job = self.running_job(jid).expect("running");
         let inst = self.inst(job.instance);
         let external = self.cloud.external_pressure(inst.cloud_id, now);
         external.add(&self.internal_pressure(job.instance, Some(jid)))
@@ -1463,7 +1549,7 @@ impl<'a> Scheduler<'a> {
     /// from external tenants and co-scheduled jobs, times any injected
     /// performance fault on the host (1.0 without an active fault plan).
     pub fn current_slowdown(&self, jid: JobId, now: SimTime) -> f64 {
-        let job = &self.running[&jid];
+        let job = self.running_job(jid).expect("running");
         let spec = &self.scenario.jobs()[job.spec_idx];
         let pressure = self.pressure_on(jid, now);
         let host = self.inst(job.instance).cloud_id;
@@ -1478,8 +1564,8 @@ impl<'a> Scheduler<'a> {
     // ------------------------------------------------------------------
 
     /// A job starts executing.
-    pub fn on_start(&mut self, jid: JobId, now: SimTime, events: &mut EventQueue<Event>) {
-        let Some(job) = self.running.get_mut(&jid) else {
+    pub fn on_start(&mut self, jid: JobId, now: SimTime, events: &mut impl EventSink<Event>) {
+        let Some(job) = self.running_job_mut(jid) else {
             return;
         };
         if job.started {
@@ -1492,15 +1578,16 @@ impl<'a> Scheduler<'a> {
         }
         job.started = true;
         job.last_progress = now;
-        let spec = &self.scenario.jobs()[job.spec_idx];
+        let spec_idx = job.spec_idx;
+        let spec = &self.scenario.jobs()[spec_idx];
         match spec.kind {
             JobKind::Batch { .. } => {
-                let job = &self.running[&jid];
+                let job = self.running_job(jid).expect("running");
                 let slowdown = self.current_slowdown(jid, now);
                 let eff = job.cores.min(spec.cores).max(1) as f64;
                 let finish = now + SimDuration::from_secs_f64(job.remaining_work * slowdown / eff);
                 let v = {
-                    let job = self.running.get_mut(&jid).expect("running");
+                    let job = self.running_job_mut(jid).expect("running");
                     job.finish_version += 1;
                     job.finish_version
                 };
@@ -1514,7 +1601,7 @@ impl<'a> Scheduler<'a> {
                 let wait = now.saturating_since(spec.arrival).as_secs_f64();
                 let saturated = self.latency_model.saturated_p99_us();
                 let v = {
-                    let job = self.running.get_mut(&jid).expect("running");
+                    let job = self.running_job_mut(jid).expect("running");
                     job.lat_weighted_sum += saturated * wait;
                     job.lat_weight += wait;
                     job.finish_version += 1;
@@ -1531,15 +1618,15 @@ impl<'a> Scheduler<'a> {
         jid: JobId,
         version: u64,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
-        let Some(job) = self.running.get(&jid) else {
+        let Some(job) = self.running_job(jid) else {
             return Ok(()); // already finished
         };
         if job.finish_version != version || !job.started {
             return Ok(()); // stale projection
         }
-        let job = self.running.remove(&jid).expect("running");
+        let job = self.remove_running(jid).expect("running");
         // The projection completes exactly the work still outstanding at
         // the last checkpoint; credit it to the executed ledger.
         self.auditor.work_executed(now, jid.0, job.remaining_work);
@@ -1617,7 +1704,12 @@ impl<'a> Scheduler<'a> {
     /// Decides what to do with a newly idle on-demand instance: release
     /// immediately if its delivered quality is poor, otherwise retain for
     /// `retention_mult ×` its spin-up overhead.
-    fn handle_idle_od(&mut self, h: InstanceHandle, now: SimTime, events: &mut EventQueue<Event>) {
+    fn handle_idle_od(
+        &mut self,
+        h: InstanceHandle,
+        now: SimTime,
+        events: &mut impl EventSink<Event>,
+    ) {
         let (cloud_id, spin_up) = {
             let inst = self.inst(h);
             (
@@ -1700,7 +1792,7 @@ impl<'a> Scheduler<'a> {
     pub fn on_tick(
         &mut self,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
         // 0. Fault injection: while the monitor signal is dropped out, no
         // quality samples arrive and the dynamic policy degrades to the
@@ -1743,8 +1835,10 @@ impl<'a> Scheduler<'a> {
             }
         }
 
-        // 2. Update running jobs.
-        let jids: Vec<JobId> = self.running.keys().copied().collect();
+        // 2. Update running jobs, ascending by scenario id — the iteration
+        // order of the old id-keyed map, which floating-point accumulation
+        // makes order-bearing.
+        let jids: Vec<JobId> = self.running_by_id.keys().copied().collect();
         for jid in jids {
             self.update_job(jid, now, events)?;
         }
@@ -1784,7 +1878,7 @@ impl<'a> Scheduler<'a> {
     fn consolidate_od_pool(
         &mut self,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
         if !self.config.strategy.is_hybrid() || !self.config.profiling {
             return Ok(());
@@ -1822,15 +1916,15 @@ impl<'a> Scheduler<'a> {
         else {
             return Ok(());
         };
-        let moving: Vec<JobId> = self.inst(src).jobs.clone();
-        for jid in moving {
-            let Some(job) = self.running.get_mut(&jid) else {
+        let moving: Vec<(JobId, SlotKey)> = self.inst(src).jobs.clone();
+        for (jid, key) in moving {
+            let Ok(job) = self.running.get_mut(key) else {
                 continue;
             };
             let cores = job.cores;
             job.instance = dst;
             self.detach_job(src, jid, cores, now)?;
-            self.attach_job(dst, jid, cores, now);
+            self.attach_job(dst, jid, key, cores, now);
         }
         self.inst_mut(dst).retention_token += 1;
         if self.inst(src).jobs.is_empty() {
@@ -1844,9 +1938,9 @@ impl<'a> Scheduler<'a> {
         &mut self,
         jid: JobId,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
-        let Some(job) = self.running.get(&jid) else {
+        let Some(job) = self.running_job(jid) else {
             return Ok(());
         };
         if !job.started {
@@ -1862,7 +1956,7 @@ impl<'a> Scheduler<'a> {
             JobKind::Batch { .. } => {
                 let eff = cores.min(spec.cores).max(1) as f64;
                 let (executed, v, finish) = {
-                    let job = self.running.get_mut(&jid).expect("running");
+                    let job = self.running_job_mut(jid).expect("running");
                     let dt = now.saturating_since(job.last_progress).as_secs_f64();
                     let before = job.remaining_work;
                     job.remaining_work = (job.remaining_work - eff * dt / slowdown).max(0.0);
@@ -1891,7 +1985,7 @@ impl<'a> Scheduler<'a> {
                         if self.inst(inst_h).reserved {
                             self.reserved_busy.record_delta(now, grow as f64);
                         }
-                        self.running.get_mut(&jid).expect("running").cores += grow;
+                        self.running_job_mut(jid).expect("running").cores += grow;
                         trace_event!(
                             self.tracer,
                             now,
@@ -1903,22 +1997,32 @@ impl<'a> Scheduler<'a> {
                         );
                     }
                 }
-                let job = self.running.get_mut(&jid).expect("running");
-                let dt = now.saturating_since(job.last_progress).as_secs_f64();
-                job.last_progress = now;
+                let (dt, grown_cores) = {
+                    let job = self.running_job_mut(jid).expect("running");
+                    let dt = now.saturating_since(job.last_progress).as_secs_f64();
+                    job.last_progress = now;
+                    (dt, job.cores)
+                };
                 let p99 = self
                     .latency_model
-                    .p99_latency_us(offered_rps, job.cores, slowdown);
-                job.lat_weighted_sum += p99 * dt;
-                job.lat_weight += dt;
+                    .p99_latency_us(offered_rps, grown_cores, slowdown);
                 // Rescheduling: persistent severe degradation on an
                 // on-demand instance (rare; Section 3.3 "the latter is
                 // unlikely in practice").
-                let badly = p99 > 6.0 * job.isolation_p99;
-                if badly {
-                    job.qos_bad_ticks += 1;
-                    let bad_ticks = job.qos_bad_ticks;
+                let (badly, bad_ticks, threshold, rescheduled) = {
+                    let job = self.running_job_mut(jid).expect("running");
+                    job.lat_weighted_sum += p99 * dt;
+                    job.lat_weight += dt;
                     let threshold = 6.0 * job.isolation_p99;
+                    let badly = p99 > threshold;
+                    if badly {
+                        job.qos_bad_ticks += 1;
+                    } else {
+                        job.qos_bad_ticks = 0;
+                    }
+                    (badly, job.qos_bad_ticks, threshold, job.rescheduled)
+                };
+                if badly {
                     trace_event!(
                         self.tracer,
                         now,
@@ -1929,12 +2033,10 @@ impl<'a> Scheduler<'a> {
                             bad_ticks,
                         }
                     );
-                } else {
-                    job.qos_bad_ticks = 0;
                 }
                 let should_reschedule = self.config.profiling
-                    && job.qos_bad_ticks >= 3
-                    && !job.rescheduled
+                    && bad_ticks >= 3
+                    && !rescheduled
                     && !self.inst(inst_h).reserved;
                 if should_reschedule {
                     self.reschedule(jid, now, events)?;
@@ -1949,11 +2051,11 @@ impl<'a> Scheduler<'a> {
         &mut self,
         jid: JobId,
         now: SimTime,
-        events: &mut EventQueue<Event>,
+        events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
         self.counters.reschedules += 1;
         let (cores, old_inst) = {
-            let job = &self.running[&jid];
+            let job = self.running_job(jid).expect("running");
             (job.cores, job.instance)
         };
         trace_event!(
@@ -1975,13 +2077,14 @@ impl<'a> Scheduler<'a> {
         }
         // Acquire a replacement of the same type.
         let new_h = self.acquire(itype, now);
-        self.attach_job(new_h, jid, cores, now);
+        let key = *self.running_by_id.get(&jid).expect("running");
+        self.attach_job(new_h, jid, key, cores, now);
         let ready = {
             let inst = self.inst_mut(new_h);
             inst.retention_token += 1;
             inst.ready_at
         };
-        let job = self.running.get_mut(&jid).expect("running");
+        let job = self.running_job_mut(jid).expect("running");
         job.instance = new_h;
         job.rescheduled = true;
         job.qos_bad_ticks = 0;
@@ -2034,6 +2137,7 @@ impl<'a> Scheduler<'a> {
 mod tests {
     use super::*;
     use crate::config::SpotPolicy;
+    use hcloud_sim::event::EventQueue;
     use hcloud_workloads::{ScenarioConfig, ScenarioKind};
 
     fn job(id: u64, class: AppClass, cores: u32, secs: u64) -> JobSpec {
@@ -2070,6 +2174,28 @@ mod tests {
             Scheduler::new(scenario, config, &RngFactory::new(1)),
             EventQueue::new(),
         )
+    }
+
+    /// Tests that attach ad-hoc jobs directly (bypassing `assign`) still
+    /// need an arena slot for the `(JobId, SlotKey)` pair; this inserts a
+    /// placeholder running-job record and returns its key.
+    fn fake_slot(sched: &mut Scheduler<'_>, h: InstanceHandle, cores: u32, at: SimTime) -> SlotKey {
+        sched.running.insert(RunningJob {
+            spec_idx: 0,
+            instance: h,
+            cores,
+            started: false,
+            start_at: at,
+            queue_delay: SimDuration::ZERO,
+            remaining_work: 0.0,
+            last_progress: at,
+            finish_version: 0,
+            lat_weighted_sum: 0.0,
+            lat_weight: 0.0,
+            isolation_p99: 0.0,
+            qos_bad_ticks: 0,
+            rescheduled: false,
+        })
     }
 
     #[test]
@@ -2150,8 +2276,12 @@ mod tests {
         config.internal_pressure_scale = 1.0;
         let run_pressure = |config: &RunConfig| {
             let (mut sched, mut events) = scheduler(&scenario, config);
-            sched.on_arrival(0, SimTime::ZERO, &mut events);
-            sched.on_arrival(1, SimTime::ZERO, &mut events);
+            sched
+                .on_arrival(JobId(0), SimTime::ZERO, &mut events)
+                .unwrap();
+            sched
+                .on_arrival(JobId(1), SimTime::ZERO, &mut events)
+                .unwrap();
             sched.on_start(JobId(0), SimTime::ZERO, &mut events);
             sched.on_start(JobId(1), SimTime::ZERO, &mut events);
             let h = sched.reserved_handles[0];
@@ -2259,19 +2389,43 @@ mod tests {
         let mut config = RunConfig::new(StrategyKind::StaticReserved);
         config.reserved_cores_override = Some(16);
         let (mut sched, mut events) = scheduler(&scenario, &config);
-        sched.on_arrival(0, SimTime::ZERO, &mut events);
-        sched.on_arrival(1, SimTime::ZERO, &mut events);
-        sched.on_arrival(2, SimTime::ZERO, &mut events);
+        sched
+            .on_arrival(JobId(0), SimTime::ZERO, &mut events)
+            .unwrap();
+        sched
+            .on_arrival(JobId(1), SimTime::ZERO, &mut events)
+            .unwrap();
+        sched
+            .on_arrival(JobId(2), SimTime::ZERO, &mut events)
+            .unwrap();
         assert_eq!(sched.queue.len(), 2, "both later jobs queue");
         sched.on_start(JobId(0), SimTime::ZERO, &mut events);
         // Finish the first job: the queue head (16-core) takes the slot.
-        let version = sched.running[&JobId(0)].finish_version;
+        let version = sched.running_job(JobId(0)).unwrap().finish_version;
         sched
             .on_finish(JobId(0), version, SimTime::from_secs(600), &mut events)
             .unwrap();
         assert_eq!(sched.queue.len(), 1);
-        assert!(sched.running.contains_key(&JobId(1)));
-        assert!(!sched.running.contains_key(&JobId(2)) || sched.queue.is_empty());
+        assert!(sched.running_by_id.contains_key(&JobId(1)));
+        assert!(!sched.running_by_id.contains_key(&JobId(2)) || sched.queue.is_empty());
+    }
+
+    #[test]
+    fn foreign_job_id_fails_typed() {
+        let scenario = scenario_of(vec![job(0, AppClass::HadoopSvm, 2, 100)]);
+        let config = RunConfig::new(StrategyKind::StaticReserved);
+        let (mut sched, mut events) = scheduler(&scenario, &config);
+        let err = sched
+            .on_arrival(JobId(999), SimTime::ZERO, &mut events)
+            .expect_err("an id outside the scenario must fail typed");
+        assert_eq!(err, UnknownJob { id: JobId(999) });
+        assert_eq!(sched.pending_jobs(), 0, "nothing was admitted");
+        assert!(events.is_empty(), "nothing was scheduled");
+        // The in-scenario id still works.
+        sched
+            .on_arrival(JobId(0), SimTime::ZERO, &mut events)
+            .unwrap();
+        assert_eq!(sched.pending_jobs(), 1);
     }
 
     #[test]
@@ -2283,12 +2437,15 @@ mod tests {
         let scenario = scenario_of(jobs);
         let config = RunConfig::new(StrategyKind::OnDemandMixed);
         let (mut sched, mut events) = scheduler(&scenario, &config);
-        sched.on_arrival(0, SimTime::ZERO, &mut events);
+        sched
+            .on_arrival(JobId(0), SimTime::ZERO, &mut events)
+            .unwrap();
         let h = *sched.live_od.iter().next().expect("od instance acquired");
         let token_before = sched.inst(h).retention_token;
         // A new job lands on the instance (reuse) before the retention
         // timer fires; the stale token must not release it.
-        sched.inst_mut(h).jobs.push(JobId(99));
+        let key = fake_slot(&mut sched, h, 2, SimTime::ZERO);
+        sched.inst_mut(h).jobs.push((JobId(99), key));
         sched.inst_mut(h).retention_token += 1;
         sched.on_retention(h, token_before, SimTime::from_secs(500));
         assert!(
@@ -2329,7 +2486,8 @@ mod tests {
             sched.find_idle_dedicated(Family::Standard, 2, false, 0.0, SimTime::from_secs(3600));
         assert_eq!(found, Some(h));
         // Attaching a job removes it from the idle index.
-        sched.attach_job(h, JobId(0), 2, SimTime::from_secs(3600));
+        let key = fake_slot(&mut sched, h, 2, SimTime::from_secs(3600));
+        sched.attach_job(h, JobId(0), key, 2, SimTime::from_secs(3600));
         assert!(sched.idle_buckets.is_empty());
     }
 
@@ -2408,7 +2566,8 @@ mod tests {
                         let h = retained.remove(x as usize % retained.len());
                         let jid = JobId(next_job);
                         next_job += 1;
-                        sched.attach_job(h, jid, 1, t);
+                        let key = fake_slot(&mut sched, h, 1, t);
+                        sched.attach_job(h, jid, key, 1, t);
                         occupied.push((h, jid));
                     }
                     4 if !occupied.is_empty() => {
@@ -2473,7 +2632,8 @@ mod tests {
         let config = RunConfig::new(StrategyKind::OnDemandMixed);
         let (mut sched, _) = scheduler(&scenario, &config);
         let h = sched.acquire(InstanceType::standard(4), SimTime::ZERO);
-        sched.attach_job(h, JobId(0), 2, SimTime::ZERO);
+        let key = fake_slot(&mut sched, h, 2, SimTime::ZERO);
+        sched.attach_job(h, JobId(0), key, 2, SimTime::ZERO);
         assert!(sched
             .detach_job(h, JobId(0), 2, SimTime::from_secs(1))
             .expect("first unbind is legal"));
@@ -2517,16 +2677,20 @@ mod tests {
         let (mut sched, mut events) = scheduler(&scenario, &config);
 
         // Job 0 fills the reserved pool; job 1 queues behind it.
-        sched.on_arrival(0, SimTime::ZERO, &mut events);
+        sched
+            .on_arrival(JobId(0), SimTime::ZERO, &mut events)
+            .unwrap();
         sched.on_start(JobId(0), SimTime::ZERO, &mut events);
-        sched.on_arrival(1, SimTime::ZERO, &mut events);
+        sched
+            .on_arrival(JobId(1), SimTime::ZERO, &mut events)
+            .unwrap();
         assert_eq!(sched.queue.len(), 1, "job 1 must queue behind job 0");
 
         // Wait 1: starved for 3600s, then relieved to the od pool.
         let t1 = SimTime::from_secs(3600);
         sched.on_tick(t1, &mut events).unwrap();
         assert!(sched.queue.is_empty(), "job 1 must be relieved");
-        assert!(sched.running.contains_key(&JobId(1)));
+        assert!(sched.running_by_id.contains_key(&JobId(1)));
 
         // Preemption 1 kills the od instance; job 1 queues again.
         let h1 = *sched.od_pool.iter().next().expect("od pool instance");
@@ -2547,9 +2711,9 @@ mod tests {
 
         // Wait 3: job 0 finishes; the queue drains onto reserved.
         let t5 = SimTime::from_secs(20_000);
-        let version = sched.running[&JobId(0)].finish_version;
+        let version = sched.running_job(JobId(0)).unwrap().finish_version;
         sched.on_finish(JobId(0), version, t5, &mut events).unwrap();
-        let job1 = &sched.running[&JobId(1)];
+        let job1 = sched.running_job(JobId(1)).unwrap();
         assert_eq!(
             job1.queue_delay,
             SimDuration::from_secs(3600 + 7200 + 8000),

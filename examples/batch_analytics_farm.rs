@@ -6,7 +6,10 @@
 //! cargo run --release --example batch_analytics_farm
 //! ```
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_pricing::{commitment_cost, PricingModel, Rates, ReservedOnDemandPricing};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
@@ -39,7 +42,8 @@ fn main() {
         "strategy", "perf", "run cost", "$/core-hour", "26-week deployment"
     );
     for strategy in StrategyKind::ALL {
-        let result = run_scenario(&scenario, &RunConfig::new(strategy), &factory);
+        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
+            .expect("no auditor attached");
         let cost = result.cost(&rates, &pricing).total();
         let long = commitment_cost(
             &result.usage_records,

@@ -6,7 +6,10 @@
 //! cargo run --release --example pricing_explorer [static|low|high]
 //! ```
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_pricing::{commitment_cost, PricingModel, Rates, ReservedOnDemandPricing};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
@@ -30,7 +33,13 @@ fn main() {
     let rates = Rates::default();
     let results: Vec<_> = StrategyKind::ALL
         .iter()
-        .map(|&s| (s, run_scenario(&scenario, &RunConfig::new(s), &factory)))
+        .map(|&s| {
+            (
+                s,
+                run_scenario(&scenario, &RunConfig::new(s), &RunCtx::new(&factory))
+                    .expect("no auditor attached"),
+            )
+        })
         .collect();
 
     println!("Per-run cost under each provider pricing model ($):");

@@ -6,7 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
@@ -37,7 +40,8 @@ fn main() {
     );
     for strategy in StrategyKind::ALL {
         let config = RunConfig::new(strategy);
-        let result = run_scenario(&scenario, &config, &factory);
+        let result =
+            run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
         let batch = result.batch_performance_boxplot().expect("batch jobs");
         let lc = result.lc_latency_boxplot().expect("latency jobs");
         let cost = result.cost(&rates, &pricing);

@@ -9,7 +9,10 @@
 //! cargo run --release --example web_service_autoscale
 //! ```
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::dist::{LogNormal, Sample};
 use hcloud_sim::rng::RngFactory;
@@ -94,7 +97,8 @@ fn main() {
     let rates = Rates::default();
     let pricing = PricingModel::aws();
     for strategy in [StrategyKind::HybridFull, StrategyKind::OnDemandFull] {
-        let result = run_scenario(&scenario, &RunConfig::new(strategy), &factory);
+        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
+            .expect("no auditor attached");
         let lc = result.lc_latency_boxplot().expect("memcached present");
         let cost = result.cost(&rates, &pricing);
         println!("{}:", strategy.short_name());

@@ -1,7 +1,10 @@
 //! Integration tests for the Section 5.5 data-locality extension.
 
 use hcloud::config::DataLocalityModel;
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, RunResult, StrategyKind,
+};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
@@ -15,7 +18,8 @@ fn scenario() -> Scenario {
 fn run(data: Option<DataLocalityModel>) -> RunResult {
     let mut config = RunConfig::new(StrategyKind::HybridMixed);
     config.data = data;
-    run_scenario(&scenario(), &config, &RngFactory::new(33))
+    run_scenario(&scenario(), &config, &RunCtx::new(&RngFactory::new(33)))
+        .expect("no auditor attached")
 }
 
 #[test]

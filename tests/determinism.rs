@@ -1,6 +1,9 @@
 //! Integration tests: determinism and workload/strategy independence.
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
@@ -18,8 +21,9 @@ fn identical_seeds_reproduce_runs_bit_for_bit() {
         run_scenario(
             &s,
             &RunConfig::new(StrategyKind::HybridMixed),
-            &RngFactory::new(1),
+            &RunCtx::new(&RngFactory::new(1)),
         )
+        .expect("no auditor attached")
     };
     let a = run();
     let b = run();
@@ -47,7 +51,12 @@ fn workload_is_identical_across_strategies() {
     let s = scenario(7);
     let ids: Vec<_> = s.jobs().iter().map(|j| j.id).collect();
     for strategy in StrategyKind::ALL {
-        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(7));
+        let r = run_scenario(
+            &s,
+            &RunConfig::new(strategy),
+            &RunCtx::new(&RngFactory::new(7)),
+        )
+        .expect("no auditor attached");
         let mut done: Vec<_> = r.outcomes.iter().map(|o| o.id).collect();
         done.sort();
         let mut expect = ids.clone();
@@ -77,7 +86,12 @@ fn interference_is_repeatable_across_strategies() {
 fn outcomes_are_internally_consistent() {
     let s = scenario(3);
     for strategy in StrategyKind::ALL {
-        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(3));
+        let r = run_scenario(
+            &s,
+            &RunConfig::new(strategy),
+            &RunCtx::new(&RngFactory::new(3)),
+        )
+        .expect("no auditor attached");
         for o in &r.outcomes {
             assert!(o.started >= o.arrival, "{strategy}: started before arrival");
             assert!(o.finished >= o.started, "{strategy}: finished before start");
@@ -112,7 +126,7 @@ fn identical_fault_plans_reproduce_runs_bit_for_bit() {
         let config = RunConfig::new(StrategyKind::HybridMixed)
             .with_spot(hcloud::config::SpotPolicy::default())
             .with_faults(FaultPlanId::FullChaos.plan());
-        run_scenario(&s, &config, &RngFactory::new(1))
+        run_scenario(&s, &config, &RunCtx::new(&RngFactory::new(1))).expect("no auditor attached")
     };
     let a = run();
     let b = run();
@@ -127,13 +141,15 @@ fn off_fault_plan_matches_no_fault_plan() {
     let plain = run_scenario(
         &s,
         &RunConfig::new(StrategyKind::HybridMixed),
-        &RngFactory::new(1),
-    );
+        &RunCtx::new(&RngFactory::new(1)),
+    )
+    .expect("no auditor attached");
     let explicit_off = run_scenario(
         &s,
         &RunConfig::new(StrategyKind::HybridMixed).with_faults(hcloud_faults::FaultPlan::off()),
-        &RngFactory::new(1),
-    );
+        &RunCtx::new(&RngFactory::new(1)),
+    )
+    .expect("no auditor attached");
     assert_eq!(plain, explicit_off);
 }
 

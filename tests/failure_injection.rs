@@ -1,7 +1,10 @@
 //! Integration tests: extreme and degenerate configurations must degrade
 //! gracefully, never panic, and never lose jobs.
 
-use hcloud::{runner::run_scenario, RunConfig, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, StrategyKind,
+};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
@@ -15,7 +18,8 @@ fn scenario() -> Scenario {
 
 fn assert_all_complete(config: &RunConfig, label: &str) {
     let s = scenario();
-    let r = run_scenario(&s, config, &RngFactory::new(5));
+    let r =
+        run_scenario(&s, config, &RunCtx::new(&RngFactory::new(5))).expect("no auditor attached");
     assert_eq!(r.outcomes.len(), s.jobs().len(), "{label}: jobs lost");
     for o in &r.outcomes {
         assert!(o.normalized_perf.is_finite(), "{label}: non-finite perf");
@@ -78,7 +82,7 @@ fn sr_with_tight_capacity_queues_but_finishes() {
         .max_over(hcloud_sim::SimTime::ZERO, s.ideal_completion());
     let mut c = RunConfig::new(StrategyKind::StaticReserved);
     c.reserved_cores_override = Some((peak * 0.6) as u32);
-    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    let r = run_scenario(&s, &c, &RunCtx::new(&RngFactory::new(5))).expect("no auditor attached");
     assert_eq!(r.outcomes.len(), s.jobs().len());
     assert!(
         r.counters.queued_jobs > 0,
@@ -92,7 +96,12 @@ fn all_sensitive_workload_completes() {
     config.sensitive_fraction = Some(1.0);
     let s = Scenario::generate(config, &RngFactory::new(5));
     for strategy in StrategyKind::ALL {
-        let r = run_scenario(&s, &RunConfig::new(strategy), &RngFactory::new(5));
+        let r = run_scenario(
+            &s,
+            &RunConfig::new(strategy),
+            &RunCtx::new(&RngFactory::new(5)),
+        )
+        .expect("no auditor attached");
         assert_eq!(r.outcomes.len(), s.jobs().len(), "{strategy}");
     }
 }
@@ -104,8 +113,9 @@ fn empty_scenario_is_a_noop() {
     let r = run_scenario(
         &s,
         &RunConfig::new(StrategyKind::HybridMixed),
-        &RngFactory::new(1),
-    );
+        &RunCtx::new(&RngFactory::new(1)),
+    )
+    .expect("no auditor attached");
     assert!(r.outcomes.is_empty());
     assert_eq!(r.counters.od_acquired, 0);
 }
@@ -148,7 +158,7 @@ fn preempted_jobs_are_requeued_never_dropped() {
     let c = RunConfig::new(StrategyKind::HybridMixed)
         .with_spot(SpotPolicy::default())
         .with_faults(FaultPlanId::PreemptionStorms.plan().with_intensity(3.0));
-    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    let r = run_scenario(&s, &c, &RunCtx::new(&RngFactory::new(5))).expect("no auditor attached");
     assert_eq!(r.outcomes.len(), s.jobs().len(), "preemption dropped jobs");
     assert!(
         r.counters.spot_terminations > 0,
@@ -176,7 +186,7 @@ fn monitor_blackout_degrades_dynamic_policy_gracefully() {
     // scenario entirely; crank intensity so windows land inside the run.
     let c = RunConfig::new(StrategyKind::HybridMixed)
         .with_faults(FaultPlanId::MonitorBlackout.plan().with_intensity(8.0));
-    let r = run_scenario(&s, &c, &RngFactory::new(5));
+    let r = run_scenario(&s, &c, &RunCtx::new(&RngFactory::new(5))).expect("no auditor attached");
     assert_eq!(r.outcomes.len(), s.jobs().len(), "blackout dropped jobs");
     assert!(
         r.counters.monitor_dropout_ticks > 0,

@@ -1,7 +1,10 @@
 //! Integration tests for the mapping policies (Section 4.2) driving real
 //! scenario runs.
 
-use hcloud::{runner::run_scenario, MappingPolicy, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    MappingPolicy, RunConfig, RunResult, StrategyKind,
+};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::stats::mean;
 use hcloud_workloads::{AppClass, Scenario, ScenarioConfig, ScenarioKind};
@@ -17,8 +20,9 @@ fn run_policy(policy: MappingPolicy) -> RunResult {
     run_scenario(
         &scenario(),
         &RunConfig::new(StrategyKind::HybridMixed).with_policy(policy),
-        &RngFactory::new(11),
+        &RunCtx::new(&RngFactory::new(11)),
     )
+    .expect("no auditor attached")
 }
 
 #[test]
@@ -125,7 +129,8 @@ fn decision_trail_is_recorded_on_request() {
     let s = scenario();
     let mut config = RunConfig::new(StrategyKind::HybridMixed);
     config.record_decisions = true;
-    let r = run_scenario(&s, &config, &RngFactory::new(11));
+    let r =
+        run_scenario(&s, &config, &RunCtx::new(&RngFactory::new(11))).expect("no auditor attached");
     assert_eq!(r.decisions.len(), s.jobs().len(), "one decision per job");
     // Reasons must be internally consistent with what the run did.
     let queued = r
@@ -146,7 +151,8 @@ fn decision_trail_is_recorded_on_request() {
     let r = run_scenario(
         &s,
         &RunConfig::new(StrategyKind::HybridMixed),
-        &RngFactory::new(11),
-    );
+        &RunCtx::new(&RngFactory::new(11)),
+    )
+    .expect("no auditor attached");
     assert!(r.decisions.is_empty());
 }

@@ -1,7 +1,10 @@
 //! Integration tests for the Section 5.5 spot-instance extension.
 
 use hcloud::config::SpotPolicy;
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, RunResult, StrategyKind,
+};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
@@ -16,7 +19,8 @@ fn scenario() -> Scenario {
 fn run(spot: Option<SpotPolicy>) -> RunResult {
     let mut config = RunConfig::new(StrategyKind::HybridMixed);
     config.spot = spot;
-    run_scenario(&scenario(), &config, &RngFactory::new(21))
+    run_scenario(&scenario(), &config, &RunCtx::new(&RngFactory::new(21)))
+        .expect("no auditor attached")
 }
 
 #[test]
@@ -109,7 +113,12 @@ fn paper_strategies_are_untouched_by_default() {
     // spot: None is the default — the five paper strategies never touch
     // the spot market.
     for strategy in StrategyKind::ALL {
-        let r = run_scenario(&scenario(), &RunConfig::new(strategy), &RngFactory::new(21));
+        let r = run_scenario(
+            &scenario(),
+            &RunConfig::new(strategy),
+            &RunCtx::new(&RngFactory::new(21)),
+        )
+        .expect("no auditor attached");
         assert_eq!(r.counters.spot_acquired, 0, "{strategy}");
         assert!(r.usage_records.iter().all(|u| u.rate_multiplier == 1.0));
     }

@@ -1,7 +1,10 @@
 //! Integration tests: the paper's qualitative results hold end-to-end on
 //! scaled-down scenarios.
 
-use hcloud::{runner::run_scenario, RunConfig, RunResult, StrategyKind};
+use hcloud::{
+    runner::{run_scenario, RunCtx},
+    RunConfig, RunResult, StrategyKind,
+};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
@@ -14,8 +17,9 @@ fn run(kind: ScenarioKind, strategy: StrategyKind) -> RunResult {
     run_scenario(
         &scenario(kind),
         &RunConfig::new(strategy),
-        &RngFactory::new(42),
+        &RunCtx::new(&RngFactory::new(42)),
     )
+    .expect("no auditor attached")
 }
 
 #[test]
@@ -150,8 +154,14 @@ fn profiling_information_improves_every_reserved_strategy() {
     ] {
         let s = scenario(kind);
         let factory = RngFactory::new(42);
-        let with = run_scenario(&s, &RunConfig::new(strategy), &factory);
-        let without = run_scenario(&s, &RunConfig::new(strategy).without_profiling(), &factory);
+        let with = run_scenario(&s, &RunConfig::new(strategy), &RunCtx::new(&factory))
+            .expect("no auditor attached");
+        let without = run_scenario(
+            &s,
+            &RunConfig::new(strategy).without_profiling(),
+            &RunCtx::new(&factory),
+        )
+        .expect("no auditor attached");
         assert!(
             with.mean_normalized_perf() > without.mean_normalized_perf(),
             "{strategy}: with {:.3} vs without {:.3}",
