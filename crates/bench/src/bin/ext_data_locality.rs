@@ -14,11 +14,15 @@
 
 use hcloud::config::DataLocalityModel;
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::EXT_DATA_LOCALITY;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let kind = ScenarioKind::HighVariability;
 
     println!("Extension C: data locality across private/public clusters (HM, high variability)\n");

@@ -17,6 +17,7 @@
 
 use hcloud::config::SpotPolicy;
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_faults::FaultPlanId;
 use hcloud_pricing::{PricingModel, Rates};
@@ -25,8 +26,11 @@ use hcloud_workloads::ScenarioKind;
 /// Jobs at or above this normalized performance kept their SLO.
 const SLO_THRESHOLD: f64 = 0.7;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::EXT_FAULT_RESILIENCE;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let kind = ScenarioKind::HighVariability;
     let rates = Rates::default();
     let model = PricingModel::aws();

@@ -8,6 +8,7 @@
 //! occupy whole servers and stay tight. On EC2, a fraction of micro
 //! instances get terminated by the provider's internal scheduler.
 
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentCtx, Table};
 use hcloud_cloud::{Cloud, CloudConfig, InstanceType, ProviderProfile};
 use hcloud_interference::ResourceVector;
@@ -62,7 +63,11 @@ fn completion_minutes(
     Some(elapsed / 60.0)
 }
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG01;
+
 fn main() -> std::process::ExitCode {
+    registry::announce(INFO);
     let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let sensitivity = AppClass::HadoopRecommender.sensitivity_template();
     println!("Figure 1: Hadoop (Mahout recommender) completion time across instance types\n");

@@ -6,6 +6,7 @@
 //! runs the service for an hour; the reported metric is the
 //! time-averaged p99 request latency.
 
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentCtx, Table};
 use hcloud_cloud::{Cloud, CloudConfig, InstanceType, ProviderProfile};
 use hcloud_sim::rng::RngFactory;
@@ -53,7 +54,11 @@ fn mean_p99_us(
     sum / n as f64
 }
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG02;
+
 fn main() -> std::process::ExitCode {
+    registry::announce(INFO);
     let factory = RngFactory::new(ExperimentCtx::from_env_or_exit().master_seed);
     let latency = figure_latency_model();
     println!("Figure 2: memcached p99 latency across instance types\n");

@@ -4,11 +4,16 @@
 //! resampled series, and the measured Table 2 characteristics of the
 //! generated job streams.
 
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{paper_scenario, sparkline, write_json, ExperimentCtx, Table};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG03_TAB02;
+
 fn main() -> std::process::ExitCode {
+    registry::announce(INFO);
     let ctx = ExperimentCtx::from_env_or_exit();
     println!("Figure 3: the three workload scenarios (required cores over time)\n");
     let step = SimDuration::from_mins(2);

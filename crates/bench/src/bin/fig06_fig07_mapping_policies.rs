@@ -7,13 +7,17 @@
 //! normalized to static-SR.
 
 use hcloud::{MappingPolicy, StrategyKind};
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::stats::mean;
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG06_FIG07;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let rates = Rates::default();
     let model = PricingModel::aws();
     let kind = ScenarioKind::HighVariability;

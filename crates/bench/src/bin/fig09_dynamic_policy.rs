@@ -5,12 +5,16 @@
 //! estimator — estimated vs measured waits per requested instance size.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{sparkline, write_json, Harness, RunSpec, Table};
 use hcloud_sim::stats::Cdf;
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG09;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let r = h.run(RunSpec::of(
         ScenarioKind::HighVariability,
         StrategyKind::HybridMixed,

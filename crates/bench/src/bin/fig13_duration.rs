@@ -6,13 +6,17 @@
 //! paper.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG13;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let rates = Rates::default();
     let pricing = ReservedOnDemandPricing::default();
     let weeks = [1u64, 5, 10, 15, 18, 20, 25, 30, 40, 50, 52, 60];

@@ -6,12 +6,16 @@
 //! mean external load sweeps 0–100%.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_cloud::{ExternalLoadModel, SpinUpModel};
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG14;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let kind = ScenarioKind::HighVariability;
 
     // Both sweeps as one plan: 6 spin-up points x 5 strategies plus

@@ -6,12 +6,16 @@
 use std::sync::Arc;
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::{Scenario, ScenarioKind};
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG16;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let factory = h.factory();
     let rates = Rates::default();
     let model = PricingModel::aws();

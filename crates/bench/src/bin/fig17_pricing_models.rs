@@ -6,12 +6,16 @@
 //! static-SR under the reserved + on-demand model.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_workloads::ScenarioKind;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG17;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let rates = Rates::default();
     let models = [
         ("reserved+od (AWS)", PricingModel::aws()),

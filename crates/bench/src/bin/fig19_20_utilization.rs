@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{heatmap_row, write_json, ExperimentPlan, Harness, RunSpec};
 use hcloud_sim::SimTime;
 use hcloud_workloads::ScenarioKind;
@@ -17,8 +18,11 @@ use hcloud_workloads::ScenarioKind;
 const TIME_BUCKETS: usize = 60;
 const ROW_BUCKETS: usize = 16;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG19_20;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let kind = ScenarioKind::HighVariability;
     println!("Figures 19-20: per-instance utilization, high-variability scenario");
     println!("(rows: instances, bucketed; columns: time; shade = mean CPU utilization)\n");

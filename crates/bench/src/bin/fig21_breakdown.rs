@@ -2,6 +2,7 @@
 //! type under HM, split between reserved and on-demand resources.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{sparkline, write_json, Harness, RunSpec};
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::{SimDuration, SimTime};
@@ -20,8 +21,11 @@ fn group(class: AppClass) -> usize {
 
 const GROUPS: [&str; 3] = ["Hadoop", "Spark", "memcached"];
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::FIG21;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let r = h
         .run(RunSpec::of(
             ScenarioKind::LowVariability,

@@ -31,10 +31,12 @@ use hcloud::runner::{run_scenario_on, RunCtx};
 use hcloud::scheduler::Event;
 use hcloud::{RunConfig, StrategyKind};
 use hcloud_bench::fleet::{fleet_config, run_digest};
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{artifacts, Engine, ExperimentCtx, ExperimentPlan, RunSpec};
 use hcloud_json::{ObjectBuilder, Value};
 use hcloud_sim::event::{EventQueue, HeapEventQueue};
 use hcloud_sim::rng::RngFactory;
+use hcloud_telemetry::Profiler;
 use hcloud_workloads::Scenario;
 
 /// Timing repetitions per queue implementation; the minimum is reported.
@@ -48,7 +50,11 @@ fn fleet_run_config() -> RunConfig {
     RunConfig::new(StrategyKind::OnDemandMixed).with_retention_mult(0.05)
 }
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::PERF_FLEET;
+
 fn main() -> ExitCode {
+    registry::announce(INFO);
     let ctx = ExperimentCtx::from_env_or_exit();
     let scenario = Scenario::generate(fleet_config(ctx.fast), &RngFactory::new(ctx.master_seed));
     eprintln!(
@@ -87,6 +93,33 @@ fn main() -> ExitCode {
         eprintln!(
             "[perf_fleet] {queue:<5} {best_ms:>9.1} ms  ({events} events, {instances} instances, digest {dig})"
         );
+
+        // One extra profiled rep per queue — excluded from `total_ms`
+        // (and hence from the wall-clock regression guard) so the span
+        // bookkeeping never taxes the headline number. Ops counts are
+        // deterministic; span wall times localize where the wheel and
+        // the heap actually spend the run.
+        let profiler = Profiler::enabled();
+        let factory = RngFactory::new(ctx.master_seed);
+        let run_ctx = RunCtx::new(&factory).with_profiler(&profiler);
+        let start = Instant::now();
+        let result = match queue {
+            "wheel" => run_scenario_on::<EventQueue<Event>>(&scenario, &config, &run_ctx),
+            _ => run_scenario_on::<HeapEventQueue<Event>>(&scenario, &config, &run_ctx),
+        }
+        .expect("no auditor attached");
+        let profiled_ms = start.elapsed().as_secs_f64() * 1e3;
+        let profiled_dig = run_digest(&result);
+        if profiled_dig != dig {
+            artifacts::artifact_failure(
+                "perf_fleet profiling identity",
+                format!("profiled {queue} run diverged: {profiled_dig} vs {dig}"),
+            );
+            return artifacts::exit_code();
+        }
+        let snapshot = profiler.snapshot();
+        eprintln!("[perf_fleet] {queue:<5} profile: {}", snapshot.summary());
+
         rows.push(
             ObjectBuilder::new()
                 .set("queue", queue)
@@ -94,6 +127,14 @@ fn main() -> ExitCode {
                 .set("events", events as f64)
                 .set("instances", instances as f64)
                 .set("digest", dig.as_str())
+                .set(
+                    "profile",
+                    ObjectBuilder::new()
+                        .set("wall_ms", profiled_ms)
+                        .set("ops", snapshot.ops_json())
+                        .set("span_wall_ms", snapshot.wall_ms_json())
+                        .build(),
+                )
                 .build(),
         );
         digests.push(dig);
@@ -150,6 +191,7 @@ fn main() -> ExitCode {
     }
 
     let doc = ObjectBuilder::new()
+        .set("schema_version", artifacts::SCHEMA_VERSION)
         .set("bench", "perf_fleet")
         .set("mode", if ctx.fast { "fast" } else { "full" })
         .set("seed", ctx.master_seed as f64)

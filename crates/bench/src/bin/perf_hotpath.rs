@@ -23,6 +23,7 @@ use hcloud::{
     RunConfig, StrategyKind,
 };
 use hcloud_bench::fleet::run_digest as digest;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{artifacts, ExperimentCtx};
 use hcloud_cloud::InstanceType;
 use hcloud_json::{ObjectBuilder, Value};
@@ -53,7 +54,11 @@ fn quantile_churn_ms(samples: usize) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::PERF_HOTPATH;
+
 fn main() -> ExitCode {
+    registry::announce(INFO);
     let ctx = ExperimentCtx::from_env_or_exit();
     // Scheduler-heavy: high variability (most on-demand churn), scaled
     // well past the paper runs so placement/retention dominate.
@@ -113,6 +118,7 @@ fn main() -> ExitCode {
     eprintln!("[perf_hotpath] total {total_ms:.1} ms");
 
     let doc = ObjectBuilder::new()
+        .set("schema_version", artifacts::SCHEMA_VERSION)
         .set("bench", "perf_hotpath")
         .set("mode", if ctx.fast { "fast" } else { "full" })
         .set("seed", ctx.master_seed as f64)

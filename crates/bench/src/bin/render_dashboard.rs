@@ -1,0 +1,29 @@
+//! Regenerates the paper-parity & perf-trajectory dashboard.
+//!
+//! Walks the experiment registry against `results/*.json`, the committed
+//! goldens, and the repo-root `BENCH_*.json` perf records, then rewrites
+//! `docs/alignment/STATUS.md` and `docs/alignment/PERF_TRAJECTORY.json`
+//! in place. The output is a pure function of those inputs — no clocks,
+//! no environment — so CI can regenerate it and fail on `git diff
+//! --exit-code` when the committed dashboard is stale.
+//!
+//! ```text
+//! cargo run -p hcloud-bench --bin render_dashboard
+//! ```
+//!
+//! Run from the repo root (the same contract as the figure binaries and
+//! `render_figures`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hcloud_bench::registry::{self, ExperimentInfo};
+use hcloud_bench::{artifacts, dashboard};
+
+const INFO: &ExperimentInfo = &registry::RENDER_DASHBOARD;
+
+fn main() -> ExitCode {
+    registry::announce(INFO);
+    dashboard::write_dashboard(Path::new("."));
+    artifacts::exit_code()
+}

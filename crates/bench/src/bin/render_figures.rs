@@ -14,6 +14,7 @@
 use std::fs;
 
 use hcloud_bench::plot::{save_both, BoxChart, BoxGroup, BoxStats, LineChart, Series};
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_json::Value;
 
 const STRATEGIES: [&str; 5] = ["SR", "OdF", "OdM", "HF", "HM"];
@@ -164,7 +165,11 @@ fn per_scenario_sweep(
     }
 }
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::RENDER_FIGURES;
+
 fn main() -> std::process::ExitCode {
+    registry::announce(INFO);
     fig03();
     boxfig(
         "fig04a_batch",

@@ -7,6 +7,7 @@
 //! them.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{write_json, Harness, RunSpec, Table};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::stats::OnlineStats;
@@ -14,8 +15,11 @@ use hcloud_workloads::ScenarioKind;
 
 const SEEDS: [u64; 10] = [42, 7, 11, 21, 33, 99, 123, 2024, 31337, 271828];
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::REPLICATION;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let rates = Rates::default();
     let model = PricingModel::aws();
     println!(

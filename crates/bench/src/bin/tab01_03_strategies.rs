@@ -2,9 +2,14 @@
 //! and the strategy resource matrix.
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::Table;
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::TAB01_03;
+
 fn main() {
+    registry::announce(INFO);
     println!("Table 1: Comparison of system configurations\n");
     let mut t1 = Table::new(vec![
         "Configuration",

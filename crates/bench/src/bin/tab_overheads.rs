@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use hcloud::StrategyKind;
+use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{ExperimentPlan, Harness, RunSpec, Table};
 use hcloud_interference::{resource_quality, ResourceVector};
 use hcloud_quasar::{ProfilingEnvironment, QuasarConfig, QuasarEngine};
@@ -16,8 +17,11 @@ use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::SimTime;
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, ScenarioKind};
 
+/// This binary's entry in the experiment registry.
+const INFO: &ExperimentInfo = &registry::TAB_OVERHEADS;
+
 fn main() -> std::process::ExitCode {
-    let mut h = Harness::new();
+    let mut h = Harness::for_experiment(INFO);
     let kind = ScenarioKind::HighVariability;
 
     let plan: ExperimentPlan = StrategyKind::ALL

@@ -44,7 +44,9 @@ use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
 use hcloud_audit::{AuditMode, Auditor};
 use hcloud_faults::{FaultPlan, FaultPlanId};
 use hcloud_sim::rng::RngFactory;
-use hcloud_telemetry::{MetricsRegistry, RunMeta, TraceEvent, TraceMode, Tracer};
+use hcloud_telemetry::{
+    MetricsRegistry, ProfSpan, ProfileSnapshot, Profiler, RunMeta, TraceEvent, TraceMode, Tracer,
+};
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
 /// The ambient experiment context: master seed, fast (smoke) mode, and
@@ -437,6 +439,10 @@ pub struct RunTelemetry {
     /// Placement queries its scheduler answered straight from a
     /// maintained index.
     pub placement_fastpath: usize,
+    /// Per-subsystem profiling spans (op counts are deterministic; wall
+    /// clock is machine-dependent). Empty unless the context's trace
+    /// mode reports spans.
+    pub profile: ProfileSnapshot,
 }
 
 /// One run's recorded trace: identity plus the sim-time-ordered event
@@ -488,6 +494,16 @@ impl PlanTelemetry {
         self.runs.iter().map(|r| r.placement_fastpath).sum()
     }
 
+    /// Per-subsystem profiling spans summed across runs (empty unless
+    /// the trace mode reports spans).
+    pub fn total_profile(&self) -> ProfileSnapshot {
+        let mut total = ProfileSnapshot::default();
+        for run in &self.runs {
+            total.absorb(&run.profile);
+        }
+        total
+    }
+
     /// Observed parallel speedup: summed per-run time over plan
     /// wall-clock.
     pub fn speedup(&self) -> f64 {
@@ -505,6 +521,10 @@ impl PlanTelemetry {
         reg.counter_add("events_processed", self.total_events() as u64);
         reg.counter_add("index-rebuild", self.total_index_rebuilds() as u64);
         reg.counter_add("placement-fastpath", self.total_placement_fastpath() as u64);
+        let profile = self.total_profile();
+        for span in ProfSpan::ALL {
+            reg.counter_add(&format!("prof_{}_ops", span.name()), profile.get(span).ops);
+        }
         reg.gauge_set("workers", self.workers as f64);
         reg.gauge_set("plan_wall_s", self.wall.as_secs_f64());
         reg.gauge_set("scenario_gen_s", self.scenario_wall.as_secs_f64());
@@ -615,6 +635,7 @@ impl Engine {
         let n = plan.len();
         let workers = self.ctx.worker_count(n);
         let tracing = self.ctx.trace.records_events();
+        let profiling = self.ctx.trace.reports_spans();
         let audit = self.ctx.audit;
 
         type RunOut = Result<(RunResult, RunTelemetry, Option<RunTrace>), String>;
@@ -627,7 +648,12 @@ impl Engine {
             let factory = RngFactory::new(seed);
             let config = spec.effective_config(&self.ctx);
             let run_started = Instant::now();
-            let (result, trace) = if tracing || audit.is_enabled() {
+            let profiler = if profiling {
+                Profiler::enabled()
+            } else {
+                Profiler::disabled()
+            };
+            let (result, trace) = if tracing || profiling || audit.is_enabled() {
                 let tracer = if tracing {
                     Tracer::enabled()
                 } else {
@@ -639,7 +665,8 @@ impl Engine {
                     &config,
                     &RunCtx::new(&factory)
                         .with_tracer(&tracer)
-                        .with_auditor(&auditor),
+                        .with_auditor(&auditor)
+                        .with_profiler(&profiler),
                 )
                 .map_err(|violation| format!("run {}: {violation}", spec.display_label()))?;
                 let trace = tracing.then(|| RunTrace {
@@ -660,6 +687,7 @@ impl Engine {
                 events: result.counters.events_processed,
                 index_rebuilds: result.counters.index_rebuilds,
                 placement_fastpath: result.counters.placement_fastpath,
+                profile: profiler.snapshot(),
             };
             Ok((result, telemetry, trace))
         };
@@ -707,16 +735,21 @@ impl Engine {
             runs.push(telemetry);
             traces.push(trace);
         }
+        let telemetry = PlanTelemetry {
+            runs,
+            wall: started.elapsed(),
+            scenario_wall,
+            workers,
+            cache_hits: 0,
+        };
+        // Feed the deterministic op counts into the process-wide totals
+        // the artifact stamp reads; plan-level aggregation keeps the
+        // stamped counts independent of worker count.
+        crate::artifacts::add_profile(&telemetry.total_profile());
         Ok(PlanOutcome {
             results,
             traces,
-            telemetry: PlanTelemetry {
-                runs,
-                wall: started.elapsed(),
-                scenario_wall,
-                workers,
-                cache_hits: 0,
-            },
+            telemetry,
         })
     }
 }
@@ -928,5 +961,38 @@ mod tests {
             .expect("clean runs pass a strict audit");
         // Auditing observes the run; it never perturbs it.
         assert_eq!(plain.results, audited.results);
+    }
+
+    #[test]
+    fn summary_profiling_never_perturbs_results_and_counts_spans() {
+        let mut plan = ExperimentPlan::new();
+        plan.push(RunSpec::of(ScenarioKind::Static, StrategyKind::HybridMixed).seed(8));
+        plan.push(RunSpec::of(ScenarioKind::LowVariability, StrategyKind::OnDemandFull).seed(8));
+        let ctx = ExperimentCtx::new(42).with_fast(true).with_jobs(2);
+        let plain = Engine::new(ctx).run_plan(&plan);
+        let profiled = Engine::new(ctx.with_trace(TraceMode::Summary)).run_plan(&plan);
+        // Profiling observes the run; it never perturbs it.
+        assert_eq!(plain.results, profiled.results);
+        // Off mode keeps the profiler fully disabled...
+        assert!(plain.telemetry.total_profile().is_empty());
+        // ...while summary mode times every span of every run, and the
+        // deterministic ops counts surface as registry counters.
+        let profile = profiled.telemetry.total_profile();
+        for span in ProfSpan::ALL {
+            assert!(
+                profile.get(span).ops > 0,
+                "span {} never fired",
+                span.name()
+            );
+        }
+        let reg = profiled.telemetry.registry();
+        assert_eq!(
+            reg.counter("prof_find-placement_ops"),
+            profile.get(ProfSpan::FindPlacement).ops
+        );
+        assert_eq!(
+            reg.counter("prof_event-pop_ops"),
+            profile.get(ProfSpan::EventPop).ops
+        );
     }
 }

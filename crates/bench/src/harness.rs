@@ -20,6 +20,7 @@ use hcloud_workloads::{Scenario, ScenarioKind};
 
 use crate::artifacts;
 use crate::engine::{Engine, ExperimentCtx, ExperimentPlan, PlanTelemetry, RunSpec, RunTrace};
+use crate::registry::{self, ExperimentInfo};
 
 /// Generates the paper scenario for `kind` under the ambient
 /// seed/fast-mode environment (hard error on malformed variables).
@@ -49,6 +50,14 @@ impl Harness {
     /// message on malformed `HCLOUD_*` variables).
     pub fn new() -> Harness {
         Harness::with_ctx(ExperimentCtx::from_env_or_exit())
+    }
+
+    /// [`Harness::new`], announcing `info` as the running experiment so
+    /// every artifact this process writes is stamped with its registry
+    /// id (see [`registry::announce`]).
+    pub fn for_experiment(info: &'static ExperimentInfo) -> Harness {
+        registry::announce(info);
+        Harness::new()
     }
 
     /// A harness under an explicit context (tests, library callers).
@@ -199,6 +208,10 @@ impl Harness {
                 self.session.cpu_time().as_secs_f64(),
                 artifacts::report_span().as_secs_f64(),
             );
+            let profile = self.session.total_profile();
+            if !profile.is_empty() {
+                eprintln!("[{name}] profile: {}", profile.summary());
+            }
         }
         self.report(name);
         artifacts::exit_code()

@@ -39,11 +39,13 @@
 //! randomness. Malformed values are a hard error.
 
 pub mod artifacts;
+pub mod dashboard;
 pub mod engine;
 pub mod env;
 pub mod fleet;
 pub mod harness;
 pub mod plot;
+pub mod registry;
 pub mod report;
 
 pub use engine::{
@@ -52,4 +54,5 @@ pub use engine::{
 };
 pub use env::EnvOpts;
 pub use harness::{paper_scenario, Harness};
+pub use registry::{ExperimentInfo, ExperimentKind};
 pub use report::{heatmap_row, sparkline, write_json, Table};

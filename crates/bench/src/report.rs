@@ -6,6 +6,31 @@ use std::path::Path;
 use std::time::Instant;
 
 use crate::artifacts;
+use crate::registry;
+
+/// The `meta` stamp written into every artifact: schema version, the
+/// announced experiment's registry id (see [`registry::announce`]),
+/// and — when profiling ran — the deterministic per-subsystem op
+/// counts. Exactly one line, stable key order.
+fn meta_stamp() -> String {
+    let mut meta = format!("{{\"schema_version\": {}", artifacts::SCHEMA_VERSION);
+    match registry::current() {
+        Some(info) => {
+            let _ = write!(meta, ", \"bench\": \"{}\"", info.id);
+        }
+        None => meta.push_str(", \"bench\": null"),
+    }
+    if let Some(counts) = artifacts::profile_ops() {
+        meta.push_str(", \"profile_ops\": {");
+        for (i, (name, ops)) in counts.iter().enumerate() {
+            let comma = if i == 0 { "" } else { ", " };
+            let _ = write!(meta, "{comma}\"{name}\": {ops}");
+        }
+        meta.push('}');
+    }
+    meta.push('}');
+    meta
+}
 
 /// A simple aligned text table.
 ///
@@ -121,6 +146,7 @@ pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<f64>]) -> bool {
         return false;
     }
     let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"meta\": {},", meta_stamp());
     let _ = writeln!(
         body,
         "  \"columns\": [{}],",

@@ -16,6 +16,7 @@ commands:
   trace     replay a recorded JSONL trace as a readable timeline
   audit     replay recorded traces through the conservation auditor
   faults    list the built-in fault-injection plans (HCLOUD_FAULTS)
+  dashboard regenerate docs/alignment/{STATUS.md,PERF_TRAJECTORY.json}
 
 common options:
   --scenario static|low|high   scenario kind          [high]
@@ -70,6 +71,8 @@ pub enum Command {
     Audit(AuditOptions),
     /// `faults`: list the built-in fault-injection plans.
     Faults,
+    /// `dashboard`: regenerate the paper-parity dashboard in place.
+    Dashboard,
 }
 
 /// Options for `audit`.
@@ -291,6 +294,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "audit" => Ok(Command::Audit(audit)),
         "faults" => Ok(Command::Faults),
+        "dashboard" => Ok(Command::Dashboard),
         "help" | "--help" | "-h" => Err("help requested".into()),
         other => Err(format!("unknown command '{other}'")),
     }

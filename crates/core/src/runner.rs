@@ -17,10 +17,10 @@
 //! one-pop-per-iteration loop.
 
 use hcloud_audit::{AuditViolation, Auditor};
-use hcloud_sim::event::{EventQueue, EventQueueApi};
+use hcloud_sim::event::{EventQueue, EventQueueApi, EventSink, EventToken};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::SimTime;
-use hcloud_telemetry::{trace_event, TraceKind, Tracer};
+use hcloud_telemetry::{trace_event, ProfSpan, Profiler, TraceKind, Tracer};
 use hcloud_workloads::Scenario;
 
 use crate::config::RunConfig;
@@ -48,6 +48,7 @@ pub struct RunCtx<'a> {
     factory: &'a RngFactory,
     tracer: Option<&'a Tracer>,
     auditor: Option<&'a Auditor>,
+    profiler: Option<&'a Profiler>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -57,6 +58,7 @@ impl<'a> RunCtx<'a> {
             factory,
             tracer: None,
             auditor: None,
+            profiler: None,
         }
     }
 
@@ -81,9 +83,64 @@ impl<'a> RunCtx<'a> {
         self
     }
 
+    /// Attach a [`Profiler`]: the event queue, the placement front door,
+    /// the monitor's quantile churn and the audit hooks attribute their
+    /// wall clock to its per-subsystem spans. Operation counts are
+    /// deterministic; wall clock is machine-dependent. Profiling never
+    /// perturbs simulation outcomes.
+    pub fn with_profiler(mut self, profiler: &'a Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// The rng factory this context runs under.
     pub fn factory(&self) -> &'a RngFactory {
         self.factory
+    }
+}
+
+/// An [`EventSink`] adapter attributing queue operations to a run's
+/// profiling spans: pushes through the trait (the path the scheduler
+/// sees), batch pops through the inherent [`drain_next_batch`]. With a
+/// disabled profiler every call is one branch away from the bare queue.
+///
+/// [`drain_next_batch`]: ProfiledQueue::drain_next_batch
+struct ProfiledQueue<'p, Q> {
+    inner: Q,
+    profiler: &'p Profiler,
+}
+
+impl<Q: EventQueueApi<Event>> EventSink<Event> for ProfiledQueue<'_, Q> {
+    fn schedule(&mut self, at: SimTime, event: Event) -> EventToken {
+        let profiler = self.profiler;
+        profiler.time(ProfSpan::EventPush, || self.inner.schedule(at, event))
+    }
+}
+
+impl<'p, Q: EventQueueApi<Event>> ProfiledQueue<'p, Q> {
+    fn new(inner: Q, profiler: &'p Profiler) -> Self {
+        ProfiledQueue { inner, profiler }
+    }
+
+    fn drain_next_batch(&mut self, buf: &mut Vec<Event>) -> Option<SimTime> {
+        let profiler = self.profiler;
+        profiler.time(ProfSpan::EventPop, || self.inner.drain_next_batch(buf))
+    }
+
+    fn ack(&mut self) {
+        self.inner.ack();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn scheduled_total(&self) -> u64 {
+        self.inner.scheduled_total()
+    }
+
+    fn max_depth(&self) -> usize {
+        self.inner.max_depth()
     }
 }
 
@@ -118,14 +175,17 @@ pub fn run_scenario_on<Q: EventQueueApi<Event>>(
     let tracer = ctx.tracer.unwrap_or(&disabled_tracer);
     let disabled_auditor = Auditor::disabled();
     let auditor = ctx.auditor.unwrap_or(&disabled_auditor);
+    let disabled_profiler = Profiler::disabled();
+    let profiler = ctx.profiler.unwrap_or(&disabled_profiler);
     let mut sched = Scheduler::with_instruments(
         scenario,
         config,
         ctx.factory,
         tracer.clone(),
         auditor.clone(),
+        profiler.clone(),
     );
-    let mut events = Q::default();
+    let mut events = ProfiledQueue::new(Q::default(), profiler);
     for job in scenario.jobs() {
         events.schedule(job.arrival, Event::Arrival(job.id));
     }
@@ -179,7 +239,9 @@ pub fn run_scenario_on<Q: EventQueueApi<Event>>(
                     r
                 }
             };
-            if let Err(violation) = stepped.and_then(|()| auditor.step_check()) {
+            if let Err(violation) =
+                stepped.and_then(|()| profiler.time(ProfSpan::AuditHooks, || auditor.step_check()))
+            {
                 break 'run Err(violation);
             }
             if events_processed.is_multiple_of(PROGRESS_EVERY) {
@@ -224,7 +286,9 @@ pub fn run_scenario_on<Q: EventQueueApi<Event>>(
             .iter()
             .map(|u| u.duration().as_micros() as u128 * u.itype.vcpus() as u128)
             .sum();
-        let finalized = auditor.finalize(run.makespan, billed, run.counters.work_lost_core_secs);
+        let finalized = profiler.time(ProfSpan::AuditHooks, || {
+            auditor.finalize(run.makespan, billed, run.counters.work_lost_core_secs)
+        });
         let summary = auditor.summary();
         trace_event!(
             tracer,
@@ -250,42 +314,6 @@ pub fn run_scenario_on<Q: EventQueueApi<Event>>(
         }
     }
     Ok(run)
-}
-
-/// [`run_scenario`] with structured tracing.
-#[deprecated(
-    since = "0.7.0",
-    note = "call run_scenario with RunCtx::new(factory).with_tracer(tracer)"
-)]
-pub fn run_scenario_traced(
-    scenario: &Scenario,
-    config: &RunConfig,
-    factory: &RngFactory,
-    tracer: &Tracer,
-) -> RunResult {
-    run_scenario(scenario, config, &RunCtx::new(factory).with_tracer(tracer))
-        .expect("a run without an auditor never reports violations")
-}
-
-/// [`run_scenario`] with tracing and the conservation-audit oracle.
-#[deprecated(
-    since = "0.7.0",
-    note = "call run_scenario with RunCtx::new(factory).with_tracer(tracer).with_auditor(auditor)"
-)]
-pub fn run_scenario_instrumented(
-    scenario: &Scenario,
-    config: &RunConfig,
-    factory: &RngFactory,
-    tracer: &Tracer,
-    auditor: &Auditor,
-) -> Result<RunResult, AuditViolation> {
-    run_scenario(
-        scenario,
-        config,
-        &RunCtx::new(factory)
-            .with_tracer(tracer)
-            .with_auditor(auditor),
-    )
 }
 
 #[cfg(test)]
@@ -524,23 +552,47 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_entry() {
+    fn profiling_does_not_perturb_results() {
         let scenario = small_scenario(ScenarioKind::HighVariability);
         let config = RunConfig::new(StrategyKind::HybridMixed);
         let factory = RngFactory::new(7);
-        let unified = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
-        let traced = run_scenario_traced(&scenario, &config, &factory, &Tracer::disabled());
-        assert_eq!(unified, traced);
-        let instrumented = run_scenario_instrumented(
+        let plain = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
+        let profiler = Profiler::enabled();
+        let profiled = run_scenario(
             &scenario,
             &config,
-            &factory,
-            &Tracer::disabled(),
-            &Auditor::disabled(),
+            &RunCtx::new(&factory).with_profiler(&profiler),
         )
         .unwrap();
-        assert_eq!(unified, instrumented);
+        assert_eq!(
+            plain, profiled,
+            "profiler must not change simulation outcomes"
+        );
+        let snap = profiler.snapshot();
+        use hcloud_telemetry::ProfSpan;
+        assert!(snap.get(ProfSpan::EventPush).ops > 0);
+        assert!(snap.get(ProfSpan::EventPop).ops > 0);
+        assert!(snap.get(ProfSpan::FindPlacement).ops > 0);
+        assert!(snap.get(ProfSpan::MonitorQuantiles).ops > 0);
+        // Audit hooks still tick (one disabled step_check per event).
+        assert!(snap.get(ProfSpan::AuditHooks).ops > 0);
+        // Ops counts are deterministic: a second profiled run agrees.
+        let profiler2 = Profiler::enabled();
+        let again = run_scenario(
+            &scenario,
+            &config,
+            &RunCtx::new(&factory).with_profiler(&profiler2),
+        )
+        .unwrap();
+        assert_eq!(plain, again);
+        for span in ProfSpan::ALL {
+            assert_eq!(
+                snap.get(span).ops,
+                profiler2.snapshot().get(span).ops,
+                "{}: op counts must be deterministic",
+                span.name()
+            );
+        }
     }
 
     #[test]

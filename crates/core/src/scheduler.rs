@@ -29,7 +29,7 @@ use hcloud_sim::rng::{RngFactory, SimRng};
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::slot::{SlotKey, SlotMap};
 use hcloud_sim::{SimDuration, SimTime};
-use hcloud_telemetry::{trace_event, TraceKind, Tracer};
+use hcloud_telemetry::{trace_event, ProfSpan, Profiler, TraceKind, Tracer};
 use hcloud_workloads::{AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario};
 
 use crate::config::RunConfig;
@@ -235,6 +235,9 @@ pub struct Scheduler<'a> {
     last_finish: SimTime,
     tracer: Tracer,
     auditor: Auditor,
+    /// Per-subsystem profiling spans (placement search, monitor
+    /// quantiles); disabled unless `HCLOUD_TRACE` reports spans.
+    profiler: Profiler,
     /// Which side of the dynamic limits the last traced decision saw:
     /// 0 below soft, 1 between, 2 above hard. Only consulted when tracing.
     last_band: u8,
@@ -267,19 +270,28 @@ impl<'a> Scheduler<'a> {
         factory: &RngFactory,
         tracer: Tracer,
     ) -> Self {
-        Scheduler::with_instruments(scenario, config, factory, tracer, Auditor::disabled())
+        Scheduler::with_instruments(
+            scenario,
+            config,
+            factory,
+            tracer,
+            Auditor::disabled(),
+            Profiler::disabled(),
+        )
     }
 
     /// Like [`Scheduler::with_tracer`], but semantic accounting events
     /// (work credited, cores bound, instance lifecycle) also feed
-    /// `auditor`'s conservation ledgers. With a disabled auditor this is
-    /// exactly `with_tracer`.
+    /// `auditor`'s conservation ledgers, and hot-path subsystems
+    /// attribute their wall clock to `profiler`'s spans. With disabled
+    /// instruments this is exactly `with_tracer`.
     pub fn with_instruments(
         scenario: &'a Scenario,
         config: &'a RunConfig,
         factory: &RngFactory,
         tracer: Tracer,
         auditor: Auditor,
+        profiler: Profiler,
     ) -> Self {
         let injector = FaultInjector::new(config.faults.clone(), factory.child("faults"));
         let mut cloud = Cloud::with_instruments(
@@ -354,6 +366,7 @@ impl<'a> Scheduler<'a> {
             last_finish: SimTime::ZERO,
             tracer,
             auditor,
+            profiler,
             last_band: 0,
             monitor_dropped: false,
         }
@@ -773,7 +786,22 @@ impl<'a> Scheduler<'a> {
     /// The single placement-search front door: every policy (P1–P8 and
     /// any future one) routes through here, so placement always answers
     /// from the maintained indices — see [`crate::placement`].
+    ///
+    /// Being the single front door also makes it the natural profiling
+    /// boundary: with spans enabled, every placement search attributes
+    /// its wall clock to [`ProfSpan::FindPlacement`].
     pub fn find_placement(&mut self, query: &PlacementQuery, now: SimTime) -> Option<PoolMatch> {
+        if self.profiler.is_enabled() {
+            let profiler = self.profiler.clone();
+            profiler.time(ProfSpan::FindPlacement, || {
+                self.find_placement_inner(query, now)
+            })
+        } else {
+            self.find_placement_inner(query, now)
+        }
+    }
+
+    fn find_placement_inner(&mut self, query: &PlacementQuery, now: SimTime) -> Option<PoolMatch> {
         match query.policy {
             SearchPolicy::ReservedPool {
                 sensitivity,
@@ -1789,6 +1817,23 @@ impl<'a> Scheduler<'a> {
 
     /// Periodic monitoring: quality sampling, progress re-projection,
     /// QoS actions, feedback loops.
+    /// Feeds the quality monitor one delivered-quality sample per ready
+    /// live on-demand instance — the per-tick quantile churn that the
+    /// `QuantileSet` made incremental, and what the
+    /// [`ProfSpan::MonitorQuantiles`] span times.
+    fn sample_delivered_quality(&mut self, now: SimTime) {
+        // `live_od` iterates ascending by index — the same order the
+        // old full scan visited live on-demand instances in.
+        for &h in &self.live_od {
+            let inst = self.instances.get(h.key()).expect("live index entry");
+            if inst.ready_at > now {
+                continue;
+            }
+            let q = self.cloud.delivered_quality(inst.cloud_id, now);
+            self.monitor.record(inst.itype, q);
+        }
+    }
+
     pub fn on_tick(
         &mut self,
         now: SimTime,
@@ -1822,17 +1867,13 @@ impl<'a> Scheduler<'a> {
         // 1. Sample delivered quality of active on-demand instances.
         if dropped {
             self.counters.monitor_dropout_ticks += 1;
+        } else if self.profiler.is_enabled() {
+            let profiler = self.profiler.clone();
+            profiler.time(ProfSpan::MonitorQuantiles, || {
+                self.sample_delivered_quality(now)
+            });
         } else {
-            // `live_od` iterates ascending by index — the same order the
-            // old full scan visited live on-demand instances in.
-            for &h in &self.live_od {
-                let inst = self.instances.get(h.key()).expect("live index entry");
-                if inst.ready_at > now {
-                    continue;
-                }
-                let q = self.cloud.delivered_quality(inst.cloud_id, now);
-                self.monitor.record(inst.itype, q);
-            }
+            self.sample_delivered_quality(now);
         }
 
         // 2. Update running jobs, ascending by scenario id — the iteration

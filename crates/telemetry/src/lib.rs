@@ -9,6 +9,9 @@
 //! * [`MetricsRegistry`] — counters, gauges, and streaming histograms.
 //!   Percentiles reuse the `hcloud-sim::stats` machinery so registry
 //!   quantiles agree bit-for-bit with the simulator's own estimators.
+//! * [`Profiler`] — per-subsystem profiling spans (event queue, placement,
+//!   monitor quantiles, audit hooks): zero-cost when disabled, and split
+//!   into deterministic operation counts vs machine-dependent wall clock.
 //! * [`FlightRecorder`] — serializes one run's event stream to JSONL via
 //!   `hcloud-json` under `results/traces/`, and [`render_timeline`] replays
 //!   such a file into a human-readable timeline (`hcloud-cli trace`).
@@ -21,12 +24,14 @@
 
 pub mod metrics;
 pub mod mode;
+pub mod profile;
 pub mod recorder;
 pub mod timeline;
 pub mod trace;
 
 pub use metrics::{MetricsRegistry, StreamingHistogram};
 pub use mode::TraceMode;
+pub use profile::{ProfSpan, ProfileSnapshot, Profiler, SpanTotals};
 pub use recorder::{render_jsonl, sanitize_label, FlightRecorder, RunMeta, TRACE_SCHEMA_VERSION};
 pub use timeline::render_timeline;
 pub use trace::{TraceEvent, TraceKind, Tracer};
