@@ -130,6 +130,14 @@ pub enum AuditViolationKind {
     QueueConservation { entered: u64, left: u64 },
     /// End of run: not every admitted job completed.
     JobsConservation { admitted: u64, completed: u64 },
+    /// End of run: the per-tenant shadow ledgers do not sum to the
+    /// global ledger for `field` (a work event was attributed to the
+    /// run but not to a tenant bucket, or vice versa).
+    TenantLedgerMismatch {
+        field: &'static str,
+        tenants: f64,
+        global: f64,
+    },
 }
 
 impl fmt::Display for AuditViolationKind {
@@ -207,6 +215,14 @@ impl fmt::Display for AuditViolationKind {
                 f,
                 "jobs not conserved: {admitted} admitted vs {completed} completed"
             ),
+            TenantLedgerMismatch {
+                field,
+                tenants,
+                global,
+            } => write!(
+                f,
+                "tenant ledgers do not sum to global {field}: {tenants} vs {global}"
+            ),
         }
     }
 }
@@ -236,6 +252,18 @@ pub struct AuditSummary {
     pub violations: u64,
 }
 
+/// One tenant's shadow of the work/job ledgers. The `None` bucket
+/// collects untenanted (bypassed or unassigned) jobs, so the buckets
+/// always partition the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantLedger {
+    pub demanded: f64,
+    pub credited: f64,
+    pub lost: f64,
+    pub admitted: u64,
+    pub completed: u64,
+}
+
 #[derive(Debug, Default)]
 struct Ledgers {
     demanded: f64,
@@ -248,6 +276,11 @@ struct Ledgers {
     queue_left: u64,
     instances: BTreeMap<u64, InstanceState>,
     instances_released: u64,
+    /// Per-tenant shadows, keyed by tenant id (`None` = untenanted).
+    /// Only reconciled against the globals once any tenant hook fires,
+    /// so auditor users that predate tenancy are unaffected.
+    tenants: BTreeMap<Option<u64>, TenantLedger>,
+    tenant_tracking: bool,
     violations: Vec<AuditViolation>,
 }
 
@@ -387,6 +420,74 @@ impl Auditor {
             return;
         }
         l.lost += core_secs;
+    }
+
+    // ----- per-tenant shadow ledger hooks ------------------------------
+    //
+    // The scheduler calls these right beside the matching global hooks,
+    // passing the job's tenant (`None` for untenanted jobs). Finalize
+    // then asserts that the buckets sum exactly back to the globals —
+    // catching any path that books work to the run but not to a tenant.
+
+    /// Tenant shadow of [`Auditor::job_admitted`].
+    pub fn tenant_job_admitted(&self, _at: SimTime, tenant: Option<u64>, _job: u64, work: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        l.tenant_tracking = true;
+        let t = l.tenants.entry(tenant).or_default();
+        t.admitted += 1;
+        if work.is_finite() && work >= 0.0 {
+            t.demanded += work;
+        }
+    }
+
+    /// Tenant shadow of [`Auditor::job_completed`].
+    pub fn tenant_job_completed(&self, _at: SimTime, tenant: Option<u64>, _job: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        l.tenant_tracking = true;
+        l.tenants.entry(tenant).or_default().completed += 1;
+    }
+
+    /// Tenant shadow of [`Auditor::work_executed`].
+    pub fn tenant_work_executed(
+        &self,
+        _at: SimTime,
+        tenant: Option<u64>,
+        _job: u64,
+        core_secs: f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        l.tenant_tracking = true;
+        if core_secs.is_finite() && core_secs >= 0.0 {
+            l.tenants.entry(tenant).or_default().credited += core_secs;
+        }
+    }
+
+    /// Tenant shadow of [`Auditor::work_lost`].
+    pub fn tenant_work_lost(&self, _at: SimTime, tenant: Option<u64>, _job: u64, core_secs: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut l = self.inner.borrow_mut();
+        l.tenant_tracking = true;
+        if core_secs.is_finite() && core_secs >= 0.0 {
+            l.tenants.entry(tenant).or_default().lost += core_secs;
+        }
+    }
+
+    /// The per-tenant shadow ledgers (`None` key = untenanted bucket),
+    /// ascending by tenant id.
+    pub fn tenant_ledgers(&self) -> Vec<(Option<u64>, TenantLedger)> {
+        let l = self.inner.borrow();
+        l.tenants.iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     // ----- queue ledger hooks ------------------------------------------
@@ -659,6 +760,47 @@ impl Auditor {
                 },
             );
         }
+        if l.tenant_tracking {
+            // The tenant buckets (including the untenanted `None`
+            // bucket) must partition the global work and job ledgers.
+            let sums = l
+                .tenants
+                .values()
+                .fold(TenantLedger::default(), |a, t| TenantLedger {
+                    demanded: a.demanded + t.demanded,
+                    credited: a.credited + t.credited,
+                    lost: a.lost + t.lost,
+                    admitted: a.admitted + t.admitted,
+                    completed: a.completed + t.completed,
+                });
+            let checks = [
+                ("demanded core-seconds", sums.demanded, l.demanded),
+                ("credited core-seconds", sums.credited, l.credited),
+                ("lost core-seconds", sums.lost, l.lost),
+                (
+                    "jobs admitted",
+                    sums.admitted as f64,
+                    l.admitted.len() as f64,
+                ),
+                (
+                    "jobs completed",
+                    sums.completed as f64,
+                    l.completed.len() as f64,
+                ),
+            ];
+            for (field, tenants, global) in checks {
+                if !work_close(tenants, global) {
+                    l.violate(
+                        makespan,
+                        AuditViolationKind::TenantLedgerMismatch {
+                            field,
+                            tenants,
+                            global,
+                        },
+                    );
+                }
+            }
+        }
         match l.violations.first() {
             Some(v) => Err(v.clone()),
             None => Ok(()),
@@ -869,6 +1011,77 @@ mod tests {
                 left: 2
             }
         ));
+    }
+
+    #[test]
+    fn tenant_ledgers_reconcile_when_complete() {
+        let a = Auditor::new(AuditMode::Final);
+        // Two tenants plus one untenanted job.
+        a.job_admitted(t(0), 1, 50.0);
+        a.tenant_job_admitted(t(0), Some(7), 1, 50.0);
+        a.job_admitted(t(0), 2, 30.0);
+        a.tenant_job_admitted(t(0), Some(8), 2, 30.0);
+        a.job_admitted(t(0), 3, 20.0);
+        a.tenant_job_admitted(t(0), None, 3, 20.0);
+        for (job, tenant, work) in [(1, Some(7), 50.0), (2, Some(8), 30.0), (3, None, 20.0)] {
+            a.work_executed(t(5), job, work);
+            a.tenant_work_executed(t(5), tenant, job, work);
+            a.job_completed(t(5), job);
+            a.tenant_job_completed(t(5), tenant, job);
+        }
+        a.finalize(t(6), 0, 0.0).unwrap();
+        let buckets = a.tenant_ledgers();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].0, None);
+        assert_eq!(buckets[1].0, Some(7));
+        assert_eq!(buckets[1].1.demanded, 50.0);
+        assert_eq!(buckets[1].1.completed, 1);
+    }
+
+    #[test]
+    fn missing_tenant_attribution_fails_finalize() {
+        let a = Auditor::new(AuditMode::Final);
+        a.job_admitted(t(0), 1, 50.0);
+        a.tenant_job_admitted(t(0), Some(7), 1, 50.0);
+        a.work_executed(t(5), 1, 50.0);
+        // Forgot tenant_work_executed: the credited sums diverge.
+        a.job_completed(t(5), 1);
+        a.tenant_job_completed(t(5), Some(7), 1);
+        let err = a.finalize(t(6), 0, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::TenantLedgerMismatch {
+                field: "credited core-seconds",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tenant_checks_are_inert_without_tenant_hooks() {
+        // Pre-tenancy callers never touch the tenant hooks; finalize
+        // must not demand reconciliation from them.
+        let a = Auditor::new(AuditMode::Final);
+        a.job_admitted(t(0), 1, 10.0);
+        a.work_executed(t(1), 1, 10.0);
+        a.job_completed(t(1), 1);
+        a.finalize(t(2), 0, 0.0).unwrap();
+        assert!(a.tenant_ledgers().is_empty());
+    }
+
+    #[test]
+    fn tenant_lost_work_sums_to_global() {
+        let a = Auditor::new(AuditMode::Final);
+        a.job_admitted(t(0), 1, 40.0);
+        a.tenant_job_admitted(t(0), Some(3), 1, 40.0);
+        a.work_lost(t(2), 1, 12.0);
+        a.tenant_work_lost(t(2), Some(3), 1, 12.0);
+        a.work_executed(t(5), 1, 40.0);
+        a.tenant_work_executed(t(5), Some(3), 1, 40.0);
+        a.job_completed(t(5), 1);
+        a.tenant_job_completed(t(5), Some(3), 1);
+        a.finalize(t(6), 0, 12.0).unwrap();
+        assert_eq!(a.tenant_ledgers()[0].1.lost, 12.0);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod ledger;
 pub mod mode;
 pub mod replay;
 
-pub use ledger::{AuditSummary, AuditViolation, AuditViolationKind, Auditor};
+pub use ledger::{AuditSummary, AuditViolation, AuditViolationKind, Auditor, TenantLedger};
 pub use mode::AuditMode;
 pub use replay::{replay_file, ReplayStats};

@@ -27,14 +27,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hcloud::runner::{run_scenario_on, RunCtx};
-use hcloud::scheduler::Event;
+use hcloud::runner::{run_scenario_queued, RunCtx};
 use hcloud::{RunConfig, StrategyKind};
 use hcloud_bench::fleet::{fleet_config, run_digest};
 use hcloud_bench::registry::{self, ExperimentInfo};
 use hcloud_bench::{artifacts, Engine, ExperimentCtx, ExperimentPlan, RunSpec};
 use hcloud_json::{ObjectBuilder, Value};
-use hcloud_sim::event::{EventQueue, HeapEventQueue};
+use hcloud_sim::event::QueueKind;
 use hcloud_sim::rng::RngFactory;
 use hcloud_telemetry::Profiler;
 use hcloud_workloads::Scenario;
@@ -65,11 +64,13 @@ fn main() -> ExitCode {
     );
     let config = fleet_run_config();
 
-    // Queue identity: the same run on both event-queue implementations.
+    // Queue identity: the same run on both event-queue implementations,
+    // dispatched through the same typed `QueueKind` the `HCLOUD_QUEUE`
+    // knob parses into — no hardcoded queue selection.
     let mut rows: Vec<Value> = Vec::new();
     let mut digests: Vec<String> = Vec::new();
     let mut total_ms = 0.0;
-    for queue in ["wheel", "heap"] {
+    for queue in QueueKind::ALL {
         let mut best_ms = f64::INFINITY;
         let mut dig = String::new();
         let mut events = 0usize;
@@ -78,11 +79,8 @@ fn main() -> ExitCode {
             let factory = RngFactory::new(ctx.master_seed);
             let run_ctx = RunCtx::new(&factory);
             let start = Instant::now();
-            let result = match queue {
-                "wheel" => run_scenario_on::<EventQueue<Event>>(&scenario, &config, &run_ctx),
-                _ => run_scenario_on::<HeapEventQueue<Event>>(&scenario, &config, &run_ctx),
-            }
-            .expect("no auditor attached");
+            let result = run_scenario_queued(queue, &scenario, &config, &run_ctx)
+                .expect("no auditor attached");
             let ms = start.elapsed().as_secs_f64() * 1e3;
             best_ms = best_ms.min(ms);
             events = result.counters.events_processed;
@@ -91,7 +89,8 @@ fn main() -> ExitCode {
         }
         total_ms += best_ms;
         eprintln!(
-            "[perf_fleet] {queue:<5} {best_ms:>9.1} ms  ({events} events, {instances} instances, digest {dig})"
+            "[perf_fleet] {queue:<5} {best_ms:>9.1} ms  ({events} events, {instances} instances, digest {dig})",
+            queue = queue.name(),
         );
 
         // One extra profiled rep per queue — excluded from `total_ms`
@@ -103,26 +102,30 @@ fn main() -> ExitCode {
         let factory = RngFactory::new(ctx.master_seed);
         let run_ctx = RunCtx::new(&factory).with_profiler(&profiler);
         let start = Instant::now();
-        let result = match queue {
-            "wheel" => run_scenario_on::<EventQueue<Event>>(&scenario, &config, &run_ctx),
-            _ => run_scenario_on::<HeapEventQueue<Event>>(&scenario, &config, &run_ctx),
-        }
-        .expect("no auditor attached");
+        let result =
+            run_scenario_queued(queue, &scenario, &config, &run_ctx).expect("no auditor attached");
         let profiled_ms = start.elapsed().as_secs_f64() * 1e3;
         let profiled_dig = run_digest(&result);
         if profiled_dig != dig {
             artifacts::artifact_failure(
                 "perf_fleet profiling identity",
-                format!("profiled {queue} run diverged: {profiled_dig} vs {dig}"),
+                format!(
+                    "profiled {} run diverged: {profiled_dig} vs {dig}",
+                    queue.name()
+                ),
             );
             return artifacts::exit_code();
         }
         let snapshot = profiler.snapshot();
-        eprintln!("[perf_fleet] {queue:<5} profile: {}", snapshot.summary());
+        eprintln!(
+            "[perf_fleet] {queue:<5} profile: {}",
+            snapshot.summary(),
+            queue = queue.name(),
+        );
 
         rows.push(
             ObjectBuilder::new()
-                .set("queue", queue)
+                .set("queue", queue.name())
                 .set("wall_ms", best_ms)
                 .set("events", events as f64)
                 .set("instances", instances as f64)

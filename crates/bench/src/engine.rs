@@ -37,12 +37,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hcloud::runner::{run_scenario, RunCtx};
+use hcloud::runner::{run_scenario_queued, RunCtx};
 
 use crate::env::EnvOpts;
 use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
 use hcloud_audit::{AuditMode, Auditor};
 use hcloud_faults::{FaultPlan, FaultPlanId};
+use hcloud_sim::event::QueueKind;
 use hcloud_sim::rng::RngFactory;
 use hcloud_telemetry::{
     MetricsRegistry, ProfSpan, ProfileSnapshot, Profiler, RunMeta, TraceEvent, TraceMode, Tracer,
@@ -74,6 +75,10 @@ pub struct ExperimentCtx {
     /// `final` (identities checked at end of run) or `strict`
     /// (violations abort at the offending event).
     pub audit: AuditMode,
+    /// Event-queue implementation (`HCLOUD_QUEUE`): `wheel` (timing
+    /// wheel, default) or `heap`. Digest-identical either way; the knob
+    /// trades only wall clock.
+    pub queue: QueueKind,
 }
 
 impl Default for ExperimentCtx {
@@ -85,6 +90,7 @@ impl Default for ExperimentCtx {
             trace: TraceMode::Off,
             faults: FaultPlanId::Off,
             audit: AuditMode::Off,
+            queue: QueueKind::Wheel,
         }
     }
 }
@@ -98,6 +104,7 @@ impl From<EnvOpts> for ExperimentCtx {
             trace: opts.trace,
             faults: opts.faults,
             audit: opts.audit,
+            queue: opts.queue,
         }
     }
 }
@@ -141,7 +148,13 @@ impl ExperimentCtx {
         self
     }
 
-    /// Parses the six ambient variables. Malformed values are an error
+    /// Sets the event-queue implementation.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Parses the seven ambient variables. Malformed values are an error
     /// with a message naming the variable, the offending value, and what
     /// was expected — never a silent fallback.
     pub fn parse(
@@ -151,13 +164,14 @@ impl ExperimentCtx {
         trace: Option<&str>,
         faults: Option<&str>,
         audit: Option<&str>,
+        queue: Option<&str>,
     ) -> Result<Self, String> {
-        EnvOpts::parse(seed, fast, jobs, trace, faults, audit).map(Self::from)
+        EnvOpts::parse(seed, fast, jobs, trace, faults, audit, queue).map(Self::from)
     }
 
     /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
-    /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` / `HCLOUD_AUDIT` from the
-    /// environment.
+    /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` / `HCLOUD_AUDIT` /
+    /// `HCLOUD_QUEUE` from the environment.
     pub fn from_env() -> Result<Self, String> {
         EnvOpts::from_env().map(Self::from)
     }
@@ -660,7 +674,8 @@ impl Engine {
                     Tracer::disabled()
                 };
                 let auditor = Auditor::new(audit);
-                let result = run_scenario(
+                let result = run_scenario_queued(
+                    self.ctx.queue,
                     scenario,
                     &config,
                     &RunCtx::new(&factory)
@@ -676,7 +691,7 @@ impl Engine {
                 (result, trace)
             } else {
                 (
-                    run_scenario(scenario, &config, &RunCtx::new(&factory))
+                    run_scenario_queued(self.ctx.queue, scenario, &config, &RunCtx::new(&factory))
                         .expect("no auditor attached"),
                     None,
                 )
@@ -760,13 +775,14 @@ mod tests {
 
     #[test]
     fn ctx_defaults_match_legacy_behaviour() {
-        let ctx = ExperimentCtx::parse(None, None, None, None, None, None).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, None, None, None, None).unwrap();
         assert_eq!(ctx.master_seed, 42);
         assert!(!ctx.fast);
         assert_eq!(ctx.jobs, None);
         assert_eq!(ctx.trace, TraceMode::Off);
         assert_eq!(ctx.faults, FaultPlanId::Off);
         assert_eq!(ctx.audit, AuditMode::Off);
+        assert_eq!(ctx.queue, QueueKind::Wheel);
     }
 
     #[test]
@@ -778,6 +794,7 @@ mod tests {
             Some("full"),
             Some("full-chaos"),
             Some("strict"),
+            Some("heap"),
         )
         .unwrap();
         assert_eq!(ctx.master_seed, 7);
@@ -786,32 +803,61 @@ mod tests {
         assert_eq!(ctx.trace, TraceMode::Full);
         assert_eq!(ctx.faults, FaultPlanId::FullChaos);
         assert_eq!(ctx.audit, AuditMode::Strict);
-        let ctx = ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None, None).unwrap();
+        assert_eq!(ctx.queue, QueueKind::Heap);
+        let ctx =
+            ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None, None, None).unwrap();
         assert!(!ctx.fast);
         assert_eq!(ctx.trace, TraceMode::Summary);
-        let ctx = ExperimentCtx::parse(None, None, None, Some("off"), Some("off"), Some("final"))
-            .unwrap();
+        let ctx = ExperimentCtx::parse(
+            None,
+            None,
+            None,
+            Some("off"),
+            Some("off"),
+            Some("final"),
+            Some("wheel"),
+        )
+        .unwrap();
         assert_eq!(ctx.trace, TraceMode::Off);
         assert_eq!(ctx.faults, FaultPlanId::Off);
         assert_eq!(ctx.audit, AuditMode::Final);
+        assert_eq!(ctx.queue, QueueKind::Wheel);
     }
 
     #[test]
     fn ctx_rejects_malformed_values_loudly() {
-        let e = ExperimentCtx::parse(Some("banana"), None, None, None, None, None).unwrap_err();
+        let e =
+            ExperimentCtx::parse(Some("banana"), None, None, None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
-        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("0"), None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("0"), None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("many"), None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("many"), None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_TRACE") && e.contains("loud"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, None, Some("mayhem"), None).unwrap_err();
+        let e =
+            ExperimentCtx::parse(None, None, None, None, Some("mayhem"), None, None).unwrap_err();
         assert!(e.contains("HCLOUD_FAULTS") && e.contains("mayhem"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, None, None, Some("paranoid")).unwrap_err();
+        let e =
+            ExperimentCtx::parse(None, None, None, None, None, Some("paranoid"), None).unwrap_err();
         assert!(e.contains("HCLOUD_AUDIT") && e.contains("paranoid"), "{e}");
+        let e =
+            ExperimentCtx::parse(None, None, None, None, None, None, Some("stack")).unwrap_err();
+        assert!(e.contains("HCLOUD_QUEUE") && e.contains("stack"), "{e}");
+    }
+
+    #[test]
+    fn heap_queue_runs_are_digest_identical_to_wheel() {
+        let plan = ExperimentPlan::from(vec![RunSpec::of(
+            ScenarioKind::Static,
+            StrategyKind::HybridMixed,
+        )]);
+        let ctx = ExperimentCtx::new(42).with_fast(true).with_jobs(1);
+        let wheel = Engine::new(ctx).run_plan(&plan);
+        let heap = Engine::new(ctx.with_queue(QueueKind::Heap)).run_plan(&plan);
+        assert_eq!(wheel.results, heap.results);
     }
 
     #[test]

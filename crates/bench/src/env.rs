@@ -1,18 +1,19 @@
 //! Typed reader for the ambient `HCLOUD_*` experiment variables.
 //!
-//! Every bench binary and the CI smoke jobs are steered by six
+//! Every bench binary and the CI smoke jobs are steered by seven
 //! environment variables — `HCLOUD_SEED`, `HCLOUD_FAST`, `HCLOUD_JOBS`,
-//! `HCLOUD_TRACE`, `HCLOUD_FAULTS`, `HCLOUD_AUDIT`. [`EnvOpts`] is their
-//! one typed home: each variable is parsed exactly once, and a malformed
-//! value is a hard error naming the variable, the offending value, and
-//! what was expected — never a silent fallback to a default the user did
-//! not ask for.
+//! `HCLOUD_TRACE`, `HCLOUD_FAULTS`, `HCLOUD_AUDIT`, `HCLOUD_QUEUE`.
+//! [`EnvOpts`] is their one typed home: each variable is parsed exactly
+//! once, and a malformed value is a hard error naming the variable, the
+//! offending value, and what was expected — never a silent fallback to a
+//! default the user did not ask for.
 
 use hcloud_audit::AuditMode;
 use hcloud_faults::FaultPlanId;
+use hcloud_sim::event::QueueKind;
 use hcloud_telemetry::TraceMode;
 
-/// The six ambient experiment variables, parsed and typed.
+/// The seven ambient experiment variables, parsed and typed.
 ///
 /// [`crate::ExperimentCtx`] is built from this; binaries that need only
 /// the raw knobs (e.g. a perf harness that sizes its own scenario) can
@@ -33,6 +34,8 @@ pub struct EnvOpts {
     pub faults: FaultPlanId,
     /// `HCLOUD_AUDIT`: `off` (default), `final` or `strict`.
     pub audit: AuditMode,
+    /// `HCLOUD_QUEUE`: `wheel` (timing wheel, default) or `heap`.
+    pub queue: QueueKind,
 }
 
 impl Default for EnvOpts {
@@ -44,12 +47,13 @@ impl Default for EnvOpts {
             trace: TraceMode::Off,
             faults: FaultPlanId::Off,
             audit: AuditMode::Off,
+            queue: QueueKind::Wheel,
         }
     }
 }
 
 impl EnvOpts {
-    /// Parses the six ambient variables from their raw string values.
+    /// Parses the seven ambient variables from their raw string values.
     /// Malformed values are an error with a message naming the variable,
     /// the offending value, and what was expected.
     pub fn parse(
@@ -59,6 +63,7 @@ impl EnvOpts {
         trace: Option<&str>,
         faults: Option<&str>,
         audit: Option<&str>,
+        queue: Option<&str>,
     ) -> Result<Self, String> {
         let seed = match seed {
             None => 42,
@@ -89,6 +94,7 @@ impl EnvOpts {
         let trace = TraceMode::parse(trace)?;
         let faults = FaultPlanId::parse(faults)?;
         let audit = AuditMode::parse(audit)?;
+        let queue = QueueKind::parse(queue)?;
         Ok(EnvOpts {
             seed,
             fast,
@@ -96,10 +102,11 @@ impl EnvOpts {
             trace,
             faults,
             audit,
+            queue,
         })
     }
 
-    /// Reads the six `HCLOUD_*` variables from the process environment.
+    /// Reads the seven `HCLOUD_*` variables from the process environment.
     pub fn from_env() -> Result<Self, String> {
         let var = |name: &str| std::env::var(name).ok();
         Self::parse(
@@ -109,6 +116,7 @@ impl EnvOpts {
             var("HCLOUD_TRACE").as_deref(),
             var("HCLOUD_FAULTS").as_deref(),
             var("HCLOUD_AUDIT").as_deref(),
+            var("HCLOUD_QUEUE").as_deref(),
         )
     }
 }
@@ -117,7 +125,7 @@ impl EnvOpts {
 mod tests {
     use super::*;
 
-    /// Which of the six variables a table row exercises.
+    /// Which of the seven variables a table row exercises.
     #[derive(Clone, Copy)]
     enum Var {
         Seed,
@@ -126,17 +134,19 @@ mod tests {
         Trace,
         Faults,
         Audit,
+        Queue,
     }
 
     fn parse_one(var: Var, value: &str) -> Result<EnvOpts, String> {
         let v = Some(value);
         match var {
-            Var::Seed => EnvOpts::parse(v, None, None, None, None, None),
-            Var::Fast => EnvOpts::parse(None, v, None, None, None, None),
-            Var::Jobs => EnvOpts::parse(None, None, v, None, None, None),
-            Var::Trace => EnvOpts::parse(None, None, None, v, None, None),
-            Var::Faults => EnvOpts::parse(None, None, None, None, v, None),
-            Var::Audit => EnvOpts::parse(None, None, None, None, None, v),
+            Var::Seed => EnvOpts::parse(v, None, None, None, None, None, None),
+            Var::Fast => EnvOpts::parse(None, v, None, None, None, None, None),
+            Var::Jobs => EnvOpts::parse(None, None, v, None, None, None, None),
+            Var::Trace => EnvOpts::parse(None, None, None, v, None, None, None),
+            Var::Faults => EnvOpts::parse(None, None, None, None, v, None, None),
+            Var::Audit => EnvOpts::parse(None, None, None, None, None, v, None),
+            Var::Queue => EnvOpts::parse(None, None, None, None, None, None, v),
         }
     }
 
@@ -161,6 +171,8 @@ mod tests {
             (Var::Audit, "off", |o| o.audit == AuditMode::Off),
             (Var::Audit, "final", |o| o.audit == AuditMode::Final),
             (Var::Audit, "strict", |o| o.audit == AuditMode::Strict),
+            (Var::Queue, "wheel", |o| o.queue == QueueKind::Wheel),
+            (Var::Queue, "heap", |o| o.queue == QueueKind::Heap),
         ];
         for (var, value, check) in ok {
             let opts = parse_one(var, value)
@@ -178,6 +190,8 @@ mod tests {
             (Var::Trace, "loud", &["HCLOUD_TRACE", "loud"]),
             (Var::Faults, "mayhem", &["HCLOUD_FAULTS", "mayhem"]),
             (Var::Audit, "paranoid", &["HCLOUD_AUDIT", "paranoid"]),
+            (Var::Queue, "stack", &["HCLOUD_QUEUE", "stack"]),
+            (Var::Queue, "Wheel", &["HCLOUD_QUEUE", "Wheel"]),
         ];
         for (var, value, needles) in bad {
             let e =
@@ -190,7 +204,7 @@ mod tests {
 
     #[test]
     fn unset_environment_is_all_defaults() {
-        let opts = EnvOpts::parse(None, None, None, None, None, None).unwrap();
+        let opts = EnvOpts::parse(None, None, None, None, None, None, None).unwrap();
         assert_eq!(opts, EnvOpts::default());
     }
 }

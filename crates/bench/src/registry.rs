@@ -146,6 +146,20 @@ experiments! {
         fault_covered: true,
         ci_job: "smoke",
     }
+    EXT_MULTI_TENANT => {
+        id: "ext_multi_tenant",
+        paper_ref: "§6 shared-cluster extension",
+        kind: ExperimentKind::Extension,
+        claim: "weighted fair share holds per-tenant SLOs under Zipf-skewed tenant populations, and starved guaranteed queues reclaim share via preemption",
+        scenarios: "high-variability",
+        strategies: "SR HM",
+        artifacts: &["ext_multi_tenant"],
+        golden: Some("crates/bench/goldens/ext_multi_tenant_fast.json"),
+        trace_covered: true,
+        audit_covered: true,
+        fault_covered: true,
+        ci_job: "tenancy",
+    }
     EXT_SPOT_PARTITIONING => {
         id: "ext_spot_partitioning",
         paper_ref: "§5.5 spot + partitioning",
@@ -579,9 +593,17 @@ mod tests {
 
     #[test]
     fn ci_jobs_use_known_names() {
-        let jobs: BTreeSet<&str> = ["test", "perf", "perf-fleet", "smoke", "dashboard", "manual"]
-            .into_iter()
-            .collect();
+        let jobs: BTreeSet<&str> = [
+            "test",
+            "perf",
+            "perf-fleet",
+            "smoke",
+            "dashboard",
+            "manual",
+            "tenancy",
+        ]
+        .into_iter()
+        .collect();
         for e in ALL {
             assert!(
                 jobs.contains(e.ci_job),

@@ -48,3 +48,42 @@ fn fleet_fast_digests_are_identical_across_worker_counts() {
         "seed-42 digest is pinned to the committed BENCH_fleet_fast.json golden"
     );
 }
+
+/// Worker-count identity for a tenanted scenario: the tenancy gate's
+/// defer/drain/preempt machinery runs entirely in simulation time, so
+/// `HCLOUD_JOBS` must not perturb a multi-tenant run either.
+#[test]
+fn tenanted_digests_are_identical_across_worker_counts() {
+    use hcloud_tenancy::TenancyPlan;
+    use hcloud_workloads::{ScenarioConfig, ScenarioKind};
+
+    let base = Scenario::generate(
+        ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.05, 10),
+        &RngFactory::new(42),
+    );
+    let mut plan = TenancyPlan::zipf(24, 1.1, 48, 0.5);
+    let ids: Vec<u64> = base.jobs().iter().map(|j| j.id.0).collect();
+    plan.assign_jobs(&ids, &mut RngFactory::new(42).stream("tenant-assign"));
+    let scenario = Arc::new(base.with_tenancy(plan));
+
+    let digests: Vec<Vec<String>> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let engine = Engine::new(ExperimentCtx::new(42).with_jobs(jobs));
+            let plan: ExperimentPlan = [StrategyKind::StaticReserved, StrategyKind::HybridMixed]
+                .iter()
+                .map(|&s| RunSpec::on(scenario.clone(), s))
+                .collect();
+            engine
+                .run_plan(&plan)
+                .results
+                .iter()
+                .map(run_digest)
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        digests[0], digests[1],
+        "HCLOUD_JOBS=1 and 4 must be byte-identical for tenanted runs"
+    );
+}

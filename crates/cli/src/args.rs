@@ -13,6 +13,7 @@ commands:
   sweep     sweep one knob across its range for one strategy
   export    generate a scenario and write it to JSON
   advise    recommend the cheapest strategy meeting a performance floor
+  tenants   run a multi-tenant scenario and render the fair-share report
   trace     replay a recorded JSONL trace as a readable timeline
   audit     replay recorded traces through the conservation auditor
   faults    list the built-in fault-injection plans (HCLOUD_FAULTS)
@@ -45,6 +46,13 @@ advise options:
   --weeks <u64>                planned deployment     [26]
   --perf-floor <f64>           min mean performance   [0.85]
 
+tenants options:
+  --tenants <n>                Zipf tenant count when the scenario
+                               carries no tenancy section  [50]
+  --strategy SR|OdF|OdM|HF|HM  strategy               [HM]
+  --scenario-file <path>       load an exported JSON scenario (honors
+                               its embedded tenancy section)
+
 trace options:
   --file <path>                trace to replay (results/traces/*.jsonl)
   --limit <n>                  show at most n events
@@ -65,6 +73,9 @@ pub enum Command {
     Export(Common, String),
     /// `advise`: recommend a strategy for a deployment plan.
     Advise(Common, crate::advise::AdviseOptions),
+    /// `tenants`: run a multi-tenant scenario, render the fair-share
+    /// report.
+    Tenants(Common, TenantsOptions),
     /// `trace`: replay a recorded JSONL trace as a readable timeline.
     Trace(TraceOptions),
     /// `audit`: replay recorded traces through the conservation auditor.
@@ -86,6 +97,27 @@ impl Default for AuditOptions {
     fn default() -> Self {
         AuditOptions {
             dir: "results/traces".into(),
+        }
+    }
+}
+
+/// Options for `tenants`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantsOptions {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Zipf tenant count when the scenario has no tenancy section.
+    pub tenants: usize,
+    /// Path to an exported scenario to load instead of generating.
+    pub scenario_file: Option<String>,
+}
+
+impl Default for TenantsOptions {
+    fn default() -> Self {
+        TenantsOptions {
+            strategy: StrategyKind::HybridMixed,
+            tenants: 50,
+            scenario_file: None,
         }
     }
 }
@@ -215,6 +247,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut trace_file: Option<String> = None;
     let mut trace_limit: Option<usize> = None;
     let mut audit = AuditOptions::default();
+    let mut tenant_count: usize = TenantsOptions::default().tenants;
 
     let mut i = 0;
     while i < rest.len() {
@@ -249,6 +282,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--file" => trace_file = Some(value.ok_or("--file needs a value")?.clone()),
             "--limit" => trace_limit = Some(parse_num("--limit", value)?),
             "--dir" => audit.dir = value.ok_or("--dir needs a value")?.clone(),
+            "--tenants" => tenant_count = parse_num("--tenants", value)?,
             "--no-profiling" => {
                 run.profiling = false;
                 consumed = 1;
@@ -284,6 +318,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("--perf-floor must be in [0, 1]".into());
             }
             Ok(Command::Advise(common, advise))
+        }
+        "tenants" => {
+            if tenant_count == 0 {
+                return Err("--tenants must be at least 1".into());
+            }
+            Ok(Command::Tenants(
+                common,
+                TenantsOptions {
+                    strategy: run.strategy,
+                    tenants: tenant_count,
+                    scenario_file: run.scenario_file,
+                },
+            ))
         }
         "trace" => {
             let file = trace_file.ok_or("trace needs --file")?;
@@ -371,6 +418,33 @@ mod tests {
         assert_eq!(a.weeks, 30);
         assert_eq!(a.perf_floor, 0.9);
         assert!(parse(&v(&["advise", "--perf-floor", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn parses_tenants() {
+        let c = parse(&v(&["tenants"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Tenants(Common::default(), TenantsOptions::default())
+        );
+        let c = parse(&v(&[
+            "tenants",
+            "--tenants",
+            "200",
+            "--strategy",
+            "sr",
+            "--scenario-file",
+            "x.json",
+        ]))
+        .unwrap();
+        let Command::Tenants(_, t) = c else {
+            panic!("expected tenants");
+        };
+        assert_eq!(t.tenants, 200);
+        assert_eq!(t.strategy, StrategyKind::StaticReserved);
+        assert_eq!(t.scenario_file.as_deref(), Some("x.json"));
+        assert!(parse(&v(&["tenants", "--tenants", "0"])).is_err());
+        assert!(parse(&v(&["tenants", "--tenants", "lots"])).is_err());
     }
 
     #[test]

@@ -16,16 +16,20 @@ use hcloud_json::{ObjectBuilder, Value};
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
+use hcloud_tenancy::{QueueState, TenancyPlan, TenantSpec};
 use hcloud_workloads::{
     AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario, ScenarioConfig, ScenarioKind,
 };
 
-use crate::args::{Command, Common, RunOptions, SweepOptions};
+use crate::args::{Command, Common, RunOptions, SweepOptions, TenantsOptions};
 
 /// The on-disk scenario format for `export` / `--scenario-file`.
+#[derive(Debug)]
 struct ScenarioFile {
     config: ScenarioConfig,
     jobs: Vec<JobSpec>,
+    /// Optional multi-tenant section; absent files run untenanted.
+    tenancy: Option<TenancyPlan>,
 }
 
 /// JSON codec for [`ScenarioFile`]. Times serialize as integer
@@ -120,10 +124,87 @@ mod scenario_json {
                     .build()
             })
             .collect();
-        ObjectBuilder::new()
+        let mut doc = ObjectBuilder::new()
             .set("config", config.build())
-            .set("jobs", jobs)
+            .set("jobs", jobs);
+        if let Some(plan) = &file.tenancy {
+            doc = doc.set("tenancy", tenancy_to_json(plan));
+        }
+        doc.build()
+    }
+
+    /// The tenancy section: pool knobs, tenant specs, and job→tenant
+    /// assignments as an ordered array of `[job, tenant]` pairs.
+    fn tenancy_to_json(plan: &TenancyPlan) -> Value {
+        let tenants: Vec<Value> = plan
+            .tenants
+            .iter()
+            .map(|t| {
+                ObjectBuilder::new()
+                    .set("id", t.id.0 as f64)
+                    .set("weight", t.weight)
+                    .set("guaranteed_cores", f64::from(t.guaranteed_cores))
+                    .set("cap_cores", f64::from(t.cap_cores))
+                    .set("state", t.state.name())
+                    .build()
+            })
+            .collect();
+        let assignments: Vec<Value> = plan
+            .assignments
+            .iter()
+            .map(|(&job, &tenant)| Value::Array(vec![(job as f64).into(), (tenant as f64).into()]))
+            .collect();
+        ObjectBuilder::new()
+            .set("pool_cores", f64::from(plan.pool_cores))
+            .set("quantum", plan.quantum)
+            .set("starvation_secs", plan.starvation_secs)
+            .set("tenants", tenants)
+            .set("assignments", assignments)
             .build()
+    }
+
+    fn tenancy_from_json(v: &Value) -> Result<TenancyPlan, String> {
+        let mut plan = TenancyPlan::new(
+            u32::try_from(get_u64(v, "pool_cores")?)
+                .map_err(|_| "field 'pool_cores' out of range".to_string())?,
+        )
+        .with_quantum(get_f64(v, "quantum")?)
+        .with_starvation_secs(get_f64(v, "starvation_secs")?);
+        for t in required(v, "tenants")?
+            .as_array()
+            .ok_or("field 'tenants' is not an array")?
+        {
+            let state_name = get_str(t, "state")?;
+            let state = QueueState::parse(state_name)
+                .ok_or_else(|| format!("unknown tenant state '{state_name}'"))?;
+            plan = plan.tenant(
+                TenantSpec::new(
+                    get_u64(t, "id")?,
+                    get_f64(t, "weight")?,
+                    u32::try_from(get_u64(t, "guaranteed_cores")?)
+                        .map_err(|_| "field 'guaranteed_cores' out of range".to_string())?,
+                    u32::try_from(get_u64(t, "cap_cores")?)
+                        .map_err(|_| "field 'cap_cores' out of range".to_string())?,
+                )
+                .with_state(state),
+            );
+        }
+        for pair in required(v, "assignments")?
+            .as_array()
+            .ok_or("field 'assignments' is not an array")?
+        {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("assignment entry is not a [job, tenant] pair")?;
+            let num = |slot: &Value| {
+                slot.as_u64()
+                    .ok_or("assignment entry is not a [job, tenant] pair".to_string())
+            };
+            plan.assign(num(&pair[0])?, num(&pair[1])?);
+        }
+        plan.validate().map_err(|e| format!("tenancy: {e}"))?;
+        Ok(plan)
     }
 
     fn required<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
@@ -210,7 +291,25 @@ mod scenario_json {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        Ok(ScenarioFile { config, jobs })
+        let tenancy = match v.get("tenancy") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(tenancy_from_json(t)?),
+        };
+        Ok(ScenarioFile {
+            config,
+            jobs,
+            tenancy,
+        })
+    }
+}
+
+/// Materializes a loaded scenario file, attaching its tenancy section
+/// when present.
+fn scenario_from_file(file: ScenarioFile) -> Scenario {
+    let scenario = Scenario::from_jobs(file.config, file.jobs);
+    match file.tenancy {
+        Some(plan) => scenario.with_tenancy(plan),
+        None => scenario,
     }
 }
 
@@ -299,6 +398,7 @@ pub fn run(command: Command) -> Result<(), String> {
                 Err("dashboard render failed (see warnings above)".into())
             }
         }
+        Command::Tenants(common, options) => tenants(&common, &options),
         Command::Advise(common, options) => {
             let scenario = build_scenario(&common);
             println!(
@@ -425,6 +525,138 @@ fn faults() {
     println!("to earlier builds and faulted runs reproduce for any HCLOUD_JOBS.");
 }
 
+/// Jobs at or above this normalized performance kept their SLO (the
+/// paper's "acceptable" band, shared with `ext_multi_tenant`).
+const SLO_THRESHOLD: f64 = 0.7;
+
+/// Sizes a shared tenant pool to the scenario's mean concurrent core
+/// demand, never below the widest job.
+fn tenant_pool_cores(scenario: &Scenario) -> u32 {
+    let total: f64 = scenario
+        .jobs()
+        .iter()
+        .map(|j| match j.kind {
+            JobKind::Batch { work_core_secs } => work_core_secs,
+            JobKind::LatencyCritical { lifetime, .. } => j.cores as f64 * lifetime.as_secs_f64(),
+        })
+        .sum();
+    let window = scenario.config().duration.as_secs_f64().max(1.0);
+    let avg = (total / window).ceil() as u32;
+    let widest = scenario.jobs().iter().map(|j| j.cores).max().unwrap_or(1);
+    avg.max(widest).max(8)
+}
+
+/// `tenants`: runs a multi-tenant scenario and renders the fair-share
+/// report — per-tenant admissions, SLO attainment, waits and
+/// starvation-relief activity. Scenario files with an embedded tenancy
+/// section are honored; otherwise a Zipf-weighted population is
+/// attached.
+fn tenants(common: &Common, options: &TenantsOptions) -> Result<(), String> {
+    let scenario = match &options.scenario_file {
+        Some(path) => {
+            let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+            let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
+            scenario_from_file(file)
+        }
+        None => build_scenario(common),
+    };
+    let factory = RngFactory::new(common.seed);
+    let scenario = if scenario.tenancy().is_some() {
+        scenario
+    } else {
+        let pool = tenant_pool_cores(&scenario);
+        let mut plan = TenancyPlan::zipf(options.tenants, 1.1, pool, 0.5);
+        let ids: Vec<u64> = scenario.jobs().iter().map(|j| j.id.0).collect();
+        plan.assign_jobs(&ids, &mut factory.stream("tenant-assign"));
+        scenario.with_tenancy(plan)
+    };
+    let plan = scenario.tenancy().expect("tenancy attached").clone();
+    plan.validate()?;
+
+    let config = RunConfig::new(options.strategy);
+    let r = run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
+    let rates = Rates::default();
+    let cost = r.cost(&rates, &PricingModel::aws());
+    let perfs = r.normalized_perf(None);
+    let slo =
+        perfs.iter().filter(|&&p| p >= SLO_THRESHOLD).count() as f64 / perfs.len().max(1) as f64;
+    println!(
+        "{} on {}: {} tenants over a {}-core pool, seed {}\n",
+        options.strategy,
+        scenario.kind().name(),
+        plan.tenants.len(),
+        plan.pool_cores,
+        common.seed
+    );
+    println!(
+        "  jobs {} | makespan {:.1} min | SLO (≥{:.0}%) {:.1}% | fairness {:.3} | cost {:.2}$",
+        r.outcomes.len(),
+        r.makespan.as_mins_f64(),
+        SLO_THRESHOLD * 100.0,
+        slo * 100.0,
+        r.tenant_admission_fairness(),
+        cost.total(),
+    );
+    println!(
+        "  gate: {} deferred, {} drained, {} borrowed admissions, {} starvation preemptions\n",
+        r.counters.tenant_deferred_jobs,
+        r.counters.tenant_drained_jobs,
+        r.counters.tenant_borrowed_admissions,
+        r.counters.tenant_preemptions,
+    );
+
+    // Per-tenant SLO attainment, mapped through the plan's assignments.
+    let mut kept_ran: std::collections::BTreeMap<u64, (usize, usize)> = Default::default();
+    for o in &r.outcomes {
+        if let Some(tid) = plan.tenant_of(o.id.0) {
+            let e = kept_ran.entry(tid.0).or_default();
+            e.1 += 1;
+            if o.normalized_perf >= SLO_THRESHOLD {
+                e.0 += 1;
+            }
+        }
+    }
+    let mut stats = r.tenant_stats.clone();
+    stats.sort_by(|a, b| b.admitted.cmp(&a.admitted).then(a.id.cmp(&b.id)));
+    println!(
+        "{:>7} {:>8} {:>5} {:>5} {:>9} {:>9} {:>8} {:>7} {:>13} {:>8} {:>9}",
+        "tenant",
+        "weight",
+        "guar",
+        "cap",
+        "admitted",
+        "deferred",
+        "SLO %",
+        "wait s",
+        "peak cores",
+        "victims",
+        "reclaims"
+    );
+    for s in stats.iter().take(16) {
+        let (kept, ran) = kept_ran.get(&s.id).copied().unwrap_or((0, 0));
+        let mean_wait = s.total_queue_wait_secs / (s.drained.max(1) as f64);
+        println!(
+            "{:>7} {:>8.4} {:>5} {:>5} {:>9} {:>9} {:>8.1} {:>7.0} {:>13} {:>8} {:>9}",
+            s.id,
+            s.weight,
+            s.guaranteed_cores,
+            s.cap_cores,
+            s.admitted,
+            s.deferred,
+            100.0 * kept as f64 / ran.max(1) as f64,
+            mean_wait,
+            s.peak_running_cores,
+            s.victims,
+            s.reclaims,
+        );
+    }
+    if stats.len() > 16 {
+        println!("  … {} more tenant(s)", stats.len() - 16);
+    }
+    Ok(())
+}
+
 fn compare(common: &Common) -> Result<(), String> {
     let scenario = Arc::new(build_scenario(common));
     let rates = Rates::default();
@@ -469,7 +701,7 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
             let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
             let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
-            Scenario::from_jobs(file.config, file.jobs)
+            scenario_from_file(file)
         }
         None => build_scenario(common),
     };
@@ -619,6 +851,7 @@ fn export(common: &Common, out: &str) -> Result<(), String> {
     let file = ScenarioFile {
         config: scenario.config().clone(),
         jobs: scenario.jobs().to_vec(),
+        tenancy: scenario.tenancy().cloned(),
     };
     let body = scenario_json::to_json(&file).to_string();
     fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
@@ -641,12 +874,75 @@ mod tests {
         let file = ScenarioFile {
             config: scenario.config().clone(),
             jobs: scenario.jobs().to_vec(),
+            tenancy: None,
         };
         let body = scenario_json::to_json(&file).to_string();
         let back =
             scenario_json::from_json(&hcloud_json::parse(&body).expect("valid")).expect("decodes");
         assert_eq!(back.config, *scenario.config());
         assert_eq!(back.jobs, scenario.jobs());
+        assert!(
+            back.tenancy.is_none(),
+            "no tenancy section round-trips to none"
+        );
+    }
+
+    #[test]
+    fn tenancy_section_round_trips_exactly() {
+        let config = ScenarioConfig::scaled(ScenarioKind::HighVariability, 0.1, 10);
+        let scenario = Scenario::generate(config, &RngFactory::new(7));
+        let mut plan = TenancyPlan::zipf(9, 1.1, 64, 0.5)
+            .with_quantum(24.0)
+            .with_starvation_secs(120.0);
+        let ids: Vec<u64> = scenario.jobs().iter().map(|j| j.id.0).collect();
+        plan.assign_jobs(&ids, &mut RngFactory::new(7).stream("tenant-assign"));
+        plan.tenants[3].state = QueueState::Closing;
+        let file = ScenarioFile {
+            config: scenario.config().clone(),
+            jobs: scenario.jobs().to_vec(),
+            tenancy: Some(plan.clone()),
+        };
+        let body = scenario_json::to_json(&file).to_string();
+        let back =
+            scenario_json::from_json(&hcloud_json::parse(&body).expect("valid")).expect("decodes");
+        assert_eq!(back.tenancy, Some(plan));
+    }
+
+    #[test]
+    fn malformed_tenancy_sections_name_the_problem() {
+        let config = ScenarioConfig::scaled(ScenarioKind::Static, 0.05, 5);
+        let scenario = Scenario::generate(config, &RngFactory::new(7));
+        let base = ScenarioFile {
+            config: scenario.config().clone(),
+            jobs: scenario.jobs().to_vec(),
+            tenancy: None,
+        };
+        let body = scenario_json::to_json(&base).to_string();
+        let inject = |section: &str| {
+            let with =
+                body.trim_end_matches('}').to_string() + &format!(",\"tenancy\":{section}}}");
+            scenario_json::from_json(&hcloud_json::parse(&with).expect("valid"))
+                .expect_err("malformed tenancy must be rejected")
+        };
+        let missing = inject("{}");
+        assert!(missing.contains("pool_cores"), "{missing}");
+        let bad_state = inject(
+            "{\"pool_cores\":8,\"quantum\":16.0,\"starvation_secs\":60.0,\
+             \"tenants\":[{\"id\":0,\"weight\":1.0,\"guaranteed_cores\":4,\
+             \"cap_cores\":8,\"state\":\"ajar\"}],\"assignments\":[]}",
+        );
+        assert!(bad_state.contains("ajar"), "{bad_state}");
+        let bad_weight = inject(
+            "{\"pool_cores\":8,\"quantum\":16.0,\"starvation_secs\":60.0,\
+             \"tenants\":[{\"id\":0,\"weight\":-1.0,\"guaranteed_cores\":4,\
+             \"cap_cores\":8,\"state\":\"open\"}],\"assignments\":[]}",
+        );
+        assert!(bad_weight.contains("tenancy"), "{bad_weight}");
+        let bad_pair = inject(
+            "{\"pool_cores\":8,\"quantum\":16.0,\"starvation_secs\":60.0,\
+             \"tenants\":[],\"assignments\":[[1]]}",
+        );
+        assert!(bad_pair.contains("pair"), "{bad_pair}");
     }
 
     #[test]

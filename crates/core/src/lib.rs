@@ -29,12 +29,15 @@
 //! use hcloud_sim::rng::RngFactory;
 //! use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 //!
+//! # fn main() -> Result<(), hcloud::runner::AuditViolation> {
 //! let factory = RngFactory::new(42);
 //! let scenario = Scenario::generate(
 //!     ScenarioConfig::paper(ScenarioKind::HighVariability), &factory);
 //! let config = RunConfig::new(StrategyKind::HybridMixed);
-//! let result = run_scenario(&scenario, &config, &RunCtx::new(&factory)).unwrap();
+//! let result = run_scenario(&scenario, &config, &RunCtx::new(&factory))?;
 //! println!("mean batch perf: {:?}", result.batch_performance_boxplot());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod config;

@@ -5,6 +5,7 @@ use hcloud_pricing::{run_cost, CostBreakdown, PricingModel, Rates};
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::stats::{percentile, Boxplot};
 use hcloud_sim::{SimDuration, SimTime};
+use hcloud_tenancy::{jain, TenantStat};
 use hcloud_workloads::{AppClass, JobId};
 
 use crate::strategy::StrategyKind;
@@ -107,6 +108,14 @@ pub struct RunCounters {
     /// (entries added or dropped as instances change state) — the cost
     /// side of the fast path.
     pub index_rebuilds: usize,
+    /// Jobs held at the tenancy gate (multi-tenant runs only).
+    pub tenant_deferred_jobs: usize,
+    /// Jobs the DRR drain released from tenant queues into the pool.
+    pub tenant_drained_jobs: usize,
+    /// Cross-queue preemptions executed for starved guaranteed queues.
+    pub tenant_preemptions: usize,
+    /// Admissions above a tenant's guarantee (elastic borrowing).
+    pub tenant_borrowed_admissions: usize,
 }
 
 /// Why a job was placed where it was — the dynamic policy's audit trail.
@@ -213,6 +222,9 @@ pub struct RunResult {
     pub counters: RunCounters,
     /// Placement audit trail (empty unless `RunConfig::record_decisions`).
     pub decisions: Vec<PlacementDecision>,
+    /// Per-tenant fair-share statistics, ascending by tenant id (empty
+    /// unless the scenario carries a tenancy plan).
+    pub tenant_stats: Vec<TenantStat>,
 }
 
 impl RunResult {
@@ -311,6 +323,17 @@ impl RunResult {
         }
         self.outcomes.iter().filter(|o| o.rescheduled).count() as f64 / self.outcomes.len() as f64
     }
+
+    /// Jain fairness index over each tenant's admitted-job count — 1.0
+    /// for an untenanted run (no tenants) or a perfectly even spread.
+    pub fn tenant_admission_fairness(&self) -> f64 {
+        let admitted: Vec<f64> = self
+            .tenant_stats
+            .iter()
+            .map(|s| s.admitted as f64)
+            .collect();
+        jain(&admitted)
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +381,7 @@ mod tests {
             utilization_samples: vec![],
             counters: RunCounters::default(),
             decisions: vec![],
+            tenant_stats: vec![],
         }
     }
 
@@ -421,5 +445,23 @@ mod tests {
         let mut r = result(vec![]);
         r.reserved_cores = 0;
         assert_eq!(r.mean_reserved_utilization(), None);
+    }
+
+    #[test]
+    fn tenant_fairness_defaults_to_one() {
+        let mut r = result(vec![]);
+        assert!((r.tenant_admission_fairness() - 1.0).abs() < 1e-12);
+        let even = TenantStat {
+            id: 0,
+            admitted: 10,
+            ..TenantStat::default()
+        };
+        let starved = TenantStat {
+            id: 1,
+            admitted: 0,
+            ..TenantStat::default()
+        };
+        r.tenant_stats = vec![even, starved];
+        assert!((r.tenant_admission_fairness() - 0.5).abs() < 1e-12);
     }
 }

@@ -16,8 +16,13 @@
 //! dispatched so queue-depth telemetry stays byte-identical to the old
 //! one-pop-per-iteration loop.
 
-use hcloud_audit::{AuditViolation, Auditor};
-use hcloud_sim::event::{EventQueue, EventQueueApi, EventSink, EventToken};
+use hcloud_audit::Auditor;
+// Re-exported so downstream `main() -> Result<(), AuditViolation>`
+// wrappers need only the `hcloud` dependency.
+pub use hcloud_audit::AuditViolation;
+use hcloud_sim::event::{
+    EventQueue, EventQueueApi, EventSink, EventToken, HeapEventQueue, QueueKind,
+};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::SimTime;
 use hcloud_telemetry::{trace_event, ProfSpan, Profiler, TraceKind, Tracer};
@@ -158,6 +163,22 @@ pub fn run_scenario(
     ctx: &RunCtx,
 ) -> Result<RunResult, AuditViolation> {
     run_scenario_on::<EventQueue<Event>>(scenario, config, ctx)
+}
+
+/// [`run_scenario`] with the event-queue implementation chosen at run
+/// time by a typed [`QueueKind`] — the dispatch point for the
+/// `HCLOUD_QUEUE` knob, so callers comparing the two implementations
+/// never hardcode queue selection.
+pub fn run_scenario_queued(
+    queue: QueueKind,
+    scenario: &Scenario,
+    config: &RunConfig,
+    ctx: &RunCtx,
+) -> Result<RunResult, AuditViolation> {
+    match queue {
+        QueueKind::Wheel => run_scenario_on::<EventQueue<Event>>(scenario, config, ctx),
+        QueueKind::Heap => run_scenario_on::<HeapEventQueue<Event>>(scenario, config, ctx),
+    }
 }
 
 /// [`run_scenario`] generic over the event-queue implementation.

@@ -44,6 +44,47 @@ pub const SLOTS: usize = 1 << LEVEL_BITS;
 pub const LEVELS: usize = 11;
 const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 
+/// Which event-queue implementation a run uses: the timing-wheel
+/// [`EventQueue`] (default) or the reference [`HeapEventQueue`]. Parsed
+/// from `HCLOUD_QUEUE` with the same loud-failure contract as the other
+/// `HCLOUD_*` knobs; the two implementations are digest-identical, so
+/// the knob trades only wall clock, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The hierarchical timing wheel (default).
+    Wheel,
+    /// The retained `BinaryHeap` reference implementation.
+    Heap,
+}
+
+impl QueueKind {
+    /// Both implementations, wheel first (comparison benches iterate
+    /// this).
+    pub const ALL: [QueueKind; 2] = [QueueKind::Wheel, QueueKind::Heap];
+
+    /// Stable display name, also the accepted `HCLOUD_QUEUE` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Wheel => "wheel",
+            QueueKind::Heap => "heap",
+        }
+    }
+
+    /// Parses an `HCLOUD_QUEUE` value: `wheel` (default when unset) or
+    /// `heap`. Anything else is a hard error naming the variable, the
+    /// offending value, and what was expected.
+    pub fn parse(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None => Ok(QueueKind::Wheel),
+            Some("wheel") => Ok(QueueKind::Wheel),
+            Some("heap") => Ok(QueueKind::Heap),
+            Some(s) => Err(format!(
+                "invalid HCLOUD_QUEUE {s:?}: expected wheel (timing wheel, default) or heap"
+            )),
+        }
+    }
+}
+
 /// A handle to a scheduled event, returned by [`EventSink::schedule`] and
 /// accepted by [`EventQueueApi::cancel`]. Tokens are unique per queue for
 /// the queue's whole lifetime, so a token for an already-served (or

@@ -144,6 +144,25 @@ pub enum TraceKind {
     /// normal admission path, with the work it lost since its last
     /// checkpoint.
     RecoveryRequeue { job: u64, work_lost_core_secs: f64 },
+    /// `tenancy` — a tenanted job was held in its tenant queue at the
+    /// admission gate (cap, pool, or borrow limit).
+    TenantDefer { job: u64, tenant: u64, depth: usize },
+    /// `tenancy` — the DRR drain released a held job into the pool,
+    /// with its realized queue wait.
+    TenantRelease {
+        job: u64,
+        tenant: u64,
+        waited_us: u64,
+        borrowed: bool,
+    },
+    /// `tenancy` — cross-queue preemption: a running job was evicted so
+    /// a starved guaranteed queue could reclaim its share.
+    TenantPreempt {
+        job: u64,
+        victim_tenant: u64,
+        starved_tenant: u64,
+        work_lost_core_secs: f64,
+    },
     /// `audit` — end-of-run ledger totals from the conservation oracle.
     AuditSummary {
         demanded_core_secs: f64,
@@ -185,6 +204,9 @@ impl TraceKind {
             TraceKind::RecoveryFamilyFallback { .. } => "recovery-family-fallback",
             TraceKind::RecoveryPolicyFallback { .. } => "recovery-policy-fallback",
             TraceKind::RecoveryRequeue { .. } => "recovery-requeue",
+            TraceKind::TenantDefer { .. } => "tenant-defer",
+            TraceKind::TenantRelease { .. } => "tenant-release",
+            TraceKind::TenantPreempt { .. } => "tenant-preempt",
             TraceKind::AuditSummary { .. } => "audit-summary",
             TraceKind::AuditViolation { .. } => "audit-violation",
         }
@@ -348,6 +370,30 @@ impl TraceEvent {
                 work_lost_core_secs,
             } => b
                 .set("job", *job)
+                .set("work_lost_core_secs", *work_lost_core_secs),
+            TraceKind::TenantDefer { job, tenant, depth } => b
+                .set("job", *job)
+                .set("tenant", *tenant)
+                .set("depth", *depth as u64),
+            TraceKind::TenantRelease {
+                job,
+                tenant,
+                waited_us,
+                borrowed,
+            } => b
+                .set("job", *job)
+                .set("tenant", *tenant)
+                .set("waited_us", *waited_us)
+                .set("borrowed", *borrowed),
+            TraceKind::TenantPreempt {
+                job,
+                victim_tenant,
+                starved_tenant,
+                work_lost_core_secs,
+            } => b
+                .set("job", *job)
+                .set("victim_tenant", *victim_tenant)
+                .set("starved_tenant", *starved_tenant)
                 .set("work_lost_core_secs", *work_lost_core_secs),
             TraceKind::AuditSummary {
                 demanded_core_secs,

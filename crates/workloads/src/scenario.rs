@@ -19,6 +19,7 @@ use hcloud_sim::dist::{Exponential, LogNormal, Sample, Uniform};
 use hcloud_sim::rng::RngFactory;
 use hcloud_sim::series::StepSeries;
 use hcloud_sim::{SimDuration, SimTime};
+use hcloud_tenancy::TenancyPlan;
 use rand::Rng;
 
 use crate::job::{AppClass, JobId, JobKind, JobSpec};
@@ -227,6 +228,9 @@ pub struct ScenarioStats {
 pub struct Scenario {
     config: ScenarioConfig,
     jobs: Vec<JobSpec>,
+    /// Optional multi-tenant section; `None` runs untenanted and is
+    /// byte-identical to a scenario that predates tenancy.
+    tenancy: Option<TenancyPlan>,
 }
 
 impl Scenario {
@@ -338,7 +342,11 @@ impl Scenario {
             id += 1;
         }
 
-        Scenario { config, jobs }
+        Scenario {
+            config,
+            jobs,
+            tenancy: None,
+        }
     }
 
     /// Builds a scenario from an explicit job stream (for custom
@@ -351,7 +359,24 @@ impl Scenario {
     /// configuration.
     pub fn from_jobs(config: ScenarioConfig, mut jobs: Vec<JobSpec>) -> Scenario {
         jobs.sort_by_key(|j| j.arrival);
-        Scenario { config, jobs }
+        Scenario {
+            config,
+            jobs,
+            tenancy: None,
+        }
+    }
+
+    /// Attaches a multi-tenant section: tenant contracts plus the
+    /// job→tenant assignment map. The scheduler only instantiates its
+    /// tenancy runtime when this is present.
+    pub fn with_tenancy(mut self, plan: TenancyPlan) -> Scenario {
+        self.tenancy = Some(plan);
+        self
+    }
+
+    /// The optional multi-tenant section.
+    pub fn tenancy(&self) -> Option<&TenancyPlan> {
+        self.tenancy.as_ref()
     }
 
     /// The configuration this scenario was generated from.

@@ -7,7 +7,7 @@
 //! ```
 
 use hcloud::{
-    runner::{run_scenario, RunCtx},
+    runner::{run_scenario, AuditViolation, RunCtx},
     RunConfig, StrategyKind,
 };
 use hcloud_pricing::{commitment_cost, PricingModel, Rates, ReservedOnDemandPricing};
@@ -15,7 +15,7 @@ use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
-fn main() {
+fn main() -> Result<(), AuditViolation> {
     let factory = RngFactory::new(123);
 
     // Batch-only: the sensitive-fraction override with fraction 0 keeps
@@ -42,8 +42,7 @@ fn main() {
         "strategy", "perf", "run cost", "$/core-hour", "26-week deployment"
     );
     for strategy in StrategyKind::ALL {
-        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
-            .expect("no auditor attached");
+        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))?;
         let cost = result.cost(&rates, &pricing).total();
         let long = commitment_cost(
             &result.usage_records,
@@ -66,4 +65,5 @@ fn main() {
          cheap small instances shine; the statically reserved farm pays for\n\
          its idle peak capacity all night."
     );
+    Ok(())
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use hcloud::{
-    runner::{run_scenario, RunCtx},
+    runner::{run_scenario, AuditViolation, RunCtx},
     RunConfig, StrategyKind,
 };
 use hcloud_pricing::{commitment_cost, PricingModel, Rates, ReservedOnDemandPricing};
@@ -15,7 +15,7 @@ use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
-fn main() {
+fn main() -> Result<(), AuditViolation> {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "high".into());
     let kind = match arg.as_str() {
         "static" => ScenarioKind::Static,
@@ -31,16 +31,11 @@ fn main() {
     );
 
     let rates = Rates::default();
-    let results: Vec<_> = StrategyKind::ALL
-        .iter()
-        .map(|&s| {
-            (
-                s,
-                run_scenario(&scenario, &RunConfig::new(s), &RunCtx::new(&factory))
-                    .expect("no auditor attached"),
-            )
-        })
-        .collect();
+    let mut results = Vec::new();
+    for s in StrategyKind::ALL {
+        let r = run_scenario(&scenario, &RunConfig::new(s), &RunCtx::new(&factory))?;
+        results.push((s, r));
+    }
 
     println!("Per-run cost under each provider pricing model ($):");
     println!(
@@ -86,4 +81,5 @@ fn main() {
     }
     println!("\n(Short deployments favour pure on-demand; reservations only pay off");
     println!(" once the workload sticks around — and only its *steady* part.)");
+    Ok(())
 }

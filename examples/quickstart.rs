@@ -7,14 +7,14 @@
 //! ```
 
 use hcloud::{
-    runner::{run_scenario, RunCtx},
+    runner::{run_scenario, AuditViolation, RunCtx},
     RunConfig, StrategyKind,
 };
 use hcloud_pricing::{PricingModel, Rates};
 use hcloud_sim::rng::RngFactory;
 use hcloud_workloads::{Scenario, ScenarioConfig, ScenarioKind};
 
-fn main() {
+fn main() -> Result<(), AuditViolation> {
     // Everything is deterministic in one master seed.
     let factory = RngFactory::new(42);
 
@@ -40,8 +40,7 @@ fn main() {
     );
     for strategy in StrategyKind::ALL {
         let config = RunConfig::new(strategy);
-        let result =
-            run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
+        let result = run_scenario(&scenario, &config, &RunCtx::new(&factory))?;
         let batch = result.batch_performance_boxplot().expect("batch jobs");
         let lc = result.lc_latency_boxplot().expect("latency jobs");
         let cost = result.cost(&rates, &pricing);
@@ -59,4 +58,5 @@ fn main() {
          strategies pay spin-up and interference; the hybrids (HF/HM) keep the\n\
          sensitive work on reserved capacity and overflow to on-demand."
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use hcloud::{
-    runner::{run_scenario, RunCtx},
+    runner::{run_scenario, AuditViolation, RunCtx},
     RunConfig, StrategyKind,
 };
 use hcloud_pricing::{PricingModel, Rates};
@@ -30,7 +30,7 @@ fn diurnal(t: SimTime) -> f64 {
     0.675 - 0.325 * phase.cos()
 }
 
-fn main() {
+fn main() -> Result<(), AuditViolation> {
     let factory = RngFactory::new(7);
     let mut rng = factory.stream("example.webstack");
     let latency = LatencyModel::default();
@@ -97,8 +97,7 @@ fn main() {
     let rates = Rates::default();
     let pricing = PricingModel::aws();
     for strategy in [StrategyKind::HybridFull, StrategyKind::OnDemandFull] {
-        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
-            .expect("no auditor attached");
+        let result = run_scenario(&scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))?;
         let lc = result.lc_latency_boxplot().expect("memcached present");
         let cost = result.cost(&rates, &pricing);
         println!("{}:", strategy.short_name());
@@ -120,4 +119,5 @@ fn main() {
     println!("HF serves the diurnal trough from its small reserved pool and rides");
     println!("the afternoon peak on on-demand servers; OdF re-buys the whole stack");
     println!("at the on-demand rate every hour of the day.");
+    Ok(())
 }
