@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 use hcloud::runner::{run_scenario_queued, RunCtx};
 
 use crate::env::EnvOpts;
-use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyKind};
+use hcloud::{MappingPolicy, RunConfig, RunResult, StrategyId, StrategyRef};
 use hcloud_audit::{AuditMode, Auditor};
 use hcloud_faults::{FaultPlan, FaultPlanId};
 use hcloud_sim::event::QueueKind;
@@ -79,6 +79,10 @@ pub struct ExperimentCtx {
     /// wheel, default) or `heap`. Digest-identical either way; the knob
     /// trades only wall clock.
     pub queue: QueueKind,
+    /// Strategy focus (`HCLOUD_STRATEGY`): restrict a binary's sweep to
+    /// one registered strategy (registry id or short name); `None` runs
+    /// the binary's full strategy set.
+    pub strategy: Option<StrategyId>,
 }
 
 impl Default for ExperimentCtx {
@@ -91,6 +95,7 @@ impl Default for ExperimentCtx {
             faults: FaultPlanId::Off,
             audit: AuditMode::Off,
             queue: QueueKind::Wheel,
+            strategy: None,
         }
     }
 }
@@ -105,6 +110,7 @@ impl From<EnvOpts> for ExperimentCtx {
             faults: opts.faults,
             audit: opts.audit,
             queue: opts.queue,
+            strategy: opts.strategy,
         }
     }
 }
@@ -154,9 +160,16 @@ impl ExperimentCtx {
         self
     }
 
-    /// Parses the seven ambient variables. Malformed values are an error
+    /// Sets the strategy focus.
+    pub fn with_strategy(mut self, strategy: StrategyId) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Parses the eight ambient variables. Malformed values are an error
     /// with a message naming the variable, the offending value, and what
     /// was expected — never a silent fallback.
+    #[allow(clippy::too_many_arguments)]
     pub fn parse(
         seed: Option<&str>,
         fast: Option<&str>,
@@ -165,13 +178,14 @@ impl ExperimentCtx {
         faults: Option<&str>,
         audit: Option<&str>,
         queue: Option<&str>,
+        strategy: Option<&str>,
     ) -> Result<Self, String> {
-        EnvOpts::parse(seed, fast, jobs, trace, faults, audit, queue).map(Self::from)
+        EnvOpts::parse(seed, fast, jobs, trace, faults, audit, queue, strategy).map(Self::from)
     }
 
     /// Reads `HCLOUD_SEED` / `HCLOUD_FAST` / `HCLOUD_JOBS` /
     /// `HCLOUD_TRACE` / `HCLOUD_FAULTS` / `HCLOUD_AUDIT` /
-    /// `HCLOUD_QUEUE` from the environment.
+    /// `HCLOUD_QUEUE` / `HCLOUD_STRATEGY` from the environment.
     pub fn from_env() -> Result<Self, String> {
         EnvOpts::from_env().map(Self::from)
     }
@@ -244,9 +258,10 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// A paper-default run of `strategy` on the generated scenario
-    /// `kind`.
-    pub fn of(kind: ScenarioKind, strategy: StrategyKind) -> RunSpec {
+    /// A paper-default run of `strategy` (a [`StrategyRef`], a
+    /// [`hcloud::StrategyKind`], or anything else convertible) on the
+    /// generated scenario `kind`.
+    pub fn of(kind: ScenarioKind, strategy: impl Into<StrategyRef>) -> RunSpec {
         RunSpec {
             scenario: ScenarioSource::Kind(kind),
             config: RunConfig::new(strategy),
@@ -257,7 +272,7 @@ impl RunSpec {
 
     /// A paper-default run of `strategy` on an explicitly provided
     /// scenario (custom scale, sensitivity sweeps, CLI scenario files).
-    pub fn on(scenario: Arc<Scenario>, strategy: StrategyKind) -> RunSpec {
+    pub fn on(scenario: Arc<Scenario>, strategy: impl Into<StrategyRef>) -> RunSpec {
         RunSpec {
             scenario: ScenarioSource::Explicit(scenario),
             config: RunConfig::new(strategy),
@@ -318,8 +333,8 @@ impl RunSpec {
     }
 
     /// The strategy under test.
-    pub fn strategy(&self) -> StrategyKind {
-        self.config.strategy
+    pub fn strategy(&self) -> StrategyRef {
+        self.config.strategy.clone()
     }
 
     /// The scenario kind, when the engine generates the scenario.
@@ -772,10 +787,11 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hcloud::StrategyKind;
 
     #[test]
     fn ctx_defaults_match_legacy_behaviour() {
-        let ctx = ExperimentCtx::parse(None, None, None, None, None, None, None).unwrap();
+        let ctx = ExperimentCtx::parse(None, None, None, None, None, None, None, None).unwrap();
         assert_eq!(ctx.master_seed, 42);
         assert!(!ctx.fast);
         assert_eq!(ctx.jobs, None);
@@ -783,6 +799,7 @@ mod tests {
         assert_eq!(ctx.faults, FaultPlanId::Off);
         assert_eq!(ctx.audit, AuditMode::Off);
         assert_eq!(ctx.queue, QueueKind::Wheel);
+        assert_eq!(ctx.strategy, None);
     }
 
     #[test]
@@ -795,6 +812,7 @@ mod tests {
             Some("full-chaos"),
             Some("strict"),
             Some("heap"),
+            Some("RA"),
         )
         .unwrap();
         assert_eq!(ctx.master_seed, 7);
@@ -804,8 +822,21 @@ mod tests {
         assert_eq!(ctx.faults, FaultPlanId::FullChaos);
         assert_eq!(ctx.audit, AuditMode::Strict);
         assert_eq!(ctx.queue, QueueKind::Heap);
-        let ctx =
-            ExperimentCtx::parse(None, Some("0"), None, Some("summary"), None, None, None).unwrap();
+        assert_eq!(
+            ctx.strategy.map(|s| s.as_str()),
+            Some("reservation-autoscale")
+        );
+        let ctx = ExperimentCtx::parse(
+            None,
+            Some("0"),
+            None,
+            Some("summary"),
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(!ctx.fast);
         assert_eq!(ctx.trace, TraceMode::Summary);
         let ctx = ExperimentCtx::parse(
@@ -816,36 +847,45 @@ mod tests {
             Some("off"),
             Some("final"),
             Some("wheel"),
+            None,
         )
         .unwrap();
         assert_eq!(ctx.trace, TraceMode::Off);
         assert_eq!(ctx.faults, FaultPlanId::Off);
         assert_eq!(ctx.audit, AuditMode::Final);
         assert_eq!(ctx.queue, QueueKind::Wheel);
+        assert_eq!(ctx.strategy, None);
     }
 
     #[test]
     fn ctx_rejects_malformed_values_loudly() {
-        let e =
-            ExperimentCtx::parse(Some("banana"), None, None, None, None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(Some("banana"), None, None, None, None, None, None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_SEED") && e.contains("banana"), "{e}");
-        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, Some("yes"), None, None, None, None, None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_FAST") && e.contains("yes"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("0"), None, None, None, None).unwrap_err();
+        let e =
+            ExperimentCtx::parse(None, None, Some("0"), None, None, None, None, None).unwrap_err();
         assert!(e.contains("HCLOUD_JOBS"), "{e}");
-        let e = ExperimentCtx::parse(None, None, Some("many"), None, None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, Some("many"), None, None, None, None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_JOBS") && e.contains("many"), "{e}");
-        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None, None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, Some("loud"), None, None, None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_TRACE") && e.contains("loud"), "{e}");
-        let e =
-            ExperimentCtx::parse(None, None, None, None, Some("mayhem"), None, None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, None, Some("mayhem"), None, None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_FAULTS") && e.contains("mayhem"), "{e}");
-        let e =
-            ExperimentCtx::parse(None, None, None, None, None, Some("paranoid"), None).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, None, None, Some("paranoid"), None, None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_AUDIT") && e.contains("paranoid"), "{e}");
-        let e =
-            ExperimentCtx::parse(None, None, None, None, None, None, Some("stack")).unwrap_err();
+        let e = ExperimentCtx::parse(None, None, None, None, None, None, Some("stack"), None)
+            .unwrap_err();
         assert!(e.contains("HCLOUD_QUEUE") && e.contains("stack"), "{e}");
+        let e = ExperimentCtx::parse(None, None, None, None, None, None, None, Some("bogus"))
+            .unwrap_err();
+        assert!(e.contains("HCLOUD_STRATEGY") && e.contains("bogus"), "{e}");
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! Typed reader for the ambient `HCLOUD_*` experiment variables.
 //!
-//! Every bench binary and the CI smoke jobs are steered by seven
+//! Every bench binary and the CI smoke jobs are steered by eight
 //! environment variables — `HCLOUD_SEED`, `HCLOUD_FAST`, `HCLOUD_JOBS`,
-//! `HCLOUD_TRACE`, `HCLOUD_FAULTS`, `HCLOUD_AUDIT`, `HCLOUD_QUEUE`.
+//! `HCLOUD_TRACE`, `HCLOUD_FAULTS`, `HCLOUD_AUDIT`, `HCLOUD_QUEUE`,
+//! `HCLOUD_STRATEGY`.
 //! [`EnvOpts`] is their one typed home: each variable is parsed exactly
 //! once, and a malformed value is a hard error naming the variable, the
 //! offending value, and what was expected — never a silent fallback to a
 //! default the user did not ask for.
 
+use hcloud::{StrategyId, StrategyRegistry};
 use hcloud_audit::AuditMode;
 use hcloud_faults::FaultPlanId;
 use hcloud_sim::event::QueueKind;
 use hcloud_telemetry::TraceMode;
 
-/// The seven ambient experiment variables, parsed and typed.
+/// The eight ambient experiment variables, parsed and typed.
 ///
 /// [`crate::ExperimentCtx`] is built from this; binaries that need only
 /// the raw knobs (e.g. a perf harness that sizes its own scenario) can
@@ -36,6 +38,10 @@ pub struct EnvOpts {
     pub audit: AuditMode,
     /// `HCLOUD_QUEUE`: `wheel` (timing wheel, default) or `heap`.
     pub queue: QueueKind,
+    /// `HCLOUD_STRATEGY`: focus the run on one registered strategy
+    /// (registry id or short name); `None` runs each binary's full
+    /// strategy set.
+    pub strategy: Option<StrategyId>,
 }
 
 impl Default for EnvOpts {
@@ -48,14 +54,16 @@ impl Default for EnvOpts {
             faults: FaultPlanId::Off,
             audit: AuditMode::Off,
             queue: QueueKind::Wheel,
+            strategy: None,
         }
     }
 }
 
 impl EnvOpts {
-    /// Parses the seven ambient variables from their raw string values.
+    /// Parses the eight ambient variables from their raw string values.
     /// Malformed values are an error with a message naming the variable,
     /// the offending value, and what was expected.
+    #[allow(clippy::too_many_arguments)]
     pub fn parse(
         seed: Option<&str>,
         fast: Option<&str>,
@@ -64,6 +72,7 @@ impl EnvOpts {
         faults: Option<&str>,
         audit: Option<&str>,
         queue: Option<&str>,
+        strategy: Option<&str>,
     ) -> Result<Self, String> {
         let seed = match seed {
             None => 42,
@@ -95,6 +104,16 @@ impl EnvOpts {
         let faults = FaultPlanId::parse(faults)?;
         let audit = AuditMode::parse(audit)?;
         let queue = QueueKind::parse(queue)?;
+        let strategy = match strategy {
+            None => None,
+            Some(s) => Some(s.trim().parse::<StrategyId>().map_err(|_| {
+                format!(
+                    "invalid HCLOUD_STRATEGY {s:?}: expected a registered strategy id or \
+                     short name ({})",
+                    StrategyRegistry::builtin().ids().join(", ")
+                )
+            })?),
+        };
         Ok(EnvOpts {
             seed,
             fast,
@@ -103,10 +122,11 @@ impl EnvOpts {
             faults,
             audit,
             queue,
+            strategy,
         })
     }
 
-    /// Reads the seven `HCLOUD_*` variables from the process environment.
+    /// Reads the eight `HCLOUD_*` variables from the process environment.
     pub fn from_env() -> Result<Self, String> {
         let var = |name: &str| std::env::var(name).ok();
         Self::parse(
@@ -117,6 +137,7 @@ impl EnvOpts {
             var("HCLOUD_FAULTS").as_deref(),
             var("HCLOUD_AUDIT").as_deref(),
             var("HCLOUD_QUEUE").as_deref(),
+            var("HCLOUD_STRATEGY").as_deref(),
         )
     }
 }
@@ -125,7 +146,7 @@ impl EnvOpts {
 mod tests {
     use super::*;
 
-    /// Which of the seven variables a table row exercises.
+    /// Which of the eight variables a table row exercises.
     #[derive(Clone, Copy)]
     enum Var {
         Seed,
@@ -135,18 +156,20 @@ mod tests {
         Faults,
         Audit,
         Queue,
+        Strategy,
     }
 
     fn parse_one(var: Var, value: &str) -> Result<EnvOpts, String> {
         let v = Some(value);
         match var {
-            Var::Seed => EnvOpts::parse(v, None, None, None, None, None, None),
-            Var::Fast => EnvOpts::parse(None, v, None, None, None, None, None),
-            Var::Jobs => EnvOpts::parse(None, None, v, None, None, None, None),
-            Var::Trace => EnvOpts::parse(None, None, None, v, None, None, None),
-            Var::Faults => EnvOpts::parse(None, None, None, None, v, None, None),
-            Var::Audit => EnvOpts::parse(None, None, None, None, None, v, None),
-            Var::Queue => EnvOpts::parse(None, None, None, None, None, None, v),
+            Var::Seed => EnvOpts::parse(v, None, None, None, None, None, None, None),
+            Var::Fast => EnvOpts::parse(None, v, None, None, None, None, None, None),
+            Var::Jobs => EnvOpts::parse(None, None, v, None, None, None, None, None),
+            Var::Trace => EnvOpts::parse(None, None, None, v, None, None, None, None),
+            Var::Faults => EnvOpts::parse(None, None, None, None, v, None, None, None),
+            Var::Audit => EnvOpts::parse(None, None, None, None, None, v, None, None),
+            Var::Queue => EnvOpts::parse(None, None, None, None, None, None, v, None),
+            Var::Strategy => EnvOpts::parse(None, None, None, None, None, None, None, v),
         }
     }
 
@@ -173,6 +196,18 @@ mod tests {
             (Var::Audit, "strict", |o| o.audit == AuditMode::Strict),
             (Var::Queue, "wheel", |o| o.queue == QueueKind::Wheel),
             (Var::Queue, "heap", |o| o.queue == QueueKind::Heap),
+            (Var::Strategy, "hybrid-mixed", |o| {
+                o.strategy.map(|s| s.as_str()) == Some("hybrid-mixed")
+            }),
+            (Var::Strategy, "HM", |o| {
+                o.strategy.map(|s| s.as_str()) == Some("hybrid-mixed")
+            }),
+            (Var::Strategy, "reservation-autoscale", |o| {
+                o.strategy.map(|s| s.as_str()) == Some("reservation-autoscale")
+            }),
+            (Var::Strategy, "qc", |o| {
+                o.strategy.map(|s| s.as_str()) == Some("queueing-capacity")
+            }),
         ];
         for (var, value, check) in ok {
             let opts = parse_one(var, value)
@@ -192,6 +227,11 @@ mod tests {
             (Var::Audit, "paranoid", &["HCLOUD_AUDIT", "paranoid"]),
             (Var::Queue, "stack", &["HCLOUD_QUEUE", "stack"]),
             (Var::Queue, "Wheel", &["HCLOUD_QUEUE", "Wheel"]),
+            (
+                Var::Strategy,
+                "bogus",
+                &["HCLOUD_STRATEGY", "bogus", "queueing-capacity"],
+            ),
         ];
         for (var, value, needles) in bad {
             let e =
@@ -204,7 +244,8 @@ mod tests {
 
     #[test]
     fn unset_environment_is_all_defaults() {
-        let opts = EnvOpts::parse(None, None, None, None, None, None, None).unwrap();
+        let opts = EnvOpts::parse(None, None, None, None, None, None, None, None).unwrap();
         assert_eq!(opts, EnvOpts::default());
+        assert_eq!(opts.strategy, None);
     }
 }

@@ -174,6 +174,20 @@ experiments! {
         fault_covered: false,
         ci_job: "manual",
     }
+    EXT_THEORY_STRATEGIES => {
+        id: "ext_theory_strategies",
+        paper_ref: "post-paper autoscaling theory",
+        kind: ExperimentKind::Extension,
+        claim: "the reservation-autoscale and queueing-capacity registry strategies survive full chaos and Zipf tenancy head-to-head with HF/HM, digest-pinned",
+        scenarios: "high-variability",
+        strategies: "HF HM RA QC",
+        artifacts: &["ext_theory_strategies"],
+        golden: Some("crates/bench/goldens/ext_theory_strategies_fast.json"),
+        trace_covered: false,
+        audit_covered: true,
+        fault_covered: true,
+        ci_job: "theory",
+    }
     FIG01 => {
         id: "fig01_variability_batch",
         paper_ref: "Figure 1",
@@ -601,6 +615,7 @@ mod tests {
             "dashboard",
             "manual",
             "tenancy",
+            "theory",
         ]
         .into_iter()
         .collect();

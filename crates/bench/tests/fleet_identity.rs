@@ -49,6 +49,41 @@ fn fleet_fast_digests_are_identical_across_worker_counts() {
     );
 }
 
+/// Worker-count identity for the two theory-grounded registry
+/// strategies: RA's blocking-threshold soft-limit walk and QC's EWMA
+/// utilization ceiling both live entirely in simulation time, so
+/// `HCLOUD_JOBS` must not perturb them either.
+#[test]
+fn new_strategy_digests_are_identical_across_worker_counts() {
+    use hcloud::StrategyRegistry;
+
+    let scenario = Arc::new(Scenario::generate(fleet_config(true), &RngFactory::new(42)));
+    for short in ["RA", "QC"] {
+        let strategy = StrategyRegistry::builtin()
+            .get(short)
+            .expect("registered strategy");
+        let digests: Vec<Vec<String>> = [1usize, 4]
+            .iter()
+            .map(|&jobs| {
+                let engine = Engine::new(ExperimentCtx::new(42).with_jobs(jobs));
+                let mut plan = ExperimentPlan::new();
+                plan.push(RunSpec::on(scenario.clone(), &strategy));
+                plan.push(RunSpec::on(scenario.clone(), &strategy).seed(43));
+                engine
+                    .run_plan(&plan)
+                    .results
+                    .iter()
+                    .map(run_digest)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            digests[0], digests[1],
+            "{short}: HCLOUD_JOBS=1 and 4 must be byte-identical"
+        );
+    }
+}
+
 /// Worker-count identity for a tenanted scenario: the tenancy gate's
 /// defer/drain/preempt machinery runs entirely in simulation time, so
 /// `HCLOUD_JOBS` must not perturb a multi-tenant run either.

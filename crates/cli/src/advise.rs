@@ -1,15 +1,16 @@
 //! The `advise` command: which provisioning strategy should *this*
 //! workload use?
 //!
-//! This is HCloud's raison d'être turned into a one-shot answer: run all
-//! five strategies on the user's workload, bill each over the planned
-//! deployment length with real reservation terms (Figure 13 accounting),
-//! discard strategies that miss the performance floor, and recommend the
-//! cheapest survivor — with the reasoning shown, not just the verdict.
+//! This is HCloud's raison d'être turned into a one-shot answer: run
+//! every registered strategy on the user's workload, bill each over the
+//! planned deployment length with real reservation terms (Figure 13
+//! accounting), discard strategies that miss the performance floor, and
+//! recommend the cheapest survivor — with the reasoning shown, not just
+//! the verdict.
 
 use hcloud::{
     runner::{run_scenario, RunCtx},
-    RunConfig, RunResult, StrategyKind,
+    RunConfig, RunResult, StrategyRef, StrategyRegistry,
 };
 use hcloud_pricing::{commitment_cost, Rates, ReservedOnDemandPricing};
 use hcloud_sim::rng::RngFactory;
@@ -38,7 +39,7 @@ impl Default for AdviseOptions {
 #[derive(Debug, Clone)]
 pub struct Candidate {
     /// The strategy.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
     /// Mean normalized performance on the workload.
     pub perf: f64,
     /// Mean memcached p99 (µs), if the workload has latency-critical jobs.
@@ -58,17 +59,19 @@ pub struct Recommendation {
     pub pick: Option<usize>,
 }
 
-/// Evaluates every strategy on `scenario` and recommends one.
+/// Evaluates every registered strategy on `scenario` and recommends one.
 pub fn advise(scenario: &Scenario, options: &AdviseOptions, seed: u64) -> Recommendation {
     let rates = Rates::default();
     let pricing = ReservedOnDemandPricing::default();
     let duration = SimDuration::from_hours(options.weeks * 7 * 24);
     let factory = RngFactory::new(seed);
-    let candidates: Vec<Candidate> = StrategyKind::ALL
+    let candidates: Vec<Candidate> = StrategyRegistry::builtin()
+        .all()
         .iter()
-        .map(|&strategy| {
+        .map(|strategy| {
+            let strategy = strategy.clone();
             let r: RunResult =
-                run_scenario(scenario, &RunConfig::new(strategy), &RunCtx::new(&factory))
+                run_scenario(scenario, &RunConfig::new(&strategy), &RunCtx::new(&factory))
                     .expect("no auditor attached");
             let run_len = r.makespan.saturating_since(SimTime::ZERO);
             let cost = commitment_cost(&r.usage_records, &rates, &pricing, run_len, duration);
@@ -154,9 +157,16 @@ mod tests {
     }
 
     #[test]
-    fn advise_evaluates_all_strategies() {
+    fn advise_evaluates_all_registered_strategies() {
         let rec = advise(&scenario(), &AdviseOptions::default(), 3);
-        assert_eq!(rec.candidates.len(), 5);
+        assert_eq!(
+            rec.candidates.len(),
+            StrategyRegistry::builtin().all().len()
+        );
+        assert_eq!(rec.candidates.len(), 7);
+        let ids: Vec<&str> = rec.candidates.iter().map(|c| c.strategy.id()).collect();
+        assert!(ids.contains(&"reservation-autoscale"));
+        assert!(ids.contains(&"queueing-capacity"));
         assert!(rec.pick.is_some(), "some strategy should meet an 85% floor");
         for c in &rec.candidates {
             assert!(c.deployment_cost > 0.0);
@@ -197,11 +207,12 @@ mod tests {
             },
             3,
         );
-        let pick_short = short.candidates[short.pick.expect("pick")].strategy;
+        let pick_short = &short.candidates[short.pick.expect("pick")].strategy;
         // For a one-week deployment, paying a year of reservations upfront
         // can never win.
-        assert!(
-            !matches!(pick_short, StrategyKind::StaticReserved),
+        assert_ne!(
+            pick_short.id(),
+            "static-reserved",
             "SR picked for a 1-week deployment"
         );
     }

@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no CLI-framework dependency).
 
-use hcloud::{MappingPolicy, StrategyKind};
+use hcloud::{MappingPolicy, StrategyKind, StrategyRef};
 use hcloud_workloads::ScenarioKind;
 
 /// Top-level usage text.
@@ -26,7 +26,9 @@ common options:
   --seed <u64>                 master seed            [42]
 
 run options:
-  --strategy SR|OdF|OdM|HF|HM  strategy               [HM]
+  --strategy <id|short>        registered strategy    [HM]
+                               (SR|OdF|OdM|HF|HM|RA|QC or the registry
+                               id, e.g. reservation-autoscale)
   --no-profiling               disable Quasar info
   --policy P1..P8              mapping policy         [P8]
   --spot <bid>                 enable spot at this bid multiplier
@@ -49,7 +51,7 @@ advise options:
 tenants options:
   --tenants <n>                Zipf tenant count when the scenario
                                carries no tenancy section  [50]
-  --strategy SR|OdF|OdM|HF|HM  strategy               [HM]
+  --strategy <id|short>        registered strategy    [HM]
   --scenario-file <path>       load an exported JSON scenario (honors
                                its embedded tenancy section)
 
@@ -105,7 +107,7 @@ impl Default for AuditOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantsOptions {
     /// Strategy under test.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
     /// Zipf tenant count when the scenario has no tenancy section.
     pub tenants: usize,
     /// Path to an exported scenario to load instead of generating.
@@ -115,7 +117,7 @@ pub struct TenantsOptions {
 impl Default for TenantsOptions {
     fn default() -> Self {
         TenantsOptions {
-            strategy: StrategyKind::HybridMixed,
+            strategy: StrategyKind::HybridMixed.into(),
             tenants: 50,
             scenario_file: None,
         }
@@ -159,7 +161,7 @@ impl Default for Common {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Strategy under test.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
     /// Whether Quasar information is available.
     pub profiling: bool,
     /// Mapping policy.
@@ -179,7 +181,7 @@ pub struct RunOptions {
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
-            strategy: StrategyKind::HybridMixed,
+            strategy: StrategyKind::HybridMixed.into(),
             profiling: true,
             policy: MappingPolicy::Dynamic,
             spot_bid: None,
@@ -197,16 +199,12 @@ pub struct SweepOptions {
     /// Which knob to sweep.
     pub knob: String,
     /// Strategy to sweep it on.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
 }
 
-/// Parses a strategy short name.
-pub fn parse_strategy(s: &str) -> Result<StrategyKind, String> {
-    StrategyKind::ALL
-        .iter()
-        .copied()
-        .find(|k| k.short_name().eq_ignore_ascii_case(s))
-        .ok_or_else(|| format!("unknown strategy '{s}' (use SR|OdF|OdM|HF|HM)"))
+/// Parses a strategy id or short name against the builtin registry.
+pub fn parse_strategy(s: &str) -> Result<StrategyRef, String> {
+    s.parse::<StrategyRef>().map_err(|e| e.to_string())
 }
 
 /// Parses a scenario kind.
@@ -488,6 +486,25 @@ mod tests {
             parse(&v(&["audit", "--dir"])).is_err(),
             "--dir needs a value"
         );
+    }
+
+    #[test]
+    fn parses_registry_strategy_ids() {
+        // Registry ids and the new strategies' short names both resolve.
+        let c = parse(&v(&["run", "--strategy", "reservation-autoscale"])).unwrap();
+        let Command::Run(_, run) = c else {
+            panic!("expected run");
+        };
+        assert_eq!(run.strategy.id(), "reservation-autoscale");
+        let c = parse(&v(&["run", "--strategy", "QC"])).unwrap();
+        let Command::Run(_, run) = c else {
+            panic!("expected run");
+        };
+        assert_eq!(run.strategy.id(), "queueing-capacity");
+        // The error names the known ids.
+        let e = parse(&v(&["run", "--strategy", "bogus"])).unwrap_err();
+        assert!(e.contains("unknown strategy 'bogus'"), "{e}");
+        assert!(e.contains("hybrid-mixed"), "{e}");
     }
 
     #[test]

@@ -574,7 +574,7 @@ fn tenants(common: &Common, options: &TenantsOptions) -> Result<(), String> {
     let plan = scenario.tenancy().expect("tenancy attached").clone();
     plan.validate()?;
 
-    let config = RunConfig::new(options.strategy);
+    let config = RunConfig::new(&options.strategy);
     let r = run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
     let rates = Rates::default();
     let cost = r.cost(&rates, &PricingModel::aws());
@@ -583,7 +583,7 @@ fn tenants(common: &Common, options: &TenantsOptions) -> Result<(), String> {
         perfs.iter().filter(|&&p| p >= SLO_THRESHOLD).count() as f64 / perfs.len().max(1) as f64;
     println!(
         "{} on {}: {} tenants over a {}-core pool, seed {}\n",
-        options.strategy,
+        options.strategy.clone(),
         scenario.kind().name(),
         plan.tenants.len(),
         plan.pool_cores,
@@ -705,7 +705,7 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
         }
         None => build_scenario(common),
     };
-    let mut config = RunConfig::new(options.strategy)
+    let mut config = RunConfig::new(&options.strategy)
         .with_policy(options.policy)
         .with_profiling(options.profiling)
         .with_record_decisions(options.explain);
@@ -719,7 +719,7 @@ fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
     let factory = RngFactory::new(common.seed);
     let r = run_scenario(&scenario, &config, &RunCtx::new(&factory)).expect("no auditor attached");
     summarize(
-        &format!("{} on {}", options.strategy, scenario.kind().name()),
+        &format!("{} on {}", options.strategy.clone(), scenario.kind().name()),
         &r,
         &model,
     );
@@ -775,7 +775,7 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
     println!(
         "sweeping {} for {} on {}\n",
         options.knob,
-        options.strategy,
+        options.strategy.clone(),
         common.kind.name()
     );
     println!(
@@ -789,14 +789,14 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
             .iter()
             .map(|&s| {
                 let c =
-                    RunConfig::new(options.strategy).with_spin_up(SpinUpModel::with_mean_secs(s));
+                    RunConfig::new(&options.strategy).with_spin_up(SpinUpModel::with_mean_secs(s));
                 (format!("{s:.0}s"), c, None)
             })
             .collect(),
         "external" => [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
             .map(|&l| {
-                let c = RunConfig::new(options.strategy)
+                let c = RunConfig::new(&options.strategy)
                     .with_external_load(ExternalLoadModel::with_mean(l));
                 (format!("{:.0}%", l * 100.0), c, None)
             })
@@ -804,7 +804,7 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
         "retention" => [0.0, 1.0, 10.0, 100.0, 500.0]
             .iter()
             .map(|&m| {
-                let c = RunConfig::new(options.strategy).with_retention_mult(m);
+                let c = RunConfig::new(&options.strategy).with_retention_mult(m);
                 (format!("{m:.0}x"), c, None)
             })
             .collect(),
@@ -813,7 +813,7 @@ fn sweep(common: &Common, options: &SweepOptions) -> Result<(), String> {
             .map(|&f| {
                 (
                     format!("{:.0}%", f * 100.0),
-                    RunConfig::new(options.strategy),
+                    RunConfig::new(&options.strategy),
                     Some(f),
                 )
             })

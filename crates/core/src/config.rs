@@ -7,7 +7,7 @@ use hcloud_sim::{SimDuration, SimTime};
 use hcloud_workloads::Scenario;
 
 use crate::mapping::MappingPolicy;
-use crate::strategy::StrategyKind;
+use crate::strategy::{ReservedSizingCtx, StrategyRef};
 
 /// Spot-instance usage policy (the Section 5.5 extension): hybrids may
 /// run tolerant, non-critical batch jobs on deeply discounted spot
@@ -83,7 +83,7 @@ impl DataLocalityModel {
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// The provisioning strategy under test.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
     /// The job-mapping policy (consulted by hybrid strategies only).
     pub policy: MappingPolicy,
     /// Whether Quasar profiling/classification information is available
@@ -143,10 +143,12 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    /// The paper-default configuration for `strategy`.
-    pub fn new(strategy: StrategyKind) -> RunConfig {
+    /// The paper-default configuration for `strategy` — a
+    /// [`crate::StrategyKind`], a [`StrategyRef`], or anything else that
+    /// converts into one.
+    pub fn new(strategy: impl Into<StrategyRef>) -> RunConfig {
         RunConfig {
-            strategy,
+            strategy: strategy.into(),
             policy: MappingPolicy::Dynamic,
             profiling: true,
             retention_mult: 10.0,
@@ -275,9 +277,10 @@ impl RunConfig {
         self
     }
 
-    /// The reserved cores this strategy provisions for `scenario`:
-    /// peak × (1 + overprovisioning) for SR, the steady-state minimum for
-    /// the hybrids, zero for the on-demand strategies (Sections 3.1, 4.1).
+    /// The reserved cores this strategy provisions for `scenario`,
+    /// delegated to the strategy's sizing hook: peak × (1 +
+    /// overprovisioning) for SR, the steady-state minimum for the
+    /// hybrids, zero for the on-demand strategies (Sections 3.1, 4.1).
     pub fn reserved_cores(&self, scenario: &Scenario) -> u32 {
         if let Some(o) = self.reserved_cores_override {
             return o;
@@ -299,23 +302,20 @@ impl RunConfig {
             min = min.min(v);
             t += step;
         }
-        match self.strategy {
-            StrategyKind::StaticReserved => {
-                let over = if self.profiling {
-                    self.overprovision
-                } else {
-                    self.overprovision_unprofiled
-                };
-                (peak * (1.0 + over)).ceil() as u32
-            }
-            _ => min.ceil() as u32,
-        }
+        self.strategy.reserved_cores(&ReservedSizingCtx {
+            peak_cores: peak,
+            min_cores: min,
+            profiling: self.profiling,
+            overprovision: self.overprovision,
+            overprovision_unprofiled: self.overprovision_unprofiled,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::StrategyKind;
     use hcloud_sim::rng::RngFactory;
     use hcloud_workloads::{ScenarioConfig, ScenarioKind};
 

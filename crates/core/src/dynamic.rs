@@ -114,6 +114,22 @@ impl DynamicLimits {
         }
     }
 
+    /// Sets the soft limit directly (strategy-driven adaptation, e.g.
+    /// the blocking-threshold controller), clamped to the same
+    /// `[min, max]` band the feedback loop honours and recorded in the
+    /// trace like [`DynamicLimits::observe_queue`] adjustments.
+    pub fn set_soft(&mut self, soft: f64, now: SimTime) {
+        self.soft = soft.clamp(self.min_soft, self.max_soft);
+        self.last_adjust = now;
+        if self
+            .trace
+            .last()
+            .is_none_or(|&(_, v)| (v - self.soft).abs() > 1e-9)
+        {
+            self.trace.push((now, self.soft));
+        }
+    }
+
     /// The `(time, soft limit)` trace (Figure 9 left).
     pub fn trace(&self) -> &[(SimTime, f64)] {
         &self.trace
@@ -196,5 +212,24 @@ mod tests {
     #[should_panic(expected = "invalid limits")]
     fn rejects_inverted_limits() {
         DynamicLimits::new(0.9, 0.8);
+    }
+
+    #[test]
+    fn set_soft_clamps_and_traces() {
+        let mut d = DynamicLimits::default();
+        d.set_soft(0.05, SimTime::from_secs(10));
+        assert!((d.soft() - 0.30).abs() < 1e-12, "clamped to min");
+        d.set_soft(0.99, SimTime::from_secs(20));
+        assert!(
+            (d.soft() - (d.hard() - 0.02)).abs() < 1e-12,
+            "clamped to max"
+        );
+        d.set_soft(0.5, SimTime::from_secs(30));
+        assert!((d.soft() - 0.5).abs() < 1e-12);
+        assert_eq!(d.trace().last(), Some(&(SimTime::from_secs(30), 0.5)));
+        // A no-op set does not grow the trace.
+        let len = d.trace().len();
+        d.set_soft(0.5, SimTime::from_secs(40));
+        assert_eq!(d.trace().len(), len);
     }
 }

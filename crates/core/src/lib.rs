@@ -6,9 +6,12 @@
 //! map where, using Quasar-style estimates of each job's resource
 //! preferences and interference sensitivity.
 //!
-//! * [`strategy`] — the five provisioning strategies of Table 3:
-//!   statically reserved (SR), on-demand full-servers (OdF), on-demand
-//!   mixed sizes (OdM), and the hybrids (HF, HM);
+//! * [`strategy`] — the pluggable [`strategy::ProvisioningStrategy`]
+//!   trait and its [`strategy::StrategyRegistry`]: the paper's five
+//!   strategies of Table 3 — statically reserved (SR), on-demand
+//!   full-servers (OdF), on-demand mixed sizes (OdM), the hybrids (HF,
+//!   HM) — plus the theory-grounded `reservation-autoscale` (RA) and
+//!   `queueing-capacity` (QC) extensions;
 //! * [`mapping`] — the application-mapping policies P1–P8 of Section 4.2
 //!   (random, quality thresholds, static utilization limits, and the
 //!   dynamic policy);
@@ -55,4 +58,7 @@ pub use config::RunConfig;
 pub use mapping::MappingPolicy;
 pub use placement::{InstanceHandle, PlacementQuery, SearchPolicy};
 pub use result::{JobOutcome, RunResult};
-pub use strategy::StrategyKind;
+pub use strategy::{
+    PlacementCtx, ProvisioningStrategy, ReservedSizingCtx, RetentionCtx, RetentionDecision,
+    StrategyId, StrategyKind, StrategyRef, StrategyRegistry, UnknownStrategy,
+};

@@ -8,7 +8,7 @@ use hcloud_sim::{SimDuration, SimTime};
 use hcloud_tenancy::{jain, TenantStat};
 use hcloud_workloads::{AppClass, JobId};
 
-use crate::strategy::StrategyKind;
+use crate::strategy::StrategyRef;
 
 /// Per-job outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,7 +199,7 @@ pub struct UtilizationSample {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The strategy that ran.
-    pub strategy: StrategyKind,
+    pub strategy: StrategyRef,
     /// Per-job outcomes, in arrival order.
     pub outcomes: Vec<JobOutcome>,
     /// Billing records.
@@ -365,7 +365,7 @@ mod tests {
 
     fn result(outcomes: Vec<JobOutcome>) -> RunResult {
         RunResult {
-            strategy: StrategyKind::HybridMixed,
+            strategy: crate::strategy::StrategyKind::HybridMixed.into(),
             outcomes,
             usage_records: vec![],
             makespan: SimTime::from_secs(7200),

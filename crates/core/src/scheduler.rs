@@ -43,7 +43,7 @@ use crate::result::{
     JobOutcome, PlacementDecision, PlacementReason, RunCounters, RunResult, UtilizationSample,
     WaitSample,
 };
-use crate::strategy::StrategyKind;
+use crate::strategy::{PlacementCtx, ProvisioningStrategy, RetentionCtx, RetentionDecision};
 
 /// Discrete events driving the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +211,11 @@ struct DeferredAdmit {
 pub struct Scheduler<'a> {
     scenario: &'a Scenario,
     config: &'a RunConfig,
+    /// The per-run strategy instance (see
+    /// [`ProvisioningStrategy::fresh_run`]). `Option` only so `&mut`
+    /// hooks can be called while the scheduler is borrowed: hook sites
+    /// `take()` the box, call in, and put it back before returning.
+    strategy: Option<Box<dyn ProvisioningStrategy>>,
     cloud: Cloud,
     quasar: Option<QuasarEngine>,
     profiled_classes: Vec<AppClass>,
@@ -366,6 +371,7 @@ impl<'a> Scheduler<'a> {
         Scheduler {
             scenario,
             config,
+            strategy: Some(config.strategy.fresh_run()),
             cloud,
             quasar,
             profiled_classes: Vec::new(),
@@ -410,6 +416,14 @@ impl<'a> Scheduler<'a> {
     /// Reserved cores provisioned.
     pub fn reserved_cores(&self) -> u32 {
         self.reserved_total
+    }
+
+    /// The per-run strategy instance, for immutable hook queries
+    /// (flags). `&mut` hooks take/put the box instead.
+    fn strat(&self) -> &dyn ProvisioningStrategy {
+        self.strategy
+            .as_deref()
+            .expect("strategy present outside hook calls")
     }
 
     /// Jobs still running, queued, or held at the tenancy gate. Keeping
@@ -534,6 +548,9 @@ impl<'a> Scheduler<'a> {
     /// Estimates a job's needs: Quasar when profiling info is on,
     /// user-reservation defaults otherwise.
     fn estimate(&mut self, spec: &JobSpec) -> JobEstimate {
+        // Profiling on small shared instances (the only kind OdM holds)
+        // yields noisier signals.
+        let noisy = self.strat().profiles_noisily();
         match self.quasar.as_mut() {
             Some(engine) => {
                 if !self.profiled_classes.contains(&spec.class) {
@@ -541,9 +558,7 @@ impl<'a> Scheduler<'a> {
                     self.counters.profiled += 1;
                 }
                 self.counters.classified += 1;
-                // Profiling on small shared instances (the only kind OdM
-                // holds) yields noisier signals.
-                let env = if self.config.strategy == StrategyKind::OnDemandMixed {
+                let env = if noisy {
                     ProfilingEnvironment::noisy()
                 } else {
                     ProfilingEnvironment::clean()
@@ -737,7 +752,7 @@ impl<'a> Scheduler<'a> {
         // job, prefer the side where the data lives (if the policy's
         // choice disagrees and the job can run there).
         if let Some(data) = self.config.data {
-            if data.data_aware_placement && self.config.strategy.is_hybrid() {
+            if data.data_aware_placement && self.strat().is_hybrid() {
                 let spec = &self.scenario.jobs()[idx];
                 let transfer = data.transfer_delay(spec.dataset_gb());
                 let heavy = transfer.as_secs_f64() > 0.25 * spec.ideal_duration().as_secs_f64();
@@ -770,7 +785,7 @@ impl<'a> Scheduler<'a> {
                 PlacementReason::DataLocality
             } else if spot {
                 PlacementReason::Spot
-            } else if self.config.strategy.is_hybrid()
+            } else if self.strat().is_hybrid()
                 && self.config.policy == crate::mapping::MappingPolicy::Dynamic
             {
                 match placement {
@@ -798,7 +813,7 @@ impl<'a> Scheduler<'a> {
                 // The Q90-vs-QT comparison the dynamic policy makes: Q90 of
                 // the on-demand type this job would get, against the job's
                 // quality target. NaN (=> null) when no monitor is consulted.
-                let q90 = if self.config.strategy.is_hybrid() {
+                let q90 = if self.strat().is_hybrid() {
                     let spec = &self.scenario.jobs()[idx];
                     self.monitor.q90(self.od_itype_for(est, spec.class))
                 } else {
@@ -849,9 +864,10 @@ impl<'a> Scheduler<'a> {
                 }
             }
             Placement::OnDemand => {
-                if self.config.strategy.on_demand_full_only()
-                    || self.config.strategy == StrategyKind::StaticReserved
-                {
+                // Full-only strategies pool full servers; strategies
+                // that never buy on-demand (SR) fall back to the pool
+                // path too when QoS actions force an acquisition.
+                if self.strat().on_demand_full_only() || !self.strat().uses_on_demand() {
                     self.place_od_pool(idx, est, now, wait, carry, events);
                 } else {
                     self.place_od_dedicated(idx, est, class, now, wait, carry, events);
@@ -866,49 +882,51 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Decides between reserved and on-demand for this strategy.
+    /// Decides between reserved and on-demand via the strategy's
+    /// placement hook.
     fn decide_placement(&mut self, idx: usize, est: &JobEstimate, now: SimTime) -> Placement {
-        match self.config.strategy {
-            StrategyKind::StaticReserved => Placement::Reserved,
-            StrategyKind::OnDemandFull | StrategyKind::OnDemandMixed => Placement::OnDemand,
-            StrategyKind::HybridFull | StrategyKind::HybridMixed => {
-                let spec = &self.scenario.jobs()[idx];
-                let od_itype = self.od_itype_for(est, spec.class);
-                let ctx = MappingContext {
-                    reserved_utilization: self.reserved_utilization(),
-                    job_quality: est.quality,
-                    od_itype,
-                    job_cores: est.cores,
-                    queue_len: self.queue.len(),
-                    expected_spinup_large: self
-                        .config
-                        .cloud
-                        .spin_up
-                        .expected(InstanceType::full_server()),
-                    monitor: &self.monitor,
-                    limits: &self.limits,
-                    queue_estimator: &self.queue_est,
-                    now,
-                };
-                // Graceful degradation: while the QoS monitor signal is
-                // dropped out, the dynamic policy cannot trust its Q90
-                // data, so it falls back to the static soft-limit rule.
-                let policy = if self.monitor_dropped
-                    && self.config.policy == crate::mapping::MappingPolicy::Dynamic
-                {
-                    crate::mapping::MappingPolicy::UtilizationLimit(self.limits.soft())
-                } else {
-                    self.config.policy
-                };
-                policy.decide(&ctx, &mut self.mapping_rng)
-            }
-        }
+        let spec = &self.scenario.jobs()[idx];
+        let od_itype = self.od_itype_for(est, spec.class);
+        // Graceful degradation: while the QoS monitor signal is dropped
+        // out, the dynamic policy cannot trust its Q90 data, so it
+        // falls back to the static soft-limit rule.
+        let policy = if self.monitor_dropped
+            && self.config.policy == crate::mapping::MappingPolicy::Dynamic
+        {
+            crate::mapping::MappingPolicy::UtilizationLimit(self.limits.soft())
+        } else {
+            self.config.policy
+        };
+        let mut strategy = self.strategy.take().expect("strategy present");
+        let ctx = PlacementCtx {
+            mapping: MappingContext {
+                reserved_utilization: self.reserved_utilization(),
+                job_quality: est.quality,
+                od_itype,
+                job_cores: est.cores,
+                queue_len: self.queue.len(),
+                expected_spinup_large: self
+                    .config
+                    .cloud
+                    .spin_up
+                    .expected(InstanceType::full_server()),
+                monitor: &self.monitor,
+                limits: &self.limits,
+                queue_estimator: &self.queue_est,
+                now,
+            },
+            policy,
+            reserved_cores: self.reserved_total,
+        };
+        let placement = strategy.place(&ctx, &mut self.mapping_rng);
+        self.strategy = Some(strategy);
+        placement
     }
 
     /// The on-demand instance type this job would be offered: a full
     /// server for full-only strategies, a per-job-sized instance otherwise.
     fn od_itype_for(&self, est: &JobEstimate, class: AppClass) -> InstanceType {
-        if self.config.strategy.on_demand_full_only() {
+        if self.strat().on_demand_full_only() {
             InstanceType::full_server()
         } else {
             self.dedicated_itype(est, class)
@@ -1169,7 +1187,7 @@ impl<'a> Scheduler<'a> {
         // paid for whether used or not, and deliver full-server quality;
         // fill them first. OdM has no such pool — the paper's OdM
         // requests the smallest instance per job.
-        if self.config.strategy.is_hybrid() {
+        if self.strat().is_hybrid() {
             let query = PlacementQuery {
                 family: Family::Standard,
                 min_cores: est.cores,
@@ -1415,7 +1433,7 @@ impl<'a> Scheduler<'a> {
     fn spot_eligible(&self, spec: &JobSpec, est: &JobEstimate) -> bool {
         match self.config.spot {
             Some(policy) => {
-                self.config.strategy.is_hybrid()
+                self.strat().is_hybrid()
                     && self.config.profiling
                     && !spec.class.is_latency_metric()
                     && !spec.class.is_sensitive()
@@ -1813,7 +1831,7 @@ impl<'a> Scheduler<'a> {
     /// far beyond the expected spin-up, reroute to a large on-demand
     /// instance.
     fn relieve_starving_queue(&mut self, now: SimTime, events: &mut impl EventSink<Event>) {
-        if !self.config.strategy.is_hybrid() {
+        if !self.strat().is_hybrid() {
             return;
         }
         let spinup = self
@@ -2082,19 +2100,22 @@ impl<'a> Scheduler<'a> {
             )
         };
         let quality = self.cloud.delivered_quality(cloud_id, now);
-        let threshold = self.config.quality_retention_threshold;
-        // Without profiling there is no quality signal to act on, so
-        // everything is retained.
-        let release_now = self.config.profiling && quality < threshold;
-        if release_now {
-            // Poorly-performing instance: release immediately.
-            self.counters.od_released_immediately += 1;
-            self.release_instance(h, now);
-            return;
-        }
-        let retention = spin_up
-            .mul_f64(self.config.retention_mult)
-            .max(SimDuration::from_secs(1));
+        let decision = self.strat().retention(&RetentionCtx {
+            spin_up,
+            delivered_quality: quality,
+            profiling: self.config.profiling,
+            retention_mult: self.config.retention_mult,
+            quality_retention_threshold: self.config.quality_retention_threshold,
+        });
+        let retention = match decision {
+            RetentionDecision::ReleaseNow => {
+                // Poorly-performing instance: release immediately.
+                self.counters.od_released_immediately += 1;
+                self.release_instance(h, now);
+                return;
+            }
+            RetentionDecision::Retain(d) => d,
+        };
         let inst = self.inst_mut(h);
         inst.retention_token += 1;
         let token = inst.retention_token;
@@ -2187,7 +2208,7 @@ impl<'a> Scheduler<'a> {
                 TraceKind::FaultMonitorDropout { active: dropped }
             );
             if self.config.policy == crate::mapping::MappingPolicy::Dynamic
-                && self.config.strategy.is_hybrid()
+                && self.strat().is_hybrid()
             {
                 if dropped {
                     self.counters.policy_fallbacks += 1;
@@ -2225,8 +2246,12 @@ impl<'a> Scheduler<'a> {
             self.tick_tenancy(now, events)?;
         }
 
-        // 3. Feedback loops.
-        self.limits.observe_queue(self.queue.len(), now);
+        // 3. Feedback loops, starting with the strategy's soft-limit
+        // adaptation hook (the paper's linear transfer functions by
+        // default).
+        let mut strategy = self.strategy.take().expect("strategy present");
+        strategy.adapt_limits(&mut self.limits, self.queue.len(), now);
+        self.strategy = Some(strategy);
         self.relieve_starving_queue(now, events);
         self.consolidate_od_pool(now, events)?;
 
@@ -2262,7 +2287,7 @@ impl<'a> Scheduler<'a> {
         now: SimTime,
         events: &mut impl EventSink<Event>,
     ) -> Result<(), AuditViolation> {
-        if !self.config.strategy.is_hybrid() || !self.config.profiling {
+        if !self.strat().is_hybrid() || !self.config.profiling {
             return Ok(());
         }
         // The on-demand pool index (spot included, matching the old
@@ -2504,7 +2529,7 @@ impl<'a> Scheduler<'a> {
             self.release_instance(h, makespan.max(SimTime::ZERO));
         }
         RunResult {
-            strategy: self.config.strategy,
+            strategy: self.config.strategy.clone(),
             outcomes: self.outcomes,
             usage_records: self.cloud.usage_records(makespan),
             makespan,
@@ -2529,6 +2554,7 @@ impl<'a> Scheduler<'a> {
 mod tests {
     use super::*;
     use crate::config::SpotPolicy;
+    use crate::strategy::StrategyKind;
     use hcloud_sim::event::EventQueue;
     use hcloud_tenancy::{TenancyPlan, TenantSpec};
     use hcloud_workloads::{ScenarioConfig, ScenarioKind};
