@@ -125,6 +125,20 @@ pub enum AuditViolationKind {
     /// with instance-seconds billed by the provider's usage records
     /// (in exact micro-vCPU-seconds).
     InstanceSecondsMismatch { observed: u128, billed: u128 },
+    /// End of run: the spot partition of the observed instance-seconds
+    /// disagrees with the spot-flagged usage records billed by the
+    /// provider — spot work billed at on-demand rates or vice versa.
+    SpotSecondsMismatch { observed: u128, billed: u128 },
+    /// A duration measurement ran backwards (`now` precedes the
+    /// timestamp it is measured from) — the silent-underflow class that
+    /// `saturating_since` clamps to zero; reported by the scheduler's
+    /// checked arithmetic.
+    TimeInversion {
+        job: u64,
+        context: &'static str,
+        at_us: u64,
+        earlier_us: u64,
+    },
     /// More queue exits than queue entries, or entries left unmatched at
     /// end of run.
     QueueConservation { entered: u64, left: u64 },
@@ -204,6 +218,19 @@ impl fmt::Display for AuditViolationKind {
                 f,
                 "billing mismatch: {observed} micro-vCPU-seconds observed vs {billed} billed"
             ),
+            SpotSecondsMismatch { observed, billed } => write!(
+                f,
+                "spot billing mismatch: {observed} spot micro-vCPU-seconds observed vs {billed} billed as spot"
+            ),
+            TimeInversion {
+                job,
+                context,
+                at_us,
+                earlier_us,
+            } => write!(
+                f,
+                "time inversion in {context} for job {job}: now {at_us}us precedes reference {earlier_us}us"
+            ),
             QueueConservation { entered, left } => write!(
                 f,
                 "queue not conserved: {entered} entries vs {left} exits"
@@ -234,6 +261,7 @@ struct InstanceState {
     acquired: SimTime,
     released: Option<SimTime>,
     bound: u32,
+    spot: bool,
 }
 
 /// End-of-run ledger totals, for audit trace events and tests.
@@ -281,6 +309,9 @@ struct Ledgers {
     /// so auditor users that predate tenancy are unaffected.
     tenants: BTreeMap<Option<u64>, TenantLedger>,
     tenant_tracking: bool,
+    /// Spot partition of the billed micro-vCPU-seconds, fed by the
+    /// runner from the spot-flagged usage records before `finalize`.
+    spot_billed_micro_vcpu_secs: u128,
     violations: Vec<AuditViolation>,
 }
 
@@ -515,6 +546,16 @@ impl Auditor {
 
     /// An instance was acquired from the provider (billing starts).
     pub fn instance_acquired(&self, at: SimTime, instance: u64, vcpus: u32) {
+        self.track_acquire(at, instance, vcpus, false);
+    }
+
+    /// A spot instance was acquired; its seconds land in the spot
+    /// billing partition reconciled at [`Auditor::finalize`].
+    pub fn instance_acquired_spot(&self, at: SimTime, instance: u64, vcpus: u32) {
+        self.track_acquire(at, instance, vcpus, true);
+    }
+
+    fn track_acquire(&self, at: SimTime, instance: u64, vcpus: u32, spot: bool) {
         if !self.is_enabled() {
             return;
         }
@@ -530,8 +571,19 @@ impl Auditor {
                 acquired: at,
                 released: None,
                 bound: 0,
+                spot,
             },
         );
+    }
+
+    /// The spot partition of the billed micro-vCPU-seconds (Σ over
+    /// spot-flagged usage records of `(to - from) × vcpus`). Call once
+    /// before [`Auditor::finalize`]; runs without spot usage may skip it.
+    pub fn spot_billed(&self, micro_vcpu_secs: u128) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.borrow_mut().spot_billed_micro_vcpu_secs = micro_vcpu_secs;
     }
 
     /// `cores` were bound to a job on `instance`.
@@ -735,6 +787,7 @@ impl Auditor {
             );
         }
         let mut observed: u128 = 0;
+        let mut observed_spot: u128 = 0;
         let mut leaks: Vec<(u64, u32)> = Vec::new();
         for (&id, st) in &l.instances {
             // Same clipping arithmetic as `Cloud::usage_records`.
@@ -743,7 +796,11 @@ impl Auditor {
                 .unwrap_or(makespan)
                 .min(makespan)
                 .max(st.acquired);
-            observed += (to.saturating_since(st.acquired).as_micros() as u128) * st.vcpus as u128;
+            let micro = (to.saturating_since(st.acquired).as_micros() as u128) * st.vcpus as u128;
+            observed += micro;
+            if st.spot {
+                observed_spot += micro;
+            }
             if st.bound != 0 {
                 leaks.push((id, st.bound));
             }
@@ -757,6 +814,16 @@ impl Auditor {
                 AuditViolationKind::InstanceSecondsMismatch {
                     observed,
                     billed: billed_micro_vcpu_secs,
+                },
+            );
+        }
+        if observed_spot != l.spot_billed_micro_vcpu_secs {
+            let billed = l.spot_billed_micro_vcpu_secs;
+            l.violate(
+                makespan,
+                AuditViolationKind::SpotSecondsMismatch {
+                    observed: observed_spot,
+                    billed,
                 },
             );
         }
@@ -1096,5 +1163,103 @@ mod tests {
                 completed: 0
             }
         ));
+    }
+
+    #[test]
+    fn spot_partition_reconciles_when_fed() {
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired(t(0), 0, 16);
+        a.instance_acquired_spot(t(2), 1, 8);
+        a.instance_released(t(10), 0);
+        a.instance_released(t(7), 1);
+        let od = 10_000_000u128 * 16;
+        let spot = 5_000_000u128 * 8;
+        a.spot_billed(spot);
+        a.finalize(t(12), od + spot, 0.0).unwrap();
+    }
+
+    #[test]
+    fn spot_seconds_billed_as_on_demand_fail_finalize() {
+        // A spot instance whose seconds were never fed through
+        // `spot_billed` — i.e. billed at the on-demand rate.
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired_spot(t(0), 1, 4);
+        a.instance_released(t(10), 1);
+        let err = a.finalize(t(12), 10_000_000u128 * 4, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::SpotSecondsMismatch { billed: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn on_demand_seconds_billed_as_spot_fail_finalize() {
+        let a = Auditor::new(AuditMode::Final);
+        a.instance_acquired(t(0), 1, 4);
+        a.instance_released(t(10), 1);
+        a.spot_billed(10_000_000u128 * 4);
+        let err = a.finalize(t(12), 10_000_000u128 * 4, 0.0).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AuditViolationKind::SpotSecondsMismatch { observed: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn time_inversion_violation_formats_context() {
+        let v = AuditViolation::new(
+            t(5),
+            AuditViolationKind::TimeInversion {
+                job: 42,
+                context: "completion time",
+                at_us: 100,
+                earlier_us: 900,
+            },
+        );
+        let msg = format!("{v}");
+        assert!(msg.contains("completion time"), "{msg}");
+        assert!(msg.contains("job 42"), "{msg}");
+    }
+
+    mod long_horizon_exactness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The u128 micro-vCPU-second path stays exact over ~500 h
+            /// horizons and hundreds of instances: the ledger's observed
+            /// total equals an independently-summed billed total with
+            /// `==`, never a float tolerance. (500 h = 1.8e9 µs; times
+            /// 64 vCPUs × hundreds of instances overflows u64 × u32
+            /// products unless everything stays in u128.)
+            #[test]
+            fn billed_micro_vcpu_seconds_stay_exact(
+                spans in prop::collection::vec(
+                    (0u64..1_800_000u64, 1u64..1_800_000u64, 1u32..64u32, any::<bool>()),
+                    1..200,
+                )
+            ) {
+                let a = Auditor::new(AuditMode::Final);
+                let horizon = 1_800_000u64; // 500 h in seconds
+                let mut billed: u128 = 0;
+                let mut spot_billed: u128 = 0;
+                for (i, &(from, len, vcpus, spot)) in spans.iter().enumerate() {
+                    let to = (from + len).min(horizon);
+                    if spot {
+                        a.instance_acquired_spot(t(from), i as u64, vcpus);
+                    } else {
+                        a.instance_acquired(t(from), i as u64, vcpus);
+                    }
+                    a.instance_released(t(to), i as u64);
+                    let micro = (to - from) as u128 * 1_000_000u128 * vcpus as u128;
+                    billed += micro;
+                    if spot {
+                        spot_billed += micro;
+                    }
+                }
+                a.spot_billed(spot_billed);
+                a.finalize(t(horizon), billed, 0.0).unwrap();
+            }
+        }
     }
 }

@@ -146,6 +146,20 @@ experiments! {
         fault_covered: true,
         ci_job: "smoke",
     }
+    EXT_LONG_HORIZON => {
+        id: "ext_long_horizon",
+        paper_ref: "§5.5 long-horizon + spot market",
+        kind: ExperimentKind::Extension,
+        claim: "DSL-authored multi-week demand shapes run digest-pinned under HM, and spot-market preemption recovers through the fault-requeue path with an exactly reconciled billing partition",
+        scenarios: "dsl-diurnal dsl-flash-crowd dsl-batch-burst",
+        strategies: "HM",
+        artifacts: &["ext_long_horizon"],
+        golden: Some("crates/bench/goldens/ext_long_horizon_fast.json"),
+        trace_covered: false,
+        audit_covered: true,
+        fault_covered: true,
+        ci_job: "long-horizon",
+    }
     EXT_MULTI_TENANT => {
         id: "ext_multi_tenant",
         paper_ref: "§6 shared-cluster extension",
@@ -616,6 +630,7 @@ mod tests {
             "manual",
             "tenancy",
             "theory",
+            "long-horizon",
         ]
         .into_iter()
         .collect();

@@ -14,6 +14,7 @@ commands:
   export    generate a scenario and write it to JSON
   advise    recommend the cheapest strategy meeting a performance floor
   tenants   run a multi-tenant scenario and render the fair-share report
+  validate  check a scenario file (exported or long-horizon DSL)
   trace     replay a recorded JSONL trace as a readable timeline
   audit     replay recorded traces through the conservation auditor
   faults    list the built-in fault-injection plans (HCLOUD_FAULTS)
@@ -55,6 +56,10 @@ tenants options:
   --scenario-file <path>       load an exported JSON scenario (honors
                                its embedded tenancy section)
 
+validate options:
+  --file <path>                scenario JSON to check: an export or a
+                               long-horizon DSL document (schema_version)
+
 trace options:
   --file <path>                trace to replay (results/traces/*.jsonl)
   --limit <n>                  show at most n events
@@ -78,6 +83,9 @@ pub enum Command {
     /// `tenants`: run a multi-tenant scenario, render the fair-share
     /// report.
     Tenants(Common, TenantsOptions),
+    /// `validate`: check a scenario file (exported or DSL) and report
+    /// what it contains.
+    Validate(String),
     /// `trace`: replay a recorded JSONL trace as a readable timeline.
     Trace(TraceOptions),
     /// `audit`: replay recorded traces through the conservation auditor.
@@ -330,6 +338,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 },
             ))
         }
+        "validate" => {
+            let file = trace_file.ok_or("validate needs --file")?;
+            Ok(Command::Validate(file))
+        }
         "trace" => {
             let file = trace_file.ok_or("trace needs --file")?;
             Ok(Command::Trace(TraceOptions {
@@ -462,6 +474,13 @@ mod tests {
         assert_eq!(t.limit, Some(25));
         assert!(parse(&v(&["trace"])).is_err(), "trace needs --file");
         assert!(parse(&v(&["trace", "--file", "t", "--limit", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_validate() {
+        let c = parse(&v(&["validate", "--file", "scenario.json"])).unwrap();
+        assert_eq!(c, Command::Validate("scenario.json".into()));
+        assert!(parse(&v(&["validate"])).is_err(), "validate needs --file");
     }
 
     #[test]

@@ -18,7 +18,8 @@ use hcloud_sim::rng::RngFactory;
 use hcloud_sim::{SimDuration, SimTime};
 use hcloud_tenancy::{QueueState, TenancyPlan, TenantSpec};
 use hcloud_workloads::{
-    AppClass, JobId, JobKind, JobSpec, LatencyModel, Scenario, ScenarioConfig, ScenarioKind,
+    AppClass, DemandCurve, JobId, JobKind, JobSpec, LatencyModel, Scenario, ScenarioConfig,
+    ScenarioDsl, ScenarioKind,
 };
 
 use crate::args::{Command, Common, RunOptions, SweepOptions, TenantsOptions};
@@ -93,6 +94,14 @@ mod scenario_json {
             );
         if let Some(f) = c.sensitive_fraction {
             config = config.set("sensitive_fraction", f);
+        }
+        if let Some(curve) = &c.curve {
+            let points: Vec<Value> = curve
+                .points()
+                .iter()
+                .map(|&(m, cores)| Value::Array(vec![m.into(), cores.into()]))
+                .collect();
+            config = config.set("curve", points);
         }
         let jobs: Vec<Value> = file
             .jobs
@@ -249,6 +258,25 @@ mod scenario_json {
                 target_utilization: get_f64(lm, "target_utilization")?,
                 max_utilization: get_f64(lm, "max_utilization")?,
             },
+            curve: match c.get("curve") {
+                None | Some(Value::Null) => None,
+                Some(pts) => {
+                    let raw = pts.as_array().ok_or("field 'curve' is not an array")?;
+                    let mut points = Vec::with_capacity(raw.len());
+                    for p in raw {
+                        let pair = p
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or("curve entry is not a [minute, cores] pair")?;
+                        let num = |slot: &Value| {
+                            slot.as_f64()
+                                .ok_or("curve entry is not a [minute, cores] pair".to_string())
+                        };
+                        points.push((num(&pair[0])?, num(&pair[1])?));
+                    }
+                    Some(DemandCurve::new(points).map_err(|e| format!("curve: {e}"))?)
+                }
+            },
         };
         let jobs = required(v, "jobs")?
             .as_array()
@@ -311,6 +339,77 @@ fn scenario_from_file(file: ScenarioFile) -> Scenario {
         Some(plan) => scenario.with_tenancy(plan),
         None => scenario,
     }
+}
+
+/// A scenario loaded from disk: either an exported [`ScenarioFile`] or
+/// a long-horizon DSL document (told apart by the `schema_version` key).
+#[derive(Debug)]
+struct LoadedScenario {
+    scenario: Scenario,
+    /// Spot section carried by a DSL document, mapped onto the run
+    /// layer's policy. Exported files never carry one.
+    spot: Option<SpotPolicy>,
+    /// One-line description of what was loaded.
+    summary: String,
+}
+
+/// Reads a scenario file, accepting both formats. DSL documents are
+/// compiled and their job stream generated from `seed`; exported files
+/// replay their recorded jobs verbatim.
+fn load_scenario(path: &str, seed: u64) -> Result<LoadedScenario, String> {
+    let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+    if v.get("schema_version").is_some() {
+        let dsl = ScenarioDsl::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
+        let spot = dsl.spot.map(|s| SpotPolicy {
+            bid_multiplier: s.bid_multiplier,
+            max_quality: s.max_quality,
+        });
+        let scenario = dsl.generate(&RngFactory::new(seed));
+        let summary = format!(
+            "DSL scenario '{}': {} family, {:.1} simulated days, {} jobs{}",
+            dsl.name,
+            dsl.family.kind_name(),
+            dsl.family.duration().as_hours_f64() / 24.0,
+            scenario.jobs().len(),
+            if spot.is_some() {
+                ", spot market on"
+            } else {
+                ", on-demand only"
+            }
+        );
+        Ok(LoadedScenario {
+            scenario,
+            spot,
+            summary,
+        })
+    } else {
+        let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
+        let summary = format!(
+            "exported scenario: {} kind, {} jobs{}",
+            file.config.kind.name(),
+            file.jobs.len(),
+            if file.tenancy.is_some() {
+                ", with tenancy section"
+            } else {
+                ""
+            }
+        );
+        Ok(LoadedScenario {
+            scenario: scenario_from_file(file),
+            spot: None,
+            summary,
+        })
+    }
+}
+
+/// `validate`: checks a scenario file of either format and reports what
+/// it contains. Malformed files surface the failing field; `main` maps
+/// the error onto exit code 2.
+pub fn validate_file(path: &str) -> Result<(), String> {
+    let loaded = load_scenario(path, Common::default().seed)?;
+    println!("ok: {}", loaded.summary);
+    Ok(())
 }
 
 fn build_scenario(common: &Common) -> Scenario {
@@ -385,6 +484,7 @@ pub fn run(command: Command) -> Result<(), String> {
         Command::Run(common, options) => run_one(&common, &options),
         Command::Sweep(common, options) => sweep(&common, &options),
         Command::Export(common, out) => export(&common, &out),
+        Command::Validate(file) => validate_file(&file),
         Command::Trace(options) => trace(&options),
         Command::Audit(options) => audit(&options),
         Command::Faults => {
@@ -553,12 +653,7 @@ fn tenant_pool_cores(scenario: &Scenario) -> u32 {
 /// attached.
 fn tenants(common: &Common, options: &TenantsOptions) -> Result<(), String> {
     let scenario = match &options.scenario_file {
-        Some(path) => {
-            let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
-            let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
-            scenario_from_file(file)
-        }
+        Some(path) => load_scenario(path, common.seed)?.scenario,
         None => build_scenario(common),
     };
     let factory = RngFactory::new(common.seed);
@@ -696,24 +791,26 @@ fn compare(common: &Common) -> Result<(), String> {
 }
 
 fn run_one(common: &Common, options: &RunOptions) -> Result<(), String> {
-    let scenario = match &options.scenario_file {
+    let (scenario, file_spot) = match &options.scenario_file {
         Some(path) => {
-            let body = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let v = hcloud_json::parse(&body).map_err(|e| format!("parsing {path}: {e}"))?;
-            let file = scenario_json::from_json(&v).map_err(|e| format!("parsing {path}: {e}"))?;
-            scenario_from_file(file)
+            let loaded = load_scenario(path, common.seed)?;
+            println!("loaded {}", loaded.summary);
+            (loaded.scenario, loaded.spot)
         }
-        None => build_scenario(common),
+        None => (build_scenario(common), None),
     };
     let mut config = RunConfig::new(&options.strategy)
         .with_policy(options.policy)
         .with_profiling(options.profiling)
         .with_record_decisions(options.explain);
+    // An explicit --spot bid wins over the scenario file's spot section.
     if let Some(bid) = options.spot_bid {
         config = config.with_spot(SpotPolicy {
             bid_multiplier: bid,
             ..SpotPolicy::default()
         });
+    } else if let Some(spot) = file_spot {
+        config = config.with_spot(spot);
     }
     let model = pricing_model(&options.pricing);
     let factory = RngFactory::new(common.seed);
@@ -952,5 +1049,66 @@ mod tests {
             Ok(_) => panic!("empty object must not decode"),
         };
         assert!(err.contains("config"), "{err}");
+    }
+
+    /// Writes `body` to a temp file and returns its path. The file is
+    /// cleaned up when the returned guard drops.
+    struct TempDoc(std::path::PathBuf);
+    impl TempDoc {
+        fn new(stem: &str, body: &str) -> TempDoc {
+            let path =
+                std::env::temp_dir().join(format!("hcloud-cli-{stem}-{}", std::process::id()));
+            fs::write(&path, body).expect("temp write");
+            TempDoc(path)
+        }
+        fn path(&self) -> &str {
+            self.0.to_str().expect("utf-8 path")
+        }
+    }
+    impl Drop for TempDoc {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn load_scenario_accepts_both_formats() {
+        // Exported format.
+        let config = ScenarioConfig::scaled(ScenarioKind::Static, 0.05, 5);
+        let scenario = Scenario::generate(config, &RngFactory::new(7));
+        let file = ScenarioFile {
+            config: scenario.config().clone(),
+            jobs: scenario.jobs().to_vec(),
+            tenancy: None,
+        };
+        let doc = TempDoc::new("export", &scenario_json::to_json(&file).to_string());
+        let loaded = load_scenario(doc.path(), 42).expect("exported file loads");
+        assert!(loaded.spot.is_none());
+        assert_eq!(loaded.scenario.jobs(), scenario.jobs());
+        assert!(loaded.summary.contains("exported"), "{}", loaded.summary);
+
+        // DSL format: detected by schema_version, spot section mapped
+        // onto the run policy.
+        let dsl = hcloud_workloads::dsl::example_flash_crowd();
+        let doc = TempDoc::new("dsl", &dsl.render());
+        let loaded = load_scenario(doc.path(), 42).expect("DSL file loads");
+        let spot = loaded.spot.expect("flash-crowd example carries spot");
+        assert_eq!(spot.bid_multiplier, dsl.spot.unwrap().bid_multiplier);
+        assert_eq!(spot.max_quality, dsl.spot.unwrap().max_quality);
+        assert!(loaded.summary.contains("flash-crowd"), "{}", loaded.summary);
+        // Generation is seed-deterministic and matches a direct call.
+        let direct = dsl.generate(&RngFactory::new(42));
+        assert_eq!(loaded.scenario.jobs(), direct.jobs());
+    }
+
+    #[test]
+    fn load_scenario_rejects_malformed_dsl_naming_the_field() {
+        let body = hcloud_workloads::dsl::example_diurnal()
+            .render()
+            .replace("\"load_scale\"", "\"load_scale_typo\"");
+        let doc = TempDoc::new("bad-dsl", &body);
+        let err = load_scenario(doc.path(), 42).expect_err("typo'd field must fail");
+        assert!(err.contains("load_scale"), "{err}");
+        assert!(validate_file(doc.path()).is_err(), "validate surfaces it");
     }
 }

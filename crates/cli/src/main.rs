@@ -8,6 +8,7 @@
 //!                     [--scenario high] [--strategy HM]
 //! hcloud-cli export   --scenario low --out scenario.json
 //! hcloud-cli run      --scenario-file scenario.json --strategy HF
+//! hcloud-cli validate --file scenario.json
 //! hcloud-cli advise   --scenario high --weeks 30 --perf-floor 0.9
 //! hcloud-cli trace    --file results/traces/HighVariability-HM-seed42.jsonl [--limit 50]
 //! ```
@@ -25,6 +26,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
+        // A malformed scenario file is its own exit code (2) so CI can
+        // tell "bad input document" apart from "run failed".
+        Ok(args::Command::Validate(file)) => match commands::validate_file(&file) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
         Ok(command) => match commands::run(command) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

@@ -160,6 +160,9 @@ pub struct UsageRecord {
     /// Multiplier on the on-demand rate: 1.0 for ordinary on-demand
     /// usage, the time-averaged market multiplier for spot usage.
     pub rate_multiplier: f64,
+    /// Whether this interval ran on a spot instance. Not part of any
+    /// run digest — purely a billing/audit partition key.
+    pub spot: bool,
 }
 
 impl UsageRecord {
@@ -171,6 +174,7 @@ impl UsageRecord {
             from,
             to,
             rate_multiplier: 1.0,
+            spot: false,
         }
     }
 
@@ -559,6 +563,7 @@ impl Cloud {
                     from: i.requested_at,
                     to,
                     rate_multiplier,
+                    spot: i.spot,
                 }
             })
             .collect()

@@ -315,6 +315,35 @@ impl RunResult {
         )
     }
 
+    /// Dollars saved by running spot work at the market multiplier
+    /// instead of the full on-demand rate: Σ over spot usage records of
+    /// `on_demand_hourly × hours × (1 − rate_multiplier)`. Zero when the
+    /// spot market is off.
+    pub fn spot_savings(&self, rates: &Rates) -> f64 {
+        // `+ 0.0` normalizes the empty sum: f64's Sum identity is -0.0,
+        // which would otherwise leak a "-0" into JSON artifacts.
+        self.usage_records
+            .iter()
+            .filter(|u| u.spot)
+            .map(|u| {
+                rates.on_demand_hourly(u.itype)
+                    * u.duration().as_hours_f64()
+                    * (1.0 - u.rate_multiplier)
+            })
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Instance-hours that ran on spot capacity.
+    pub fn spot_hours(&self) -> f64 {
+        self.usage_records
+            .iter()
+            .filter(|u| u.spot)
+            .map(|u| u.duration().as_hours_f64())
+            .sum::<f64>()
+            + 0.0
+    }
+
     /// Fraction of jobs that were rescheduled (Section 5.2: 6.1% of OdM
     /// jobs on average).
     pub fn reschedule_rate(&self) -> f64 {

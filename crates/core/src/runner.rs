@@ -302,11 +302,19 @@ pub fn run_scenario_on<Q: EventQueueApi<Event>>(
         // The billing side of the instance-seconds identity, exactly as
         // the provider computes it: micro-vCPU-seconds over the usage
         // records, clipped to the makespan.
-        let billed: u128 = run
-            .usage_records
-            .iter()
-            .map(|u| u.duration().as_micros() as u128 * u.itype.vcpus() as u128)
-            .sum();
+        let mut billed: u128 = 0;
+        let mut billed_spot: u128 = 0;
+        for u in &run.usage_records {
+            let micro = u.duration().as_micros() as u128 * u.itype.vcpus() as u128;
+            billed += micro;
+            if u.spot {
+                billed_spot += micro;
+            }
+        }
+        // The spot partition must reconcile separately: spot seconds
+        // billed at on-demand rates (or vice versa) are a violation even
+        // when the totals happen to agree.
+        auditor.spot_billed(billed_spot);
         let finalized = profiler.time(ProfSpan::AuditHooks, || {
             auditor.finalize(run.makespan, billed, run.counters.work_lost_core_secs)
         });

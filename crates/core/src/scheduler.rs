@@ -104,7 +104,43 @@ struct SchedInstance {
 
 impl SchedInstance {
     fn free_cores(&self) -> u32 {
+        debug_assert!(
+            self.used_cores <= self.itype.vcpus(),
+            "instance {} binds {} cores on {} vCPUs",
+            self.cloud_id.raw(),
+            self.used_cores,
+            self.itype.vcpus()
+        );
         self.itype.vcpus().saturating_sub(self.used_cores)
+    }
+}
+
+/// Measures `now - earlier` with checked arithmetic. A negative span is
+/// the silent-underflow class `saturating_since` clamps away (the
+/// `detach_job` double-release bug shipped exactly that way), so it is
+/// reported as a typed [`AuditViolationKind::TimeInversion`] and then
+/// clamped — byte-identical behaviour to the old code on clean runs.
+fn audited_since(
+    auditor: &Auditor,
+    now: SimTime,
+    earlier: SimTime,
+    job: u64,
+    context: &'static str,
+) -> SimDuration {
+    match now.checked_since(earlier) {
+        Some(d) => d,
+        None => {
+            auditor.report(AuditViolation::new(
+                now,
+                AuditViolationKind::TimeInversion {
+                    job,
+                    context,
+                    at_us: now.as_micros(),
+                    earlier_us: earlier.as_micros(),
+                },
+            ));
+            SimDuration::ZERO
+        }
     }
 }
 
@@ -1379,8 +1415,13 @@ impl<'a> Scheduler<'a> {
             // Ledger acquisition time must match what the provider bills
             // from: the (possibly retry-delayed) request time, not `now`.
             let requested = self.cloud.instance(inst.cloud_id).requested_at();
-            self.auditor
-                .instance_acquired(requested, inst.cloud_id.raw(), itype.vcpus());
+            if inst.spot {
+                self.auditor
+                    .instance_acquired_spot(requested, inst.cloud_id.raw(), itype.vcpus());
+            } else {
+                self.auditor
+                    .instance_acquired(requested, inst.cloud_id.raw(), itype.vcpus());
+            }
         }
         let h = InstanceHandle::new(self.instances.insert(inst));
         self.live_od.insert(h);
@@ -1421,6 +1462,15 @@ impl<'a> Scheduler<'a> {
                 retention_token: 0,
             },
             itype,
+        );
+        trace_event!(
+            self.tracer,
+            now,
+            TraceKind::SpotAcquired {
+                instance: id.raw(),
+                bid_multiplier: bid,
+                terminates_us: terminates_at.map(|t| t.as_micros()),
+            }
         );
         if let Some(t) = terminates_at {
             events.schedule(t.max(now), Event::SpotTermination(h));
@@ -1492,7 +1542,14 @@ impl<'a> Scheduler<'a> {
             let lost = if job.started && matches!(spec.kind, JobKind::Batch { .. }) {
                 let eff = cores.min(spec.cores).max(1) as f64;
                 let slowdown = self.current_slowdown(jid, now);
-                now.saturating_since(job.last_progress).as_secs_f64() * eff / slowdown
+                let since = audited_since(
+                    &self.auditor,
+                    now,
+                    job.last_progress,
+                    jid.0,
+                    "spot-termination work loss",
+                );
+                since.as_secs_f64() * eff / slowdown
             } else {
                 0.0
             };
@@ -1596,7 +1653,14 @@ impl<'a> Scheduler<'a> {
                 let lost = if job.started && matches!(spec.kind, JobKind::Batch { .. }) {
                     let eff = job.cores.min(spec.cores).max(1) as f64;
                     let slowdown = self.current_slowdown(jid, now);
-                    now.saturating_since(job.last_progress).as_secs_f64() * eff / slowdown
+                    let since = audited_since(
+                        &self.auditor,
+                        now,
+                        job.last_progress,
+                        jid.0,
+                        "tenant-preemption work loss",
+                    );
+                    since.as_secs_f64() * eff / slowdown
                 } else {
                     0.0
                 };
@@ -1674,7 +1738,8 @@ impl<'a> Scheduler<'a> {
                 quality: qj.est_quality,
                 cores: qj.cores,
             };
-            let waited = qj.prior_wait + now.saturating_since(qj.enqueued);
+            let waited = qj.prior_wait
+                + audited_since(&self.auditor, now, qj.enqueued, jid.0, "preempt queue wait");
             self.admit(qj.spec_idx, &est, now, waited, qj.carry, events);
         }
         Ok(())
@@ -1799,7 +1864,14 @@ impl<'a> Scheduler<'a> {
                 quality: qj.est_quality,
                 cores: qj.cores,
             };
-            let wait = qj.prior_wait + now.saturating_since(qj.enqueued);
+            let wait = qj.prior_wait
+                + audited_since(
+                    &self.auditor,
+                    now,
+                    qj.enqueued,
+                    self.scenario.jobs()[qj.spec_idx].id.0,
+                    "queue drain wait",
+                );
             if self.try_place_reserved(qj.spec_idx, &est, now, wait, qj.carry, events) {
                 self.auditor
                     .queue_left(now, self.scenario.jobs()[qj.spec_idx].id.0);
@@ -1849,7 +1921,14 @@ impl<'a> Scheduler<'a> {
                     quality: qj.est_quality,
                     cores: qj.cores,
                 };
-                let wait = qj.prior_wait + now.saturating_since(qj.enqueued);
+                let wait = qj.prior_wait
+                    + audited_since(
+                        &self.auditor,
+                        now,
+                        qj.enqueued,
+                        self.scenario.jobs()[qj.spec_idx].id.0,
+                        "starvation-relief wait",
+                    );
                 self.auditor
                     .queue_left(now, self.scenario.jobs()[qj.spec_idx].id.0);
                 self.wait_samples.push(WaitSample {
@@ -1968,7 +2047,8 @@ impl<'a> Scheduler<'a> {
                 // in the queue saw effectively unbounded latency; charge
                 // the wait at saturation level so delayed starts hurt the
                 // latency metric the way they do in the paper.
-                let wait = now.saturating_since(spec.arrival).as_secs_f64();
+                let wait = audited_since(&self.auditor, now, spec.arrival, jid.0, "LC start wait")
+                    .as_secs_f64();
                 let saturated = self.latency_model.saturated_p99_us();
                 let v = {
                     let job = self.running_job_mut(jid).expect("running");
@@ -2014,7 +2094,8 @@ impl<'a> Scheduler<'a> {
         let arrival = spec.arrival;
         let (completion, p99, isolation, normalized) = match spec.kind {
             JobKind::Batch { .. } => {
-                let completion = now.saturating_since(arrival);
+                let completion =
+                    audited_since(&self.auditor, now, arrival, jid.0, "batch completion");
                 let ideal = spec.ideal_duration().as_secs_f64().max(1e-9);
                 let norm = (ideal / completion.as_secs_f64().max(1e-9)).min(1.0);
                 (Some(completion), None, None, norm)
@@ -2362,9 +2443,11 @@ impl<'a> Scheduler<'a> {
         match spec.kind {
             JobKind::Batch { .. } => {
                 let eff = cores.min(spec.cores).max(1) as f64;
+                let last_progress = self.running_job(jid).expect("running").last_progress;
+                let dt = audited_since(&self.auditor, now, last_progress, jid.0, "batch tick dt")
+                    .as_secs_f64();
                 let (executed, v, finish) = {
                     let job = self.running_job_mut(jid).expect("running");
-                    let dt = now.saturating_since(job.last_progress).as_secs_f64();
                     let before = job.remaining_work;
                     job.remaining_work = (job.remaining_work - eff * dt / slowdown).max(0.0);
                     job.last_progress = now;
@@ -2409,6 +2492,10 @@ impl<'a> Scheduler<'a> {
                         );
                     }
                 }
+                // Deliberately saturating, NOT `audited_since`: a
+                // rescheduled service's checkpoint sits in the future
+                // (the replacement instance's ready time), and ticks
+                // before it must contribute zero weight.
                 let (dt, grown_cores) = {
                     let job = self.running_job_mut(jid).expect("running");
                     let dt = now.saturating_since(job.last_progress).as_secs_f64();
@@ -3251,5 +3338,75 @@ mod tests {
         assert_eq!(result.tenant_stats[0].id, 0);
         assert_eq!(result.tenant_stats[0].reclaims, 1);
         assert_eq!(result.tenant_stats[1].victims, 1);
+    }
+
+    #[test]
+    fn audited_since_measures_forward_spans_exactly() {
+        let auditor = Auditor::new(hcloud_audit::AuditMode::Final);
+        let span = audited_since(
+            &auditor,
+            SimTime::from_secs(20),
+            SimTime::from_secs(15),
+            3,
+            "forward",
+        );
+        assert_eq!(span, SimDuration::from_secs(5));
+        assert!(auditor.violations().is_empty());
+        // Zero-width spans are forward, not inverted.
+        let zero = audited_since(
+            &auditor,
+            SimTime::from_secs(20),
+            SimTime::from_secs(20),
+            3,
+            "forward",
+        );
+        assert_eq!(zero, SimDuration::ZERO);
+        assert!(auditor.violations().is_empty());
+    }
+
+    #[test]
+    fn audited_since_reports_time_inversion_and_clamps() {
+        let auditor = Auditor::new(hcloud_audit::AuditMode::Final);
+        let span = audited_since(
+            &auditor,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            7,
+            "test inversion",
+        );
+        assert_eq!(span, SimDuration::ZERO, "inverted spans clamp to zero");
+        let violations = auditor.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].at, SimTime::from_secs(10));
+        match violations[0].kind {
+            AuditViolationKind::TimeInversion {
+                job,
+                context,
+                at_us,
+                earlier_us,
+            } => {
+                assert_eq!(job, 7);
+                assert_eq!(context, "test inversion");
+                assert_eq!(at_us, 10_000_000);
+                assert_eq!(earlier_us, 20_000_000);
+            }
+            ref other => panic!("expected TimeInversion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audited_since_is_silent_when_auditing_is_off() {
+        // The disabled auditor still clamps — identical arithmetic to the
+        // old `saturating_since` path — but records nothing.
+        let auditor = Auditor::new(hcloud_audit::AuditMode::Off);
+        let span = audited_since(
+            &auditor,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            1,
+            "off-mode inversion",
+        );
+        assert_eq!(span, SimDuration::ZERO);
+        assert!(auditor.violations().is_empty());
     }
 }

@@ -399,4 +399,50 @@ mod tests {
     fn zero_ratio_rejected() {
         ReservedOnDemandPricing::with_ratio(0.0);
     }
+
+    /// Long-horizon sweep: at a ~500 h run the micro-second timestamps
+    /// (1.8e15 µs) still sit well inside f64's 2^53 exact-integer range,
+    /// so `duration().as_hours_f64()` loses nothing and per-record
+    /// billing accumulates to the closed form within float rounding.
+    #[test]
+    fn billing_keeps_precision_at_500h_horizons() {
+        let rates = Rates::default();
+        let model = PricingModel::aws();
+        let run = SimDuration::from_hours(500);
+
+        // 10k identical one-hour on-demand records spread across the
+        // horizon: the f64 sum must match n × (single-record cost) to
+        // relative 1e-12 — catastrophic cancellation or µs truncation
+        // would blow well past that.
+        let records: Vec<UsageRecord> = (0..10_000u64)
+            .map(|k| {
+                let start = k % 499;
+                record(InstanceType::standard(4), false, start, start + 1)
+            })
+            .collect();
+        let single = run_cost(&records[..1], &rates, &model, run).on_demand;
+        let total = run_cost(&records, &rates, &model, run).on_demand;
+        let expected = single * records.len() as f64;
+        assert!(
+            (total - expected).abs() <= expected * 1e-12,
+            "10k-record sum drifted: {total} vs {expected}"
+        );
+
+        // A sub-second record at the far end of the horizon still bills
+        // its exact duration: hour 499 + 1 ms is representable to the µs.
+        let mut late = record(InstanceType::standard(4), false, 499, 499);
+        late.to = late.from + SimDuration::from_millis(1);
+        let c = run_cost(&[late], &rates, &model, run).on_demand;
+        let want = rates.on_demand_hourly(InstanceType::standard(4)) * (0.001 / 3600.0);
+        assert!(
+            (c - want).abs() <= want * 1e-9,
+            "late ms record: {c} vs {want}"
+        );
+
+        // Reserved billing over the whole 500 h run is exact in hours.
+        let res = vec![record(InstanceType::full_server(), true, 0, 500)];
+        let c = run_cost(&res, &rates, &model, run).reserved;
+        let want = 0.80 / 2.74 * 500.0;
+        assert!((c - want).abs() <= want * 1e-12, "{c} vs {want}");
+    }
 }

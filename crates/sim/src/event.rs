@@ -215,6 +215,12 @@ pub struct EventQueue<E> {
     pending: usize,
     /// Events drained by `drain_next_batch` but not yet `ack`ed.
     outstanding: usize,
+    /// Scratch buffer the served bucket is swapped into; retains its
+    /// capacity across serves so the advance path stops allocating once
+    /// the wheel is warm.
+    serving: Vec<Scheduled<E>>,
+    /// Scratch buffer for entries arriving exactly at the cascade target.
+    arrived: Vec<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
     max_depth: usize,
@@ -235,6 +241,8 @@ impl<E> EventQueue<E> {
             occupied: [0; LEVELS],
             pending: 0,
             outstanding: 0,
+            serving: Vec::new(),
+            arrived: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             max_depth: 0,
@@ -289,6 +297,11 @@ impl<E> EventQueue<E> {
 
     /// Serves the earliest occupied wheel position into `due`, advancing
     /// the clock. Caller guarantees `due` is empty and `pending > 0`.
+    ///
+    /// The served bucket is swapped into a reusable scratch buffer (and
+    /// cascade arrivals into a second one) rather than moved out, so the
+    /// steady state performs no allocation: capacities circulate between
+    /// the scratch buffers and the buckets they serve.
     fn advance(&mut self) {
         debug_assert!(self.due.is_empty());
         for level in 0..LEVELS {
@@ -296,38 +309,50 @@ impl<E> EventQueue<E> {
                 continue;
             }
             let slot = self.occupied[level].trailing_zeros() as usize;
-            let mut bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            debug_assert!(self.serving.is_empty());
+            std::mem::swap(&mut self.buckets[level * SLOTS + slot], &mut self.serving);
             self.occupied[level] &= !(1u64 << slot);
-            debug_assert!(!bucket.is_empty(), "occupancy bit without entries");
+            debug_assert!(!self.serving.is_empty(), "occupancy bit without entries");
             if level == 0 {
                 // A level-0 bucket differs from `now` only in the digit it
                 // is keyed by: every member shares one exact timestamp.
-                let at = bucket[0].at;
-                debug_assert!(bucket.iter().all(|s| s.at == at));
+                let at = self.serving[0].at;
+                debug_assert!(self.serving.iter().all(|s| s.at == at));
                 debug_assert!(at > self.now, "event queue went backwards in time");
                 self.now = at;
                 // Cascades can interleave sequence numbers; restore FIFO.
-                bucket.sort_unstable_by_key(|s| s.seq);
-                self.due.extend(bucket);
+                self.serving.sort_unstable_by_key(|s| s.seq);
+                self.due.extend(self.serving.drain(..));
             } else {
                 // Cascade: the bucket's earliest timestamp becomes the new
                 // clock; everything later re-enters at a lower level.
-                let target = bucket.iter().map(|s| s.at).min().expect("bucket non-empty");
+                let target = self
+                    .serving
+                    .iter()
+                    .map(|s| s.at)
+                    .min()
+                    .expect("bucket non-empty");
                 debug_assert!(target > self.now, "event queue went backwards in time");
                 self.now = target;
-                let mut arrived: Vec<Scheduled<E>> = Vec::new();
-                for s in bucket {
+                let now_us = target.as_micros();
+                debug_assert!(self.arrived.is_empty());
+                for s in self.serving.drain(..) {
                     if s.at == target {
-                        arrived.push(s);
+                        self.arrived.push(s);
                     } else {
-                        let (l, sl) = self.level_slot(s.at);
+                        // `level_slot` inlined against the new clock; the
+                        // drain borrow keeps `&self` methods out of reach.
+                        let d = s.at.as_micros() ^ now_us;
+                        let l = ((63 - d.leading_zeros()) / LEVEL_BITS) as usize;
+                        let sl =
+                            ((s.at.as_micros() >> (l as u32 * LEVEL_BITS)) & SLOT_MASK) as usize;
                         debug_assert!(l <= level, "cascade must descend");
                         self.buckets[l * SLOTS + sl].push(s);
                         self.occupied[l] |= 1 << sl;
                     }
                 }
-                arrived.sort_unstable_by_key(|s| s.seq);
-                self.due.extend(arrived);
+                self.arrived.sort_unstable_by_key(|s| s.seq);
+                self.due.extend(self.arrived.drain(..));
             }
             return;
         }

@@ -44,9 +44,12 @@ impl SimTime {
         SimTime(micros)
     }
 
-    /// Creates an instant `secs` seconds after simulation start.
+    /// Creates an instant `secs` seconds after simulation start,
+    /// saturating at [`SimTime::MAX`] instead of wrapping — long-horizon
+    /// arithmetic (multi-week scenarios) must degrade to the sentinel,
+    /// never to a small wrapped timestamp.
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000)
+        SimTime(secs.saturating_mul(1_000_000))
     }
 
     /// Microseconds since simulation start.
@@ -76,6 +79,17 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Time elapsed since `earlier`, or `None` when `earlier` is in the
+    /// future — the checked sibling of [`SimTime::saturating_since`] for
+    /// call sites where a clock inversion is a bug to surface, not a
+    /// value to clamp silently.
+    pub const fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        match self.0.checked_sub(earlier.0) {
+            Some(d) => Some(SimDuration(d)),
+            None => None,
+        }
+    }
+
     /// `self + d`, saturating at [`SimTime::MAX`] instead of overflowing.
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
@@ -95,24 +109,29 @@ impl SimDuration {
         SimDuration(micros)
     }
 
-    /// A duration of `millis` milliseconds.
+    /// A duration of `millis` milliseconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000)
+        SimDuration(millis.saturating_mul(1_000))
     }
 
-    /// A duration of `secs` seconds.
+    /// A duration of `secs` seconds, saturating at [`SimDuration::MAX`].
+    ///
+    /// All the unit constructors saturate rather than wrap: a wrapped
+    /// duration silently turns a multi-week horizon into a short one,
+    /// while the saturated sentinel fails loudly downstream.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000)
+        SimDuration(secs.saturating_mul(1_000_000))
     }
 
-    /// A duration of `mins` minutes.
+    /// A duration of `mins` minutes, saturating at [`SimDuration::MAX`].
     pub const fn from_mins(mins: u64) -> Self {
-        SimDuration(mins * 60_000_000)
+        SimDuration(mins.saturating_mul(60_000_000))
     }
 
-    /// A duration of `hours` hours.
+    /// A duration of `hours` hours, saturating at [`SimDuration::MAX`].
     pub const fn from_hours(hours: u64) -> Self {
-        SimDuration(hours * 3_600_000_000)
+        SimDuration(hours.saturating_mul(3_600_000_000))
     }
 
     /// A duration from fractional seconds, rounding to the nearest
@@ -310,6 +329,32 @@ mod tests {
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn checked_since_surfaces_inversions() {
+        let early = SimTime::from_secs(5);
+        let late = SimTime::from_secs(9);
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_secs(4)));
+        assert_eq!(late.checked_since(late), Some(SimDuration::ZERO));
+        assert_eq!(early.checked_since(late), None, "inversion must be loud");
+    }
+
+    /// Regression (long-horizon sweep): the unit constructors multiplied
+    /// unchecked, so absurd-but-reachable operands wrapped into *short*
+    /// durations in release builds instead of saturating.
+    #[test]
+    fn unit_constructors_saturate_instead_of_wrapping() {
+        assert_eq!(SimDuration::from_hours(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_mins(u64::MAX / 2), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX / 100), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX / 10), SimDuration::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX / 100), SimTime::MAX);
+        // Multi-week horizons stay comfortably exact.
+        assert_eq!(
+            SimDuration::from_hours(500).as_micros(),
+            500 * 3_600_000_000
         );
     }
 

@@ -92,6 +92,14 @@ pub enum TraceKind {
     RetentionExpired { instance: u64 },
     /// `cloud` — an instance was released back to the provider.
     InstanceReleased { instance: u64 },
+    /// `core::scheduler` — a spot instance was won at the bid price.
+    /// `terminates_us` carries the market's pre-computed revocation time
+    /// (absent when the price never crosses the bid in the horizon).
+    SpotAcquired {
+        instance: u64,
+        bid_multiplier: f64,
+        terminates_us: Option<u64>,
+    },
     /// `cloud`/`core::scheduler` — a spot instance was revoked.
     SpotTerminated { instance: u64, evicted: usize },
     /// `sim::event` loop — periodic heartbeat from the runner.
@@ -191,6 +199,7 @@ impl TraceKind {
             TraceKind::InstanceSpinUp { .. } => "instance-spin-up",
             TraceKind::RetentionExpired { .. } => "retention-expired",
             TraceKind::InstanceReleased { .. } => "instance-released",
+            TraceKind::SpotAcquired { .. } => "spot-acquired",
             TraceKind::SpotTerminated { .. } => "spot-terminated",
             TraceKind::Progress { .. } => "progress",
             TraceKind::RunEnd { .. } => "run-end",
@@ -308,6 +317,14 @@ impl TraceEvent {
                 .set("spin_up_us", *spin_up_us),
             TraceKind::RetentionExpired { instance } => b.set("instance", *instance),
             TraceKind::InstanceReleased { instance } => b.set("instance", *instance),
+            TraceKind::SpotAcquired {
+                instance,
+                bid_multiplier,
+                terminates_us,
+            } => b
+                .set("instance", *instance)
+                .set("bid_multiplier", *bid_multiplier)
+                .set("terminates_us", *terminates_us),
             TraceKind::SpotTerminated { instance, evicted } => {
                 b.set("instance", *instance).set("evicted", *evicted as u64)
             }

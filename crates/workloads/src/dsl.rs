@@ -1,0 +1,828 @@
+//! # Long-horizon scenario DSL
+//!
+//! The paper's three scenarios are 2-hour windows; retention policy,
+//! the adaptive soft limit, and reserved-vs-on-demand ratios only start
+//! to interact over days. This module is a small **versioned JSON DSL**
+//! for authoring such long-horizon scenarios: three generator families
+//! (diurnal multi-week cycles, flash crowds, batch-arrival bursts) that
+//! each compile to a [`DemandCurve`] plus a [`ScenarioConfig`], reusing
+//! the existing deterministic job-stream generator wholesale.
+//!
+//! Design rules, mirroring the tenancy-section idiom in `hcloud-cli`'s
+//! scenario export format:
+//!
+//! * every document carries `schema_version` (currently
+//!   [`SCHEMA_VERSION`]) and parsing rejects other versions;
+//! * durations serialize as **integer microseconds** and every other
+//!   number as a plain JSON number — both round-trip byte-identically
+//!   through `hcloud-json`'s shortest-representation writer, so
+//!   `render → parse → render` is lossless;
+//! * malformed documents fail with the offending **field named** (and
+//!   for array entries, the index).
+//!
+//! The optional `spot` section is deliberately plain numbers rather than
+//! a core-crate policy type: `hcloud-workloads` sits below `hcloud-core`
+//! in the crate graph, so the CLI and bench layers map [`SpotSection`]
+//! onto their `SpotPolicy` at the boundary.
+
+use crate::scenario::{DemandCurve, ScenarioConfig, ScenarioKind};
+use crate::Scenario;
+use hcloud_json::{ObjectBuilder, Value};
+use hcloud_sim::rng::RngFactory;
+use hcloud_sim::SimDuration;
+
+/// Version tag every DSL document carries.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Diurnal multi-week cycle: a smooth day/night swing repeated for
+/// `days`, with weekends (days 5 and 6 of each week) damped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSpec {
+    /// Number of simulated days (the arrival window).
+    pub days: u32,
+    /// Demand at the daily peak, in cores.
+    pub peak_cores: f64,
+    /// Trough demand as a fraction of the peak, in `(0, 1]`.
+    pub trough_fraction: f64,
+    /// Weekend scaling on the whole curve, in `(0, 1]`.
+    pub weekend_fraction: f64,
+    /// Hour of day `[0, 24)` at which demand peaks.
+    pub peak_hour: f64,
+}
+
+/// One flash-crowd spike: a trapezoid of extra demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    /// Minute (from scenario start) the ramp-up begins.
+    pub start_min: f64,
+    /// Ramp-up / ramp-down length in minutes (> 0).
+    pub ramp_mins: f64,
+    /// Minutes held at the peak.
+    pub hold_mins: f64,
+    /// Demand at the top of the spike, in cores (≥ base).
+    pub peak_cores: f64,
+}
+
+/// Flash-crowd family: flat base load with trapezoidal spikes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowdSpec {
+    /// Arrival-window length in hours.
+    pub hours: f64,
+    /// Base demand between spikes, in cores.
+    pub base_cores: f64,
+    /// The spikes, sorted and non-overlapping.
+    pub spikes: Vec<Spike>,
+}
+
+/// Batch-arrival bursts: flat base with a periodic rectangular burst
+/// (e.g. nightly report jobs submitted together).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchBurstSpec {
+    /// Arrival-window length in hours.
+    pub hours: f64,
+    /// Base demand between bursts, in cores.
+    pub base_cores: f64,
+    /// Minutes between burst starts.
+    pub period_mins: f64,
+    /// Burst width in minutes (≥ 2, < period).
+    pub width_mins: f64,
+    /// Demand during a burst, in cores.
+    pub burst_cores: f64,
+}
+
+/// The three long-horizon generator families.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilySpec {
+    /// Multi-week day/night cycle.
+    Diurnal(DiurnalSpec),
+    /// Base load with sudden spikes.
+    FlashCrowd(FlashCrowdSpec),
+    /// Periodic batch-submission bursts.
+    BatchBurst(BatchBurstSpec),
+}
+
+/// Optional spot-market section: plain numbers the run layers map onto
+/// their `SpotPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotSection {
+    /// Bid as a multiple of the on-demand rate, in `(0, 1]`.
+    pub bid_multiplier: f64,
+    /// Jobs whose required estimation quality exceeds this stay
+    /// on-demand; in `(0, 1]`.
+    pub max_quality: f64,
+}
+
+/// A parsed long-horizon scenario document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDsl {
+    /// Human-readable scenario name (also labels run artifacts).
+    pub name: String,
+    /// Which paper scenario supplies the batch/latency-critical job-mix
+    /// ratios (the demand *curve* comes from `family`).
+    pub mix: ScenarioKind,
+    /// The demand-shape family.
+    pub family: FamilySpec,
+    /// Mean job inter-arrival time. Long-horizon scenarios use tens of
+    /// seconds so a two-week run stays in the tens of thousands of jobs.
+    pub mean_interarrival: SimDuration,
+    /// Uniform scale on the family's curve (1.0 = authored scale).
+    pub load_scale: f64,
+    /// Optional override of the interference-sensitive job fraction.
+    pub sensitive_fraction: Option<f64>,
+    /// Optional spot-market section; `None` runs fully on-demand and
+    /// stays byte-identical to a no-spot run.
+    pub spot: Option<SpotSection>,
+}
+
+// ---------------------------------------------------------------------
+// Family → curve compilation
+
+impl FamilySpec {
+    /// Stable name used as the JSON `kind` tag.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FamilySpec::Diurnal(_) => "diurnal",
+            FamilySpec::FlashCrowd(_) => "flash-crowd",
+            FamilySpec::BatchBurst(_) => "batch-burst",
+        }
+    }
+
+    /// The arrival-window length this family spans.
+    pub fn duration(&self) -> SimDuration {
+        match self {
+            FamilySpec::Diurnal(d) => SimDuration::from_hours(24 * d.days as u64),
+            FamilySpec::FlashCrowd(f) => mins_duration(f.hours * 60.0),
+            FamilySpec::BatchBurst(b) => mins_duration(b.hours * 60.0),
+        }
+    }
+
+    /// Validates ranges; errors name the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            FamilySpec::Diurnal(d) => {
+                if d.days == 0 || d.days > 56 {
+                    return Err(format!("field 'days' must be in 1..=56, got {}", d.days));
+                }
+                check_pos_finite("peak_cores", d.peak_cores)?;
+                check_fraction("trough_fraction", d.trough_fraction)?;
+                check_fraction("weekend_fraction", d.weekend_fraction)?;
+                if !d.peak_hour.is_finite() || !(0.0..24.0).contains(&d.peak_hour) {
+                    return Err(format!(
+                        "field 'peak_hour' must be in [0, 24), got {}",
+                        d.peak_hour
+                    ));
+                }
+                Ok(())
+            }
+            FamilySpec::FlashCrowd(f) => {
+                check_pos_finite("hours", f.hours)?;
+                check_pos_finite("base_cores", f.base_cores)?;
+                let end_min = f.hours * 60.0;
+                let mut prev_end = 0.0f64;
+                for (i, s) in f.spikes.iter().enumerate() {
+                    let ctx = |field: &str| format!("spike {i} field '{field}'");
+                    if !s.start_min.is_finite() || s.start_min < 0.0 {
+                        return Err(format!(
+                            "{} must be ≥ 0, got {}",
+                            ctx("start_min"),
+                            s.start_min
+                        ));
+                    }
+                    if !s.ramp_mins.is_finite() || s.ramp_mins <= 0.0 {
+                        return Err(format!(
+                            "{} must be > 0, got {}",
+                            ctx("ramp_mins"),
+                            s.ramp_mins
+                        ));
+                    }
+                    if !s.hold_mins.is_finite() || s.hold_mins < 0.0 {
+                        return Err(format!(
+                            "{} must be ≥ 0, got {}",
+                            ctx("hold_mins"),
+                            s.hold_mins
+                        ));
+                    }
+                    if !s.peak_cores.is_finite() || s.peak_cores < f.base_cores {
+                        return Err(format!(
+                            "{} must be ≥ base_cores ({}), got {}",
+                            ctx("peak_cores"),
+                            f.base_cores,
+                            s.peak_cores
+                        ));
+                    }
+                    if s.start_min < prev_end {
+                        return Err(format!(
+                            "spike {i} field 'start_min' ({}) overlaps the previous spike \
+                             (ends at minute {prev_end})",
+                            s.start_min
+                        ));
+                    }
+                    prev_end = s.start_min + 2.0 * s.ramp_mins + s.hold_mins;
+                    if prev_end > end_min {
+                        return Err(format!(
+                            "spike {i} extends to minute {prev_end}, past the scenario \
+                             end (field 'hours' = {})",
+                            f.hours
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            FamilySpec::BatchBurst(b) => {
+                check_pos_finite("hours", b.hours)?;
+                check_pos_finite("base_cores", b.base_cores)?;
+                check_pos_finite("period_mins", b.period_mins)?;
+                check_pos_finite("burst_cores", b.burst_cores)?;
+                if !b.width_mins.is_finite() || b.width_mins < 2.0 {
+                    return Err(format!(
+                        "field 'width_mins' must be ≥ 2, got {}",
+                        b.width_mins
+                    ));
+                }
+                if b.period_mins <= b.width_mins {
+                    return Err(format!(
+                        "field 'period_mins' ({}) must exceed width_mins ({})",
+                        b.period_mins, b.width_mins
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Compiles the family to a piecewise-linear [`DemandCurve`] in real
+    /// scenario minutes. Call [`FamilySpec::validate`] first; this
+    /// panics only on specs that validation rejects.
+    pub fn curve(&self) -> DemandCurve {
+        let points = match self {
+            FamilySpec::Diurnal(d) => {
+                // Hourly knots of a raised-cosine day/night swing; one
+                // extra knot closes the final day.
+                let trough = d.peak_cores * d.trough_fraction;
+                let mid = (d.peak_cores + trough) / 2.0;
+                let amp = (d.peak_cores - trough) / 2.0;
+                let hours = d.days as usize * 24;
+                (0..=hours)
+                    .map(|h| {
+                        let day = h / 24;
+                        let weekend = matches!(day % 7, 5 | 6);
+                        let phase = (h as f64 - d.peak_hour) * std::f64::consts::TAU / 24.0;
+                        let mut cores = mid + amp * phase.cos();
+                        if weekend {
+                            cores *= d.weekend_fraction;
+                        }
+                        (h as f64 * 60.0, cores)
+                    })
+                    .collect()
+            }
+            FamilySpec::FlashCrowd(f) => {
+                let end = f.hours * 60.0;
+                let mut pts = vec![(0.0, f.base_cores)];
+                for s in &f.spikes {
+                    let up = s.start_min + s.ramp_mins;
+                    let down = up + s.hold_mins;
+                    let done = down + s.ramp_mins;
+                    // Skip knots coinciding with the previous one (spike
+                    // starting at minute 0 rides on the base knot).
+                    if s.start_min > pts.last().expect("non-empty").0 {
+                        pts.push((s.start_min, f.base_cores));
+                    }
+                    pts.push((up, s.peak_cores));
+                    if s.hold_mins > 0.0 {
+                        pts.push((down, s.peak_cores));
+                    }
+                    pts.push((done, f.base_cores));
+                }
+                if end > pts.last().expect("non-empty").0 {
+                    pts.push((end, f.base_cores));
+                }
+                pts
+            }
+            FamilySpec::BatchBurst(b) => {
+                // Each burst is a rectangle with one-minute shoulders so
+                // the knots stay strictly increasing.
+                let end = b.hours * 60.0;
+                let mut pts = vec![(0.0, b.base_cores)];
+                let mut start = b.period_mins;
+                while start + b.width_mins < end {
+                    pts.push((start, b.base_cores));
+                    pts.push((start + 1.0, b.burst_cores));
+                    pts.push((start + b.width_mins - 1.0, b.burst_cores));
+                    pts.push((start + b.width_mins, b.base_cores));
+                    start += b.period_mins;
+                }
+                if end > pts.last().expect("non-empty").0 {
+                    pts.push((end, b.base_cores));
+                }
+                pts
+            }
+        };
+        DemandCurve::new(points).expect("validated family compiles to a well-formed curve")
+    }
+}
+
+fn mins_duration(mins: f64) -> SimDuration {
+    SimDuration::from_secs((mins * 60.0).round().max(0.0) as u64)
+}
+
+fn check_pos_finite(field: &str, v: f64) -> Result<(), String> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!(
+            "field '{field}' must be a positive number, got {v}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_fraction(field: &str, v: f64) -> Result<(), String> {
+    if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+        return Err(format!("field '{field}' must be in (0, 1], got {v}"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// ScenarioDsl — validation and compilation
+
+impl ScenarioDsl {
+    /// Range-checks the whole document; errors name the bad field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("field 'name' must not be empty".to_string());
+        }
+        self.family.validate()?;
+        if self.mean_interarrival.as_micros() == 0 {
+            return Err("field 'mean_interarrival_us' must be positive".to_string());
+        }
+        check_pos_finite("load_scale", self.load_scale)?;
+        if let Some(f) = self.sensitive_fraction {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(format!(
+                    "field 'sensitive_fraction' must be in [0, 1], got {f}"
+                ));
+            }
+        }
+        if let Some(spot) = &self.spot {
+            check_fraction("spot.bid_multiplier", spot.bid_multiplier)?;
+            check_fraction("spot.max_quality", spot.max_quality)?;
+        }
+        Ok(())
+    }
+
+    /// The [`ScenarioConfig`] this document compiles to: the family's
+    /// curve and duration over the selected mix.
+    pub fn to_config(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            duration: self.family.duration(),
+            mean_interarrival: self.mean_interarrival,
+            load_scale: self.load_scale,
+            sensitive_fraction: self.sensitive_fraction,
+            curve: Some(self.family.curve()),
+            ..ScenarioConfig::paper(self.mix)
+        }
+    }
+
+    /// Generates the deterministic job stream for this document.
+    pub fn generate(&self, factory: &RngFactory) -> Scenario {
+        Scenario::generate(self.to_config(), factory)
+    }
+
+    // -----------------------------------------------------------------
+    // JSON codec
+
+    /// Serializes to the versioned JSON document.
+    pub fn to_json(&self) -> Value {
+        let family = match &self.family {
+            FamilySpec::Diurnal(d) => ObjectBuilder::new()
+                .set("kind", self.family.kind_name())
+                .set("days", d.days)
+                .set("peak_cores", d.peak_cores)
+                .set("trough_fraction", d.trough_fraction)
+                .set("weekend_fraction", d.weekend_fraction)
+                .set("peak_hour", d.peak_hour)
+                .build(),
+            FamilySpec::FlashCrowd(f) => ObjectBuilder::new()
+                .set("kind", self.family.kind_name())
+                .set("hours", f.hours)
+                .set("base_cores", f.base_cores)
+                .set(
+                    "spikes",
+                    Value::Array(
+                        f.spikes
+                            .iter()
+                            .map(|s| {
+                                ObjectBuilder::new()
+                                    .set("start_min", s.start_min)
+                                    .set("ramp_mins", s.ramp_mins)
+                                    .set("hold_mins", s.hold_mins)
+                                    .set("peak_cores", s.peak_cores)
+                                    .build()
+                            })
+                            .collect(),
+                    ),
+                )
+                .build(),
+            FamilySpec::BatchBurst(b) => ObjectBuilder::new()
+                .set("kind", self.family.kind_name())
+                .set("hours", b.hours)
+                .set("base_cores", b.base_cores)
+                .set("period_mins", b.period_mins)
+                .set("width_mins", b.width_mins)
+                .set("burst_cores", b.burst_cores)
+                .build(),
+        };
+        let mut doc = ObjectBuilder::new()
+            .set("schema_version", SCHEMA_VERSION)
+            .set("name", self.name.as_str())
+            .set("mix", mix_name(self.mix))
+            .set("mean_interarrival_us", self.mean_interarrival.as_micros())
+            .set("load_scale", self.load_scale)
+            .set("family", family);
+        if let Some(f) = self.sensitive_fraction {
+            doc = doc.set("sensitive_fraction", f);
+        }
+        if let Some(spot) = &self.spot {
+            doc = doc.set(
+                "spot",
+                ObjectBuilder::new()
+                    .set("bid_multiplier", spot.bid_multiplier)
+                    .set("max_quality", spot.max_quality)
+                    .build(),
+            );
+        }
+        doc.build()
+    }
+
+    /// Pretty-printed document text, as `scenario export` writes it.
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().to_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a JSON value back into a document, naming any missing,
+    /// mistyped, or out-of-range field. Rejects other schema versions.
+    pub fn from_json(v: &Value) -> Result<ScenarioDsl, String> {
+        let version = get_u64(v, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let name = get_str(v, "name")?.to_string();
+        let mix = mix_from(get_str(v, "mix")?)?;
+        let mean_interarrival = SimDuration::from_micros(get_u64(v, "mean_interarrival_us")?);
+        let load_scale = get_f64(v, "load_scale")?;
+        let sensitive_fraction = match v.get("sensitive_fraction") {
+            None => None,
+            Some(f) => Some(
+                f.as_f64()
+                    .ok_or("field 'sensitive_fraction' is not a number".to_string())?,
+            ),
+        };
+        let family_v = required(v, "family")?;
+        let family = match get_str(family_v, "kind")? {
+            "diurnal" => FamilySpec::Diurnal(DiurnalSpec {
+                days: get_u64(family_v, "days")? as u32,
+                peak_cores: get_f64(family_v, "peak_cores")?,
+                trough_fraction: get_f64(family_v, "trough_fraction")?,
+                weekend_fraction: get_f64(family_v, "weekend_fraction")?,
+                peak_hour: get_f64(family_v, "peak_hour")?,
+            }),
+            "flash-crowd" => {
+                let spikes_v = required(family_v, "spikes")?
+                    .as_array()
+                    .ok_or("field 'spikes' is not an array".to_string())?;
+                let mut spikes = Vec::with_capacity(spikes_v.len());
+                for (i, s) in spikes_v.iter().enumerate() {
+                    let at = |e: String| format!("spike {i}: {e}");
+                    spikes.push(Spike {
+                        start_min: get_f64(s, "start_min").map_err(at)?,
+                        ramp_mins: get_f64(s, "ramp_mins").map_err(at)?,
+                        hold_mins: get_f64(s, "hold_mins").map_err(at)?,
+                        peak_cores: get_f64(s, "peak_cores").map_err(at)?,
+                    });
+                }
+                FamilySpec::FlashCrowd(FlashCrowdSpec {
+                    hours: get_f64(family_v, "hours")?,
+                    base_cores: get_f64(family_v, "base_cores")?,
+                    spikes,
+                })
+            }
+            "batch-burst" => FamilySpec::BatchBurst(BatchBurstSpec {
+                hours: get_f64(family_v, "hours")?,
+                base_cores: get_f64(family_v, "base_cores")?,
+                period_mins: get_f64(family_v, "period_mins")?,
+                width_mins: get_f64(family_v, "width_mins")?,
+                burst_cores: get_f64(family_v, "burst_cores")?,
+            }),
+            other => {
+                return Err(format!(
+                    "field 'kind' has unknown family {other:?} \
+                     (expected diurnal, flash-crowd, or batch-burst)"
+                ))
+            }
+        };
+        let spot = match v.get("spot") {
+            None => None,
+            Some(s) => Some(SpotSection {
+                bid_multiplier: get_f64(s, "bid_multiplier")?,
+                max_quality: get_f64(s, "max_quality")?,
+            }),
+        };
+        let dsl = ScenarioDsl {
+            name,
+            mix,
+            family,
+            mean_interarrival,
+            load_scale,
+            sensitive_fraction,
+            spot,
+        };
+        dsl.validate()?;
+        Ok(dsl)
+    }
+
+    /// Parses document text: JSON syntax first, then schema.
+    pub fn parse(text: &str) -> Result<ScenarioDsl, String> {
+        let v = hcloud_json::parse(text).map_err(|e| e.to_string())?;
+        ScenarioDsl::from_json(&v)
+    }
+}
+
+fn mix_name(kind: ScenarioKind) -> &'static str {
+    match kind {
+        ScenarioKind::Static => "static",
+        ScenarioKind::LowVariability => "low",
+        ScenarioKind::HighVariability => "high",
+    }
+}
+
+fn mix_from(name: &str) -> Result<ScenarioKind, String> {
+    match name {
+        "static" => Ok(ScenarioKind::Static),
+        "low" => Ok(ScenarioKind::LowVariability),
+        "high" => Ok(ScenarioKind::HighVariability),
+        other => Err(format!("field 'mix' has unknown scenario kind {other:?}")),
+    }
+}
+
+fn required<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    required(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a non-negative integer"))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    required(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    required(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+// ---------------------------------------------------------------------
+// Example documents — used by tests, the CLI, and `ext_long_horizon`.
+
+/// Two-week diurnal cycle with damped weekends and spot enabled.
+pub fn example_diurnal() -> ScenarioDsl {
+    ScenarioDsl {
+        name: "diurnal-2w".to_string(),
+        mix: ScenarioKind::HighVariability,
+        family: FamilySpec::Diurnal(DiurnalSpec {
+            days: 14,
+            peak_cores: 420.0,
+            trough_fraction: 0.3,
+            weekend_fraction: 0.6,
+            peak_hour: 14.0,
+        }),
+        mean_interarrival: SimDuration::from_secs(45),
+        load_scale: 1.0,
+        sensitive_fraction: None,
+        spot: Some(SpotSection {
+            bid_multiplier: 0.6,
+            max_quality: 0.8,
+        }),
+    }
+}
+
+/// Two-day flash-crowd scenario: three spikes over a modest base.
+pub fn example_flash_crowd() -> ScenarioDsl {
+    ScenarioDsl {
+        name: "flash-crowd-48h".to_string(),
+        mix: ScenarioKind::LowVariability,
+        family: FamilySpec::FlashCrowd(FlashCrowdSpec {
+            hours: 48.0,
+            base_cores: 180.0,
+            spikes: vec![
+                Spike {
+                    start_min: 300.0,
+                    ramp_mins: 12.0,
+                    hold_mins: 45.0,
+                    peak_cores: 700.0,
+                },
+                Spike {
+                    start_min: 1250.0,
+                    ramp_mins: 8.0,
+                    hold_mins: 20.0,
+                    peak_cores: 900.0,
+                },
+                Spike {
+                    start_min: 2100.0,
+                    ramp_mins: 15.0,
+                    hold_mins: 60.0,
+                    peak_cores: 620.0,
+                },
+            ],
+        }),
+        mean_interarrival: SimDuration::from_secs(20),
+        load_scale: 1.0,
+        sensitive_fraction: Some(0.35),
+        spot: Some(SpotSection {
+            bid_multiplier: 0.55,
+            max_quality: 0.8,
+        }),
+    }
+}
+
+/// Four-day batch-burst scenario: six-hourly submission waves.
+pub fn example_batch_burst() -> ScenarioDsl {
+    ScenarioDsl {
+        name: "batch-burst-4d".to_string(),
+        mix: ScenarioKind::Static,
+        family: FamilySpec::BatchBurst(BatchBurstSpec {
+            hours: 96.0,
+            base_cores: 150.0,
+            period_mins: 360.0,
+            width_mins: 90.0,
+            burst_cores: 520.0,
+        }),
+        mean_interarrival: SimDuration::from_secs(30),
+        load_scale: 1.0,
+        sensitive_fraction: None,
+        spot: None,
+    }
+}
+
+/// All three example documents, for sweep-style tests and benches.
+pub fn examples() -> Vec<ScenarioDsl> {
+    vec![
+        example_diurnal(),
+        example_flash_crowd(),
+        example_batch_burst(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcloud_sim::SimTime;
+
+    #[test]
+    fn examples_validate_and_compile() {
+        for ex in examples() {
+            ex.validate().expect("example validates");
+            let config = ex.to_config();
+            assert_eq!(config.duration, ex.family.duration());
+            assert!(config.curve.is_some());
+            // The curve covers the full window.
+            let c = ex.family.curve();
+            let end_min = ex.family.duration().as_mins_f64();
+            let last = c.points().last().unwrap().0;
+            assert!(
+                (last - end_min).abs() < 1.0,
+                "{}: curve ends at {last}, window at {end_min}",
+                ex.name
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour_and_damps_weekends() {
+        let ex = example_diurnal();
+        let c = ex.family.curve();
+        let at = |day: u64, hour: u64| {
+            c.cores_at(SimTime::ZERO + SimDuration::from_hours(day * 24 + hour))
+        };
+        // Weekday peak vs trough.
+        assert!(at(1, 14) > at(1, 2) * 2.0);
+        // Weekend (day 5) is damped relative to the same weekday hour.
+        assert!(at(5, 14) < at(4, 14));
+        // Peak is near 420 cores.
+        assert!((at(1, 14) - 420.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_rise_and_fall() {
+        let ex = example_flash_crowd();
+        let c = ex.family.curve();
+        let at_min = |m: u64| c.cores_at(SimTime::ZERO + SimDuration::from_mins(m));
+        assert!((at_min(100) - 180.0).abs() < 1e-9, "base before spike");
+        assert!((at_min(330) - 700.0).abs() < 1e-9, "first spike hold");
+        assert!((at_min(500) - 180.0).abs() < 1e-9, "base after spike");
+    }
+
+    #[test]
+    fn batch_bursts_repeat_on_period() {
+        let ex = example_batch_burst();
+        let c = ex.family.curve();
+        let at_min = |m: u64| c.cores_at(SimTime::ZERO + SimDuration::from_mins(m));
+        for k in 1..10u64 {
+            let mid = k * 360 + 45;
+            assert!((at_min(mid) - 520.0).abs() < 1e-9, "burst {k} mid");
+            assert!(
+                (at_min(mid + 120) - 150.0).abs() < 1e-9,
+                "gap after burst {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_for_every_family() {
+        for ex in examples() {
+            let text = ex.render();
+            let parsed = ScenarioDsl::parse(&text).expect("round-trip parses");
+            assert_eq!(parsed, ex, "{}: structural equality", ex.name);
+            assert_eq!(parsed.render(), text, "{}: byte-identical", ex.name);
+        }
+    }
+
+    #[test]
+    fn generated_job_streams_are_deterministic() {
+        let ex = example_flash_crowd();
+        let a = ex.generate(&RngFactory::new(42));
+        let b = ex.generate(&RngFactory::new(42));
+        assert_eq!(a.jobs().len(), b.jobs().len());
+        assert!(!a.jobs().is_empty());
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.cores, y.cores);
+        }
+    }
+
+    #[test]
+    fn corrupted_fields_fail_naming_the_field() {
+        let good = example_diurnal().render();
+
+        let cases = [
+            (
+                "\"schema_version\": 1",
+                "\"schema_version\": 99",
+                "schema_version",
+            ),
+            ("\"peak_hour\": 14", "\"peak_hour\": 31", "peak_hour"),
+            (
+                "\"trough_fraction\": 0.3",
+                "\"trough_fraction\": -2",
+                "trough_fraction",
+            ),
+            ("\"mix\": \"high\"", "\"mix\": \"volatile\"", "mix"),
+            (
+                "\"bid_multiplier\": 0.6",
+                "\"bid_multiplier\": \"cheap\"",
+                "bid_multiplier",
+            ),
+        ];
+        for (from, to, field) in cases {
+            let bad = good.replace(from, to);
+            assert_ne!(bad, good, "substitution for {field} applied");
+            let err = ScenarioDsl::parse(&bad).expect_err("corruption rejected");
+            assert!(
+                err.contains(field),
+                "error for {field} names the field: {err}"
+            );
+        }
+
+        // A missing required field is named too.
+        let missing = good.replace("  \"load_scale\": 1,\n", "");
+        let err = ScenarioDsl::parse(&missing).expect_err("missing field rejected");
+        assert!(err.contains("load_scale"), "names the missing field: {err}");
+    }
+
+    #[test]
+    fn unknown_family_kind_is_rejected() {
+        let bad = example_batch_burst()
+            .render()
+            .replace("batch-burst", "lunar");
+        let err = ScenarioDsl::parse(&bad).expect_err("unknown family rejected");
+        assert!(err.contains("lunar"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_spikes_name_the_spike_index() {
+        let mut ex = example_flash_crowd();
+        if let FamilySpec::FlashCrowd(f) = &mut ex.family {
+            f.spikes[1].start_min = f.spikes[0].start_min + 1.0;
+        }
+        let err = ex.validate().expect_err("overlap rejected");
+        assert!(err.contains("spike 1"), "{err}");
+    }
+}

@@ -21,10 +21,12 @@
 //! every strategy in a comparison faces the identical workload — the
 //! property the paper's repeatable-interference methodology provides.
 
+pub mod dsl;
 pub mod job;
 pub mod latency;
 pub mod scenario;
 
+pub use dsl::{BatchBurstSpec, DiurnalSpec, FamilySpec, FlashCrowdSpec, ScenarioDsl, SpotSection};
 pub use job::{AppClass, JobId, JobKind, JobSpec};
 pub use latency::LatencyModel;
-pub use scenario::{Scenario, ScenarioConfig, ScenarioKind};
+pub use scenario::{DemandCurve, Scenario, ScenarioConfig, ScenarioKind};

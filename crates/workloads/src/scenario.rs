@@ -143,10 +143,80 @@ impl ScenarioKind {
     }
 }
 
+/// A custom piecewise-linear demand curve: `(minute, cores)` knots in
+/// *real* scenario time (unlike the built-in [`ScenarioKind`] curves,
+/// which are authored on a virtual 120-minute axis and stretched to the
+/// configured duration). This is what the long-horizon scenario DSL
+/// compiles its diurnal / flash-crowd / batch-burst shapes into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl DemandCurve {
+    /// Builds a curve from `(minute, cores)` knots. Errors (naming the
+    /// offending knot) on fewer than two knots, non-finite values,
+    /// negative cores, or non-increasing minutes.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<DemandCurve, String> {
+        if points.len() < 2 {
+            return Err(format!(
+                "demand curve needs at least 2 points, got {}",
+                points.len()
+            ));
+        }
+        for (i, &(m, c)) in points.iter().enumerate() {
+            if !m.is_finite() || !c.is_finite() {
+                return Err(format!("demand curve point {i} is not finite: ({m}, {c})"));
+            }
+            if c < 0.0 {
+                return Err(format!("demand curve point {i} has negative cores: {c}"));
+            }
+        }
+        for (i, w) in points.windows(2).enumerate() {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "demand curve minutes must be strictly increasing: point {} ({}) \
+                     does not follow point {i} ({})",
+                    i + 1,
+                    w[1].0,
+                    w[0].0
+                ));
+            }
+        }
+        Ok(DemandCurve { points })
+    }
+
+    /// The `(minute, cores)` knots.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear interpolation at `t`, holding the first value before the
+    /// first knot and the final value past the last.
+    pub fn cores_at(&self, t: SimTime) -> f64 {
+        let m = t.as_mins_f64();
+        let pts = &self.points;
+        if m <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (m0, c0) = w[0];
+            let (m1, c1) = w[1];
+            if m <= m1 {
+                let f = (m - m0) / (m1 - m0);
+                return c0 + f * (c1 - c0);
+            }
+        }
+        pts.last().expect("curve non-empty").1
+    }
+}
+
 /// Configuration for scenario generation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
-    /// Which scenario.
+    /// Which scenario. With a custom [`DemandCurve`] attached, the kind
+    /// still selects the batch/latency-critical mix ratios; only its
+    /// analytic curve is overridden.
     pub kind: ScenarioKind,
     /// Arrival window (the paper's scenarios span 2 hours).
     pub duration: SimDuration,
@@ -160,6 +230,10 @@ pub struct ScenarioConfig {
     pub sensitive_fraction: Option<f64>,
     /// The latency model used to derive memcached loads from core counts.
     pub latency_model: LatencyModel,
+    /// Custom target curve in real scenario time, overriding the kind's
+    /// stretched analytic curve. `None` keeps the paper behaviour (and
+    /// every pre-DSL run byte-identical).
+    pub curve: Option<DemandCurve>,
 }
 
 impl ScenarioConfig {
@@ -172,6 +246,7 @@ impl ScenarioConfig {
             load_scale: 1.0,
             sensitive_fraction: None,
             latency_model: LatencyModel::default(),
+            curve: None,
         }
     }
 
@@ -188,6 +263,11 @@ impl ScenarioConfig {
     /// Target required cores at `t` under this config's scale. Times past
     /// the arrival window hold the curve's final value.
     pub fn target_cores(&self, t: SimTime) -> f64 {
+        if let Some(curve) = &self.curve {
+            // Custom curves are authored in real scenario time: no
+            // virtual-axis stretch.
+            return curve.cores_at(t) * self.load_scale;
+        }
         // The analytic curves are authored on a 120-minute x-axis; stretch
         // to the configured duration.
         let frac = t.as_secs_f64() / self.duration.as_secs_f64();
@@ -770,5 +850,40 @@ mod from_jobs_tests {
         };
         let t = SimTime::from_secs(1800);
         assert!((half.target_cores(t) - full.target_cores(t) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_curve_rejects_malformed_knots_naming_them() {
+        let e = DemandCurve::new(vec![(0.0, 10.0)]).expect_err("too few");
+        assert!(e.contains("at least 2"), "{e}");
+        let e = DemandCurve::new(vec![(0.0, 10.0), (5.0, -1.0)]).expect_err("negative");
+        assert!(e.contains("point 1"), "{e}");
+        let e = DemandCurve::new(vec![(0.0, 10.0), (0.0, 20.0)]).expect_err("non-increasing");
+        assert!(e.contains("strictly increasing"), "{e}");
+        let e = DemandCurve::new(vec![(0.0, f64::NAN), (5.0, 1.0)]).expect_err("nan");
+        assert!(e.contains("point 0"), "{e}");
+    }
+
+    #[test]
+    fn custom_curve_overrides_kind_in_real_time() {
+        // A 10-hour linear ramp 100 → 300 cores, unaffected by the
+        // kind's 120-minute virtual axis.
+        let curve = DemandCurve::new(vec![(0.0, 100.0), (600.0, 300.0)]).unwrap();
+        let config = ScenarioConfig {
+            duration: SimDuration::from_hours(10),
+            curve: Some(curve),
+            ..ScenarioConfig::paper(ScenarioKind::HighVariability)
+        };
+        let at = |mins: u64| config.target_cores(SimTime::ZERO + SimDuration::from_mins(mins));
+        assert!((at(0) - 100.0).abs() < 1e-9);
+        assert!((at(300) - 200.0).abs() < 1e-9, "midpoint {}", at(300));
+        // Holds past the last knot.
+        assert!((at(700) - 300.0).abs() < 1e-9);
+        // load_scale still applies on top.
+        let half = ScenarioConfig {
+            load_scale: 0.5,
+            ..config.clone()
+        };
+        assert!((half.target_cores(SimTime::from_secs(18_000)) - 100.0).abs() < 1e-9);
     }
 }
